@@ -1,0 +1,56 @@
+//! DHT-layer benchmarks: greedy finger routing and DOLR operations —
+//! the per-lookup cost every §3.5 complexity figure is denominated in.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperdex_dht::{Dolr, NodeId, ObjectId, Ring, Router};
+use hyperdex_simnet::rng::SimRng;
+
+fn ring_of(n: u64, seed: u64) -> Ring {
+    let mut rng = SimRng::new(seed);
+    (0..n).map(|_| NodeId::from_raw(rng.next_u64())).collect()
+}
+
+fn routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht/route_path");
+    for n in [64u64, 512, 4096] {
+        let ring = ring_of(n, 31);
+        let router = Router::build(&ring);
+        let from = ring.iter().next().expect("non-empty");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut key = 0u64;
+            b.iter(|| {
+                key = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                router.path(black_box(from), NodeId::from_raw(key)).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn router_rebuild(c: &mut Criterion) {
+    let ring = ring_of(512, 37);
+    c.bench_function("dht/router_rebuild_512", |b| {
+        b.iter(|| Router::build(black_box(&ring)).ring().len())
+    });
+}
+
+fn dolr_ops(c: &mut Criterion) {
+    c.bench_function("dht/insert_read_delete", |b| {
+        let mut dht = Dolr::builder().nodes(256).seed(41).build();
+        let publisher = dht.random_node();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let obj = ObjectId::from_raw(i);
+            dht.insert(black_box(publisher), obj, publisher);
+            let found = dht.read(publisher, obj).is_some();
+            dht.delete(publisher, obj, publisher);
+            found
+        })
+    });
+}
+
+criterion_group!(benches, routing, router_rebuild, dolr_ops);
+criterion_main!(benches);

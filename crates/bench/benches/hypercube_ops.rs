@@ -1,0 +1,69 @@
+//! Micro-benchmarks for the hypercube primitives the search protocol
+//! leans on: containment tests, SBT traversal, subcube enumeration, and
+//! broadcast scheduling.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperdex_hypercube::{broadcast, Sbt, Shape, Subcube, Vertex};
+
+fn vertex_ops(c: &mut Criterion) {
+    let shape = Shape::new(16).expect("valid");
+    let u = Vertex::from_bits(shape, 0b0000_1010_0100_0001).expect("valid");
+    let w = Vertex::from_bits(shape, 0b1010_1110_0101_0001).expect("valid");
+
+    c.bench_function("vertex/contains", |b| {
+        b.iter(|| black_box(w).contains(black_box(u)))
+    });
+    c.bench_function("vertex/hamming", |b| {
+        b.iter(|| black_box(u).hamming(black_box(w)))
+    });
+    c.bench_function("vertex/one_positions", |b| {
+        b.iter(|| black_box(w).one_positions().count())
+    });
+}
+
+fn sbt_ops(c: &mut Criterion) {
+    let shape = Shape::new(16).expect("valid");
+    // Root with 4 ones → 12 free dims → 4096-node tree.
+    let root = Vertex::from_bits(shape, 0b1000_0100_0010_0001).expect("valid");
+    let sbt = Sbt::induced(root);
+
+    c.bench_function("sbt/bfs_4096_nodes", |b| {
+        b.iter(|| black_box(sbt).bfs().count())
+    });
+    c.bench_function("sbt/children_of_root", |b| {
+        b.iter(|| black_box(sbt).children(sbt.root()).count())
+    });
+    let deep = sbt.bfs().last().expect("non-empty").0;
+    c.bench_function("sbt/parent_chain_to_root", |b| {
+        b.iter(|| {
+            let mut v = black_box(deep);
+            let mut steps = 0;
+            while let Some(p) = sbt.parent(v) {
+                v = p;
+                steps += 1;
+            }
+            steps
+        })
+    });
+    c.bench_function("sbt/broadcast_schedule", |b| {
+        b.iter(|| broadcast::schedule(black_box(&sbt)).len())
+    });
+}
+
+fn subcube_ops(c: &mut Criterion) {
+    let shape = Shape::new(16).expect("valid");
+    let root = Vertex::from_bits(shape, 0b1111_0000_0000_0000).expect("valid");
+    let sub = Subcube::induced_by(root);
+
+    c.bench_function("subcube/iterate_4096", |b| {
+        b.iter(|| black_box(sub).iter().count())
+    });
+    c.bench_function("subcube/level_mid", |b| {
+        b.iter(|| black_box(sub).level(6).count())
+    });
+}
+
+criterion_group!(benches, vertex_ops, sbt_ops, subcube_ops);
+criterion_main!(benches);

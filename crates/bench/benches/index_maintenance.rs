@@ -1,0 +1,63 @@
+//! Index-maintenance benchmarks: the paper's single-lookup insert and
+//! delete versus the distributed inverted index's k lookups (§3.4,
+//! third remark).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperdex_core::baseline::DistributedInvertedIndex;
+use hyperdex_core::{HypercubeIndex, ObjectId};
+use hyperdex_workload::{Corpus, CorpusConfig};
+
+fn insert_delete(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small_test(), 23);
+    let records: Vec<_> = corpus.records().iter().take(500).collect();
+
+    c.bench_function("maintain/hypercube_insert_remove", |b| {
+        let mut index = HypercubeIndex::new(10, 0).expect("valid");
+        b.iter(|| {
+            for r in &records {
+                index
+                    .insert(black_box(r.object_id()), r.keywords.clone())
+                    .expect("non-empty");
+            }
+            for r in &records {
+                index.remove(r.object_id(), &r.keywords);
+            }
+        })
+    });
+
+    c.bench_function("maintain/dii_insert_remove", |b| {
+        let mut dii = DistributedInvertedIndex::new(10, 0).expect("valid");
+        b.iter(|| {
+            for r in &records {
+                dii.insert(black_box(r.object_id()), &r.keywords);
+            }
+            for r in &records {
+                dii.remove(r.object_id(), &r.keywords);
+            }
+        })
+    });
+}
+
+fn hashing(c: &mut Criterion) {
+    let corpus = Corpus::generate(&CorpusConfig::small_test(), 29);
+    let hasher = hyperdex_core::KeywordHasher::new(12, 0).expect("valid");
+    let sets: Vec<_> = corpus
+        .records()
+        .iter()
+        .take(200)
+        .map(|r| r.keywords.clone())
+        .collect();
+    c.bench_function("maintain/vertex_for_200_sets", |b| {
+        b.iter(|| {
+            sets.iter()
+                .map(|k| hasher.vertex_for(black_box(k)).bits())
+                .sum::<u64>()
+        })
+    });
+    let _ = ObjectId::from_raw(0);
+}
+
+criterion_group!(benches, insert_delete, hashing);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Message-level protocol benchmarks: what a whole search costs to
+//! *simulate* (event-loop throughput), and the simulated-latency gap
+//! between sequential and level-parallel execution.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperdex_core::sim_protocol::ProtocolSim;
+use hyperdex_core::{KeywordSet, ObjectId};
+use hyperdex_simnet::latency::LatencyModel;
+
+fn build_sim(r: u8) -> ProtocolSim {
+    let mut sim = ProtocolSim::new(r, 0, LatencyModel::constant(1)).expect("valid");
+    for i in 0..2_000u64 {
+        sim.insert(
+            ObjectId::from_raw(i),
+            KeywordSet::parse(&format!("shared tag{} group{}", i % 300, i % 11))
+                .expect("valid"),
+        )
+        .expect("non-empty");
+    }
+    sim
+}
+
+fn protocol_search(c: &mut Criterion) {
+    let query = KeywordSet::parse("shared").expect("valid");
+    c.bench_function("protocol/sequential_full_r10", |b| {
+        let mut sim = build_sim(10);
+        b.iter(|| {
+            sim.search_sequential(black_box(&query), usize::MAX - 1)
+                .expect("valid")
+                .nodes_contacted
+        })
+    });
+    c.bench_function("protocol/parallel_full_r10", |b| {
+        let mut sim = build_sim(10);
+        b.iter(|| {
+            sim.search_parallel(black_box(&query), usize::MAX - 1)
+                .expect("valid")
+                .nodes_contacted
+        })
+    });
+    c.bench_function("protocol/sequential_threshold_10", |b| {
+        let mut sim = build_sim(10);
+        b.iter(|| {
+            sim.search_sequential(black_box(&query), 10)
+                .expect("valid")
+                .results
+                .len()
+        })
+    });
+}
+
+criterion_group!(benches, protocol_search);
+criterion_main!(benches);

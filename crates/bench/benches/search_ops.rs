@@ -1,0 +1,98 @@
+//! Search-operation benchmarks: pin search is O(1) lookups; superset
+//! search cost scales with `2^{r−|One(F_h(K))|}` (§3.5); caching turns
+//! repeated queries into root-only work.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperdex_core::{HypercubeIndex, KeywordSet, SupersetQuery};
+use hyperdex_workload::{Corpus, CorpusConfig};
+
+fn build_index(r: u8) -> (HypercubeIndex, Corpus) {
+    let corpus = Corpus::generate(&CorpusConfig::small_test(), 17);
+    let mut index = HypercubeIndex::new(r, 0).expect("valid");
+    for (id, keywords) in corpus.indexable() {
+        index.insert(id, keywords.clone()).expect("non-empty");
+    }
+    (index, corpus)
+}
+
+fn pin_search(c: &mut Criterion) {
+    let (index, corpus) = build_index(10);
+    let query = corpus.records()[0].keywords.clone();
+    c.bench_function("search/pin", |b| {
+        b.iter(|| index.pin_search(black_box(&query)).results.len())
+    });
+}
+
+fn superset_search(c: &mut Criterion) {
+    let (index, _corpus) = build_index(10);
+    let mut group = c.benchmark_group("search/superset_exhaustive");
+    for m in [1usize, 2, 3] {
+        // m popular keywords: kw000000, kw000001, ...
+        let words: Vec<String> = (0..m).map(|i| format!("kw{i:06}")).collect();
+        let query = KeywordSet::from_strs(&words).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(m), &query, |b, q| {
+            let mut idx = index.clone();
+            b.iter(|| {
+                idx.superset_search(
+                    &SupersetQuery::new(black_box(q).clone()).use_cache(false),
+                )
+                .expect("valid")
+                .stats
+                .nodes_contacted
+            })
+        });
+    }
+    group.finish();
+}
+
+fn superset_threshold(c: &mut Criterion) {
+    let (index, _corpus) = build_index(10);
+    let query = KeywordSet::parse("kw000000").expect("valid");
+    let mut group = c.benchmark_group("search/superset_threshold");
+    for t in [1usize, 10, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            let mut idx = index.clone();
+            b.iter(|| {
+                idx.superset_search(
+                    &SupersetQuery::new(black_box(&query).clone())
+                        .threshold(t)
+                        .use_cache(false),
+                )
+                .expect("valid")
+                .results
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn cached_repeat(c: &mut Criterion) {
+    let (mut index, _corpus) = build_index(10);
+    index.set_cache_capacity(64);
+    let query = KeywordSet::parse("kw000000").expect("valid");
+    // Warm the cache once.
+    index
+        .superset_search(&SupersetQuery::new(query.clone()))
+        .expect("valid");
+    c.bench_function("search/superset_cached_hit", |b| {
+        b.iter(|| {
+            index
+                .superset_search(&SupersetQuery::new(black_box(&query).clone()))
+                .expect("valid")
+                .stats
+                .cache_hit
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    pin_search,
+    superset_search,
+    superset_threshold,
+    cached_repeat
+);
+criterion_main!(benches);

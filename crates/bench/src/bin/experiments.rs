@@ -1,0 +1,112 @@
+//! The experiment runner: regenerates every table and figure.
+//!
+//! ```text
+//! experiments [EXPERIMENT ...] [--scale full|small] [--seed N]
+//!
+//! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
+//!             availability all
+//!             (default: all)
+//! ```
+
+use std::process::ExitCode;
+
+use hyperdex_bench::experiments::{
+    ablation, availability, eq1, fig5, fig6, fig7, fig8, fig9, table1, xcheck,
+};
+use hyperdex_bench::{Scale, SharedContext};
+
+const USAGE: &str = "usage: experiments [table1|fig5|...|eq1|ablation|xcheck|availability|all ...] \
+                     [--scale full|small] [--seed N]";
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut chosen: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => match args.next().as_deref() {
+                Some("full") => scale = Scale::Full,
+                Some("small") => scale = Scale::Small,
+                other => {
+                    eprintln!("bad --scale {other:?}\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("bad --seed\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            name => chosen.push(name.to_string()),
+        }
+    }
+    if chosen.is_empty() || chosen.iter().any(|c| c == "all") {
+        chosen = ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "eq1", "ablation",
+            "xcheck", "availability",
+        ]
+            .map(String::from)
+            .to_vec();
+    }
+
+    let scale_name = match scale {
+        Scale::Full => "full (131,180 objects / 178k queries)",
+        Scale::Small => "small (10,000 objects / 20k queries)",
+    };
+    println!("# hyperdex experiment run\nscale: {scale_name}; seed: {seed}");
+    println!("building corpus and query log...");
+    let ctx = SharedContext::new(scale, seed);
+    println!(
+        "corpus: {} records, mean {:.2} keywords/object; log: {} queries, top-10 share {:.1}%",
+        ctx.corpus.len(),
+        ctx.corpus.mean_keywords_per_object(),
+        ctx.queries.len(),
+        ctx.queries.top_share(10) * 100.0
+    );
+
+    for name in &chosen {
+        match name.as_str() {
+            "table1" => table1::run(&ctx, 5),
+            "fig5" => {
+                fig5::run(&ctx);
+            }
+            "fig6" => {
+                fig6::run(&ctx);
+            }
+            "fig7" => {
+                fig7::run(&ctx);
+            }
+            "fig8" => {
+                fig8::run(&ctx);
+            }
+            "fig9" => {
+                fig9::run(&ctx);
+            }
+            "eq1" => {
+                eq1::run(&ctx);
+            }
+            "ablation" => {
+                ablation::run(&ctx);
+            }
+            "xcheck" => {
+                xcheck::run(&ctx);
+            }
+            "availability" => {
+                availability::run(&ctx);
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("\ndone.");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,218 @@
+//! Availability under index-node failures (§3.4's fault-tolerance
+//! argument, made quantitative).
+//!
+//! The paper argues qualitatively: "since a number of nodes are
+//! responsible for a single keyword, any failure of them cannot block
+//! all queries involving the keyword" — unlike the DII, where one node
+//! owns each keyword outright. This experiment kills a growing fraction
+//! of index nodes and measures, over popular queries:
+//!
+//! * **recall retained** — the fraction of the original matches still
+//!   returned (hypercube degrades gracefully; DII drops a keyword's
+//!   entire result set the moment its owner dies);
+//! * **queries fully blocked** — zero results returned despite a
+//!   non-empty ground truth;
+//! * the same with the **secondary-hypercube replication** of §3.4
+//!   ([`hyperdex_core::replication::ReplicatedIndex`]), which restores
+//!   recall until both copies of an entry are lost.
+
+use hyperdex_core::baseline::DistributedInvertedIndex;
+use hyperdex_core::replication::ReplicatedIndex;
+use hyperdex_core::{HypercubeIndex, SupersetQuery};
+use hyperdex_simnet::rng::SimRng;
+
+use crate::report::{pct, section, Table};
+use crate::SharedContext;
+
+/// Failed fractions of the node population swept.
+pub const FAILURE_FRACTIONS: [f64; 4] = [0.05, 0.10, 0.20, 0.40];
+
+/// One measured row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityRow {
+    /// Fraction of index nodes failed.
+    pub failed_fraction: f64,
+    /// Mean recall retained by the plain hypercube index.
+    pub hypercube_recall: f64,
+    /// Mean recall retained by the DII baseline.
+    pub dii_recall: f64,
+    /// Mean recall retained with secondary-hypercube replication.
+    pub replicated_recall: f64,
+    /// Fraction of queries fully blocked (hypercube / DII).
+    pub hypercube_blocked: f64,
+    /// Fraction of queries fully blocked under DII.
+    pub dii_blocked: f64,
+}
+
+/// Objects loaded (a sample keeps the sweep fast; availability ratios
+/// are scale-free).
+const OBJECTS: usize = 8_000;
+/// Queries evaluated per failure level.
+const QUERIES: usize = 30;
+
+/// Runs the sweep and returns the rows.
+pub fn run(ctx: &SharedContext) -> Vec<AvailabilityRow> {
+    section("Availability — recall under index-node failures (§3.4)");
+    let r = 10u8;
+    let mut rows = Vec::new();
+
+    // Queries: popular sets of sizes 1..=2 (the hot, fragile ones).
+    let mut queries = ctx.queries.popular_of_size(1, QUERIES / 2);
+    queries.extend(ctx.queries.popular_of_size(2, QUERIES / 2));
+
+    for &fraction in &FAILURE_FRACTIONS {
+        // Fresh indexes per level so failures do not accumulate.
+        let mut cube = HypercubeIndex::new(r, ctx.seed).expect("valid");
+        let mut dii = DistributedInvertedIndex::new(r, ctx.seed).expect("valid");
+        let mut replicated = ReplicatedIndex::new(r, ctx.seed).expect("valid");
+        for (id, k) in ctx.corpus.indexable().take(OBJECTS) {
+            cube.insert(id, k.clone()).expect("non-empty");
+            dii.insert(id, k);
+            replicated.insert(id, k.clone()).expect("non-empty");
+        }
+        let truths: Vec<usize> = queries.iter().map(|q| cube.matching_count(q)).collect();
+
+        // Fail the same uniformly chosen fraction of the 2^r nodes in
+        // every scheme (same RNG stream → comparable failure sets).
+        let mut rng = SimRng::new(ctx.seed ^ 0xFA11 ^ fraction.to_bits());
+        let n_fail = ((1u64 << r) as f64 * fraction) as usize;
+        let shape = cube.shape();
+        let mut failed_bits = Vec::with_capacity(n_fail);
+        while failed_bits.len() < n_fail {
+            let bits = rng.gen_range(1u64 << r);
+            if !failed_bits.contains(&bits) {
+                failed_bits.push(bits);
+            }
+        }
+        for &bits in &failed_bits {
+            let v = hyperdex_hypercube::Vertex::from_bits(shape, bits).expect("valid");
+            cube.drop_node(v);
+            replicated.fail_primary(v);
+            dii.drop_node(bits);
+        }
+        // Independently fail the same fraction of secondary nodes (the
+        // replicated scheme's copies fail too — no free lunch).
+        for _ in 0..n_fail {
+            let bits = rng.gen_range(1u64 << r);
+            let v = hyperdex_hypercube::Vertex::from_bits(shape, bits).expect("valid");
+            replicated.fail_secondary(v);
+        }
+
+        // Measure.
+        let mut cube_recall = 0.0;
+        let mut dii_recall = 0.0;
+        let mut rep_recall = 0.0;
+        let mut cube_blocked = 0usize;
+        let mut dii_blocked = 0usize;
+        let mut counted = 0usize;
+        for (q, &truth) in queries.iter().zip(&truths) {
+            if truth == 0 {
+                continue;
+            }
+            counted += 1;
+            let got_cube = cube
+                .superset_search(&SupersetQuery::new(q.clone()).use_cache(false))
+                .expect("valid")
+                .results
+                .len();
+            let got_dii = dii.query(q).results.len();
+            let got_rep = replicated
+                .superset_search(&SupersetQuery::new(q.clone()).use_cache(false))
+                .expect("valid")
+                .results
+                .len();
+            cube_recall += got_cube as f64 / truth as f64;
+            dii_recall += got_dii as f64 / truth as f64;
+            rep_recall += got_rep as f64 / truth as f64;
+            // "Blocked" is only meaningful for genuinely popular
+            // queries: a query with a couple of matches on one vertex
+            // dies with that vertex under any placement scheme.
+            if truth >= 10 {
+                cube_blocked += usize::from(got_cube == 0);
+                dii_blocked += usize::from(got_dii == 0);
+            }
+        }
+        let n = counted.max(1) as f64;
+        rows.push(AvailabilityRow {
+            failed_fraction: fraction,
+            hypercube_recall: cube_recall / n,
+            dii_recall: dii_recall / n,
+            replicated_recall: rep_recall / n,
+            hypercube_blocked: cube_blocked as f64 / n,
+            dii_blocked: dii_blocked as f64 / n,
+        });
+    }
+
+    let mut table = Table::new([
+        "nodes failed",
+        "hypercube recall",
+        "DII recall",
+        "replicated recall",
+        "hypercube blocked",
+        "DII blocked",
+    ]);
+    for row in &rows {
+        table.row([
+            pct(row.failed_fraction),
+            pct(row.hypercube_recall),
+            pct(row.dii_recall),
+            pct(row.replicated_recall),
+            pct(row.hypercube_blocked),
+            pct(row.dii_blocked),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    println!(
+        "\n§3.4's claim: the hypercube loses recall proportionally and never \
+         blocks a keyword outright; DII queries die whole when a keyword's \
+         single owner dies; a secondary hypercube restores recall."
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn supports_the_fault_tolerance_claims() {
+        let ctx = SharedContext::new(Scale::Small, 1);
+        let rows = run(&ctx);
+        for row in &rows {
+            // Proportional degradation: recall loss tracks the failed
+            // fraction (generous tolerance: hot nodes may be hit).
+            assert!(
+                row.hypercube_recall >= 1.0 - 2.5 * row.failed_fraction,
+                "at {}: hypercube recall {}",
+                row.failed_fraction,
+                row.hypercube_recall
+            );
+            // The hypercube never blocks more popular queries than the
+            // DII, whose per-keyword owners are single points of
+            // failure.
+            assert!(
+                row.hypercube_blocked <= row.dii_blocked + 1e-9,
+                "at {}: hypercube blocked {} vs DII {}",
+                row.failed_fraction,
+                row.hypercube_blocked,
+                row.dii_blocked
+            );
+            // Replication dominates the plain cube.
+            assert!(row.replicated_recall >= row.hypercube_recall - 1e-9);
+        }
+        // At low failure levels popular queries survive the hypercube
+        // outright.
+        assert_eq!(rows[0].hypercube_blocked, 0.0, "5% failures block nothing");
+        // DII eventually blocks whole queries; the hypercube does not.
+        let worst = rows.last().expect("non-empty");
+        assert!(
+            worst.dii_blocked > 0.0,
+            "at 40% failures some DII keyword owners must be dead"
+        );
+        assert!(
+            worst.replicated_recall > worst.hypercube_recall,
+            "replication should visibly help at 40% failures"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Equation (1) and the §3.5 complexity analysis, checked empirically.
+//!
+//! Prints the analytic distribution of `|One(F_h(K))|`, its closed-form
+//! expectation, and the empirical distribution measured by hashing real
+//! query sets from the corpus — the dimensioning machinery behind the
+//! paper's "how to pick r without experiment" remark.
+
+use hyperdex_core::{analysis, KeywordHasher, KeywordSet};
+
+use crate::report::{f, section, Table};
+use crate::SharedContext;
+
+/// Analytic-vs-empirical comparison for one `(r, m)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eq1Row {
+    /// Hypercube dimension.
+    pub r: u32,
+    /// Keyword-set size.
+    pub m: u32,
+    /// `E|One|` per Equation (1).
+    pub analytic_mean: f64,
+    /// Mean `|One|` over corpus keyword sets of size `m`.
+    pub empirical_mean: Option<f64>,
+    /// Worst-case search bound `2^{r − ⌈E|One|⌉}` as a node fraction.
+    pub search_fraction_bound: f64,
+}
+
+/// Runs the comparison and returns the rows.
+pub fn run(ctx: &SharedContext) -> Vec<Eq1Row> {
+    section("Equation (1) — |One(F_h(K))| analytics vs. corpus measurements");
+    let r = 10u32;
+    let hasher = KeywordHasher::new(r as u8, ctx.seed).expect("valid dimension");
+
+    // Empirical: hash every corpus keyword set, group by size.
+    let mut sums = vec![0u64; 31];
+    let mut counts = vec![0u64; 31];
+    for (_, keywords) in ctx.corpus.indexable() {
+        let m = keywords.len();
+        if m < sums.len() {
+            sums[m] += u64::from(hasher.vertex_for(keywords).one_count());
+            counts[m] += 1;
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut table = Table::new([
+        "m",
+        "E|One| (Eq.1)",
+        "mean |One| (corpus)",
+        "samples",
+        "≈ fraction searched",
+    ]);
+    for m in 1..=12u32 {
+        let analytic_mean = analysis::expected_ones(r, m);
+        let empirical_mean = (counts[m as usize] > 0)
+            .then(|| sums[m as usize] as f64 / counts[m as usize] as f64);
+        let search_fraction_bound = analysis::expected_search_fraction(r, m);
+        table.row([
+            m.to_string(),
+            f(analytic_mean, 3),
+            empirical_mean.map_or("-".into(), |v| f(v, 3)),
+            counts[m as usize].to_string(),
+            f(search_fraction_bound, 4),
+        ]);
+        rows.push(Eq1Row {
+            r,
+            m,
+            analytic_mean,
+            empirical_mean,
+            search_fraction_bound,
+        });
+    }
+    print!("{}", table.to_markdown());
+
+    // Distribution detail for one example set size.
+    println!("\nP(|One| = j) for r = 10, m = 5 (Equation 1):");
+    for j in 1..=5u32 {
+        println!("  j = {j}: {}", f(analysis::prob_ones(r, 5, j), 4));
+    }
+
+    // Verify against a real multi-word set from Table 1's schema.
+    let example = KeywordSet::parse("isp telecommunication network download")
+        .expect("static set parses");
+    println!(
+        "\nexample: F_h({example}) has |One| = {} (m = 4, E|One| = {})",
+        hasher.vertex_for(&example).one_count(),
+        f(analysis::expected_ones(r, 4), 3)
+    );
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn analytics_match_corpus() {
+        let ctx = SharedContext::new(Scale::Small, 1);
+        let rows = run(&ctx);
+        for row in rows.iter().filter(|r| r.empirical_mean.is_some()) {
+            let emp = row.empirical_mean.unwrap();
+            // Corpus sets are real hash draws; Eq (1) should predict the
+            // mean within a few percent when samples are plentiful.
+            if row.m <= 10 {
+                assert!(
+                    (emp - row.analytic_mean).abs() < 0.25,
+                    "m={}: empirical {} vs analytic {}",
+                    row.m,
+                    emp,
+                    row.analytic_mean
+                );
+            }
+        }
+        // Search-fraction bound decreases with m.
+        for w in rows.windows(2) {
+            assert!(w[1].search_fraction_bound <= w[0].search_fraction_bound);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Figure 5: the distribution of keyword-set sizes.
+//!
+//! The paper reports a unimodal histogram over the PCHome corpus with
+//! an average of 7.3 keywords per object. We print the synthetic
+//! corpus's histogram and check the calibration targets.
+
+use crate::report::{f, pct, section, Table};
+use crate::SharedContext;
+
+/// Summary statistics returned for tests and EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig5Summary {
+    /// Mean keywords per object (paper: 7.3).
+    pub mean: f64,
+    /// The modal set size.
+    pub mode: usize,
+    /// Largest set size present.
+    pub max: usize,
+}
+
+/// Prints the histogram and returns summary statistics.
+pub fn run(ctx: &SharedContext) -> Fig5Summary {
+    section("Figure 5 — distribution of keyword-set sizes");
+    let hist = ctx.corpus.set_size_histogram();
+    let total = ctx.corpus.len();
+    let mut table = Table::new(["keywords", "objects", "fraction"]);
+    for (size, &count) in hist.iter().enumerate() {
+        if size == 0 || count == 0 {
+            continue;
+        }
+        table.row([
+            size.to_string(),
+            count.to_string(),
+            pct(count as f64 / total as f64),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    let mean = ctx.corpus.mean_keywords_per_object();
+    let mode = hist
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(s, _)| s)
+        .unwrap_or(0);
+    let max = hist.len().saturating_sub(1);
+    println!(
+        "\nmean = {} keywords/object (paper: 7.3); mode = {mode}; max = {max}",
+        f(mean, 2)
+    );
+    Fig5Summary { mean, mode, max }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn calibration_matches_paper() {
+        let ctx = SharedContext::new(Scale::Small, 1);
+        let summary = run(&ctx);
+        assert!((summary.mean - 7.3).abs() < 0.4, "mean {}", summary.mean);
+        assert!((5..=8).contains(&summary.mode), "mode {}", summary.mode);
+        assert!(summary.max <= 30);
+    }
+}

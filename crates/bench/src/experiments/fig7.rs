@@ -1,0 +1,141 @@
+//! Figure 7: object distribution vs. node distribution over
+//! `|One(u)| = x`.
+//!
+//! For each `r`, the node distribution is `Binomial(r, ½)` (centered at
+//! `r/2`); the object distribution is where `F_h` actually lands the
+//! corpus, which is pinned near the keyword-set sizes regardless of
+//! `r`. The curves overlap best around `r = 10` for the PCHome set-size
+//! profile — the paper's explanation for why `r = 10` balances load
+//! best in Figure 6 — and the same conclusion falls out analytically
+//! via Equation (1) ([`hyperdex_core::analysis::recommended_dimension`]).
+
+use hyperdex_core::analysis;
+use hyperdex_core::HypercubeIndex;
+
+use crate::report::{f, pct, section, Table};
+use crate::SharedContext;
+
+/// One `r`'s pair of distributions plus their total-variation distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7Series {
+    /// The hypercube dimension.
+    pub r: u8,
+    /// `node[x]` = fraction of vertices with `|One(u)| = x`.
+    pub node: Vec<f64>,
+    /// `object[x]` = fraction of objects indexed at such vertices.
+    pub object: Vec<f64>,
+    /// Total-variation distance between the two.
+    pub tv_distance: f64,
+}
+
+/// The eight dimensions charted (as in the paper's eight panels).
+pub const DIMENSIONS: [u8; 8] = [6, 8, 9, 10, 11, 12, 14, 16];
+
+/// Runs the sweep and returns every series.
+pub fn run(ctx: &SharedContext) -> Vec<Fig7Series> {
+    section("Figure 7 — object vs. node distribution over |One(u)|");
+    let mut all = Vec::new();
+    for &r in &DIMENSIONS {
+        let mut index = HypercubeIndex::new(r, ctx.seed).expect("valid dimension");
+        let mut object_counts = vec![0usize; r as usize + 1];
+        for (id, keywords) in ctx.corpus.indexable() {
+            let vertex = index.insert(id, keywords.clone()).expect("non-empty");
+            object_counts[vertex.one_count() as usize] += 1;
+        }
+        let total = ctx.corpus.len() as f64;
+        let object: Vec<f64> = object_counts.iter().map(|&c| c as f64 / total).collect();
+        let node: Vec<f64> = (0..=u32::from(r))
+            .map(|x| analysis::node_fraction(u32::from(r), x))
+            .collect();
+        let tv_distance = node
+            .iter()
+            .zip(&object)
+            .map(|(n, o)| (n - o).abs())
+            .sum::<f64>()
+            / 2.0;
+        all.push(Fig7Series {
+            r,
+            node,
+            object,
+            tv_distance,
+        });
+    }
+
+    let mut table = Table::new(["r", "node peak @x", "object peak @x", "TV distance"]);
+    for s in &all {
+        table.row([
+            s.r.to_string(),
+            peak(&s.node).to_string(),
+            peak(&s.object).to_string(),
+            f(s.tv_distance, 3),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    // Detail panels: per-x fractions for the most interesting r values.
+    for s in all.iter().filter(|s| [8, 10, 12].contains(&s.r)) {
+        println!("\nr = {}: x, node%, object%", s.r);
+        for x in 0..=s.r as usize {
+            println!(
+                "  {x:>2}  {:>7}  {:>7}",
+                pct(s.node[x]),
+                pct(s.object[x])
+            );
+        }
+    }
+
+    // The paper's "how to choose r without experiment" guidance.
+    let weights = ctx.corpus.size_weights();
+    let recommended = analysis::recommended_dimension(&weights, 6..=16);
+    println!(
+        "\nEquation (1) recommendation for this corpus: r = {recommended} \
+         (paper found r ≈ 10 optimal)"
+    );
+    all
+}
+
+fn peak(fractions: &[f64]) -> usize {
+    fractions
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+
+    #[test]
+    fn reproduces_paper_shape() {
+        let ctx = SharedContext::new(Scale::Small, 1);
+        let all = run(&ctx);
+        let tv = |r: u8| {
+            all.iter()
+                .find(|s| s.r == r)
+                .expect("series present")
+                .tv_distance
+        };
+        // Distributions are closest near r = 10 and drift apart towards
+        // both ends of the sweep (the paper's conclusion).
+        let best = (9..=11).map(tv).fold(f64::INFINITY, f64::min);
+        assert!(best < tv(6), "r≈10 beats r=6: {best} vs {}", tv(6));
+        assert!(best < tv(16), "r≈10 beats r=16: {best} vs {}", tv(16));
+        // Node distribution peaks at r/2 (binomial; either central value
+        // for odd r, where the two middle binomials tie).
+        for s in &all {
+            let p = peak(&s.node);
+            let lo = (s.r / 2) as usize;
+            let hi = s.r.div_ceil(2) as usize;
+            assert!((lo..=hi).contains(&p), "r={}: peak {p}", s.r);
+        }
+        // Fractions are distributions.
+        for s in &all {
+            let n: f64 = s.node.iter().sum();
+            let o: f64 = s.object.iter().sum();
+            assert!((n - 1.0).abs() < 1e-9 && (o - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Baseline schemes the paper compares against (Figure 6).
+//!
+//! * [`dii`] — the **distributed inverted index**: one node per keyword
+//!   holds the full posting list of objects containing it (the approach
+//!   of Reynolds & Vahdat and of Tapestry-based keyword search). Insert
+//!   and delete touch `k` nodes for a `k`-keyword object, and the
+//!   storage load is as skewed as the keyword popularity (Zipf), which
+//!   Figure 6's `DII-r` curves show.
+//! * [`dht_direct`] — **direct DHT hashing** of whole objects to nodes:
+//!   not a keyword index at all, but the load-balance reference line
+//!   (`DHT-r`) that a hashing scheme can realistically achieve.
+
+pub mod dht_direct;
+pub mod dii;
+
+pub use dht_direct::DirectHashPlacement;
+pub use dii::DistributedInvertedIndex;

@@ -1,0 +1,354 @@
+//! The logical hypercube index — the paper's measurement substrate.
+//!
+//! [`HypercubeIndex`] materializes the index scheme over the *logical*
+//! hypercube: every vertex is its own index node, exactly as in the
+//! paper's experiments (§4), so "nodes contacted" counts hypercube
+//! vertices. The DHT-backed deployment ([`crate::service`]) maps these
+//! vertices onto ring nodes via `g` but reuses this same structure and
+//! protocol.
+//!
+//! Vertices are materialized lazily: a 2^16-vertex hypercube costs
+//! memory only for vertices that actually index objects (or hold a
+//! cache).
+
+use std::collections::HashMap;
+
+use hyperdex_dht::ObjectId;
+use hyperdex_hypercube::{Shape, Vertex};
+
+use crate::cache::FifoCache;
+use crate::error::Error;
+use crate::hashing::KeywordHasher;
+use crate::index::IndexTable;
+use crate::keyword::KeywordSet;
+use crate::search::{superset, PinOutcome, SearchStats, SupersetOutcome, SupersetQuery};
+
+/// One logical index node: its table plus an optional result cache.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct IndexNode {
+    pub(crate) table: IndexTable,
+    pub(crate) cache: Option<FifoCache>,
+}
+
+/// The hypercube keyword index over a logical `r`-dimensional hypercube.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct HypercubeIndex {
+    hasher: KeywordHasher,
+    nodes: HashMap<u64, IndexNode>,
+    object_count: usize,
+    cache_capacity: usize,
+}
+
+impl HypercubeIndex {
+    /// Creates an index over an `r`-dimensional hypercube with hash
+    /// seed `seed` and caches disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 63`.
+    pub fn new(r: u8, seed: u64) -> Result<Self, Error> {
+        Ok(HypercubeIndex {
+            hasher: KeywordHasher::new(r, seed)?,
+            nodes: HashMap::new(),
+            object_count: 0,
+            cache_capacity: 0,
+        })
+    }
+
+    /// Enables a per-node FIFO cache of `capacity` object entries
+    /// (0 disables). Existing caches are resized lazily on next use.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache_capacity = capacity;
+        for node in self.nodes.values_mut() {
+            node.cache = (capacity > 0).then(|| FifoCache::new(capacity));
+        }
+    }
+
+    /// Enables caches via the paper's `α` rule: capacity
+    /// `= α · |O| / 2^r` object entries per node.
+    pub fn set_cache_alpha(&mut self, alpha: f64) {
+        let avg = self.object_count as f64 / self.shape().vertex_count() as f64;
+        self.set_cache_capacity((alpha * avg).floor() as usize);
+    }
+
+    /// The hypercube shape.
+    pub fn shape(&self) -> Shape {
+        self.hasher.shape()
+    }
+
+    /// The keyword hasher (shared with the DHT service and baselines).
+    pub fn hasher(&self) -> KeywordHasher {
+        self.hasher
+    }
+
+    /// Number of indexed objects.
+    pub fn len(&self) -> usize {
+        self.object_count
+    }
+
+    /// Whether no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.object_count == 0
+    }
+
+    /// The vertex responsible for a keyword set — `F_h(K)`.
+    pub fn vertex_for(&self, keywords: &KeywordSet) -> Vertex {
+        self.hasher.vertex_for(keywords)
+    }
+
+    /// Indexes `object` under `keywords` at the single vertex
+    /// `F_h(keywords)`, returning that vertex.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeywordSet`] for an empty keyword set.
+    pub fn insert(&mut self, object: ObjectId, keywords: KeywordSet) -> Result<Vertex, Error> {
+        if keywords.is_empty() {
+            return Err(Error::EmptyKeywordSet);
+        }
+        let vertex = self.vertex_for(&keywords);
+        let node = self.node_mut(vertex);
+        if node.table.insert(keywords, object) {
+            self.object_count += 1;
+        }
+        Ok(vertex)
+    }
+
+    /// Removes the entry `⟨keywords, object⟩`. Returns `true` if it was
+    /// present. Exactly one node is touched (§3.4: delete is one
+    /// lookup).
+    pub fn remove(&mut self, object: ObjectId, keywords: &KeywordSet) -> bool {
+        let vertex = self.vertex_for(keywords);
+        let Some(node) = self.nodes.get_mut(&vertex.bits()) else {
+            return false;
+        };
+        let removed = node.table.remove(keywords, object);
+        if removed {
+            self.object_count -= 1;
+        }
+        removed
+    }
+
+    /// Pin search: the objects indexed under *exactly* `keywords` — one
+    /// query message to one node, one reply (§3.5).
+    pub fn pin_search(&self, keywords: &KeywordSet) -> PinOutcome {
+        let vertex = self.vertex_for(keywords);
+        let results: Vec<ObjectId> = self
+            .nodes
+            .get(&vertex.bits())
+            .map(|n| n.table.objects_with(keywords).collect())
+            .unwrap_or_default();
+        let stats = SearchStats {
+            nodes_contacted: 1,
+            query_messages: 1,
+            result_messages: 1,
+            entries_scanned: results.len() as u64,
+            ..Default::default()
+        };
+        PinOutcome { results, stats }
+    }
+
+    /// Superset search per §3.3's protocol. See [`SupersetQuery`] for
+    /// the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] for a zero threshold.
+    pub fn superset_search(&mut self, query: &SupersetQuery) -> Result<SupersetOutcome, Error> {
+        superset::run(self, query)
+    }
+
+    /// Ground truth `|O_K|`: how many indexed objects `keywords`
+    /// describes. Used by the experiments to convert recall rates into
+    /// thresholds. (Centralized oracle — not part of the protocol.)
+    pub fn matching_count(&self, keywords: &KeywordSet) -> usize {
+        let root = self.vertex_for(keywords);
+        self.nodes
+            .iter()
+            .filter(|(bits, _)| {
+                Vertex::from_bits(self.shape(), **bits)
+                    .expect("stored vertices are valid")
+                    .contains(root)
+            })
+            .map(|(_, node)| {
+                node.table
+                    .superset_entries(keywords)
+                    .map(|(_, objs)| objs.count())
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Per-vertex storage load (object entries), for every vertex that
+    /// indexes at least one object — the input to Figure 6.
+    pub fn node_loads(&self) -> Vec<(Vertex, usize)> {
+        let shape = self.shape();
+        self.nodes
+            .iter()
+            .filter(|(_, n)| !n.table.is_empty())
+            .map(|(bits, n)| {
+                (
+                    Vertex::from_bits(shape, *bits).expect("valid"),
+                    n.table.object_count(),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of vertices currently materialized (for memory tests).
+    pub fn materialized_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Simulates the crash of one index node: its table (and cache) are
+    /// lost. Returns the number of object entries that disappeared.
+    ///
+    /// Queries keep working — the vertex simply answers empty — but its
+    /// objects become unfindable until re-published, unless a
+    /// replication layer (see [`crate::replication`]) covers them.
+    pub fn drop_node(&mut self, vertex: Vertex) -> usize {
+        match self.nodes.remove(&vertex.bits()) {
+            None => 0,
+            Some(node) => {
+                let lost = node.table.object_count();
+                self.object_count -= lost;
+                lost
+            }
+        }
+    }
+
+    // ---- crate-internal accessors used by the search engine ----
+
+    /// The table at `vertex`, if materialized.
+    pub(crate) fn table_at(&self, vertex: Vertex) -> Option<&IndexTable> {
+        self.nodes.get(&vertex.bits()).map(|n| &n.table)
+    }
+
+    /// Mutable node at `vertex`, materializing it (with a cache if
+    /// configured).
+    pub(crate) fn node_mut(&mut self, vertex: Vertex) -> &mut IndexNode {
+        let capacity = self.cache_capacity;
+        self.nodes.entry(vertex.bits()).or_insert_with(|| IndexNode {
+            table: IndexTable::new(),
+            cache: (capacity > 0).then(|| FifoCache::new(capacity)),
+        })
+    }
+
+    /// Mutable cache at `vertex`, if caching is enabled.
+    pub(crate) fn cache_mut(&mut self, vertex: Vertex) -> Option<&mut FifoCache> {
+        if self.cache_capacity == 0 {
+            return None;
+        }
+        self.node_mut(vertex).cache.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn insert_is_single_vertex() {
+        let mut idx = HypercubeIndex::new(10, 0).unwrap();
+        let v = idx.insert(oid(1), set("a b c")).unwrap();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.materialized_nodes(), 1);
+        assert_eq!(v, idx.vertex_for(&set("a b c")));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut idx = HypercubeIndex::new(8, 0).unwrap();
+        idx.insert(oid(1), set("x")).unwrap();
+        idx.insert(oid(1), set("x")).unwrap();
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn empty_keyword_set_rejected() {
+        let mut idx = HypercubeIndex::new(8, 0).unwrap();
+        assert_eq!(
+            idx.insert(oid(1), KeywordSet::new()),
+            Err(Error::EmptyKeywordSet)
+        );
+    }
+
+    #[test]
+    fn pin_search_exact_only() {
+        let mut idx = HypercubeIndex::new(10, 0).unwrap();
+        idx.insert(oid(1), set("a b")).unwrap();
+        idx.insert(oid(2), set("a b c")).unwrap();
+        let out = idx.pin_search(&set("a b"));
+        assert_eq!(out.results, vec![oid(1)]);
+        assert_eq!(out.stats.nodes_contacted, 1);
+        assert!(idx.pin_search(&set("a")).results.is_empty());
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let mut idx = HypercubeIndex::new(10, 0).unwrap();
+        idx.insert(oid(1), set("m n")).unwrap();
+        assert!(idx.remove(oid(1), &set("m n")));
+        assert!(!idx.remove(oid(1), &set("m n")));
+        assert!(idx.is_empty());
+        assert!(idx.pin_search(&set("m n")).results.is_empty());
+    }
+
+    #[test]
+    fn matching_count_ground_truth() {
+        let mut idx = HypercubeIndex::new(10, 0).unwrap();
+        idx.insert(oid(1), set("a")).unwrap();
+        idx.insert(oid(2), set("a b")).unwrap();
+        idx.insert(oid(3), set("a b c")).unwrap();
+        idx.insert(oid(4), set("z")).unwrap();
+        assert_eq!(idx.matching_count(&set("a")), 3);
+        assert_eq!(idx.matching_count(&set("a b")), 2);
+        assert_eq!(idx.matching_count(&set("q")), 0);
+    }
+
+    #[test]
+    fn node_loads_reflect_storage() {
+        let mut idx = HypercubeIndex::new(10, 0).unwrap();
+        idx.insert(oid(1), set("a")).unwrap();
+        idx.insert(oid(2), set("a")).unwrap();
+        idx.insert(oid(3), set("b c d")).unwrap();
+        let loads = idx.node_loads();
+        let total: usize = loads.iter().map(|(_, l)| l).sum();
+        assert_eq!(total, 3);
+        assert!(loads.iter().any(|&(_, l)| l == 2));
+    }
+
+    #[test]
+    fn cache_capacity_toggles() {
+        let mut idx = HypercubeIndex::new(8, 0).unwrap();
+        idx.insert(oid(1), set("k")).unwrap();
+        let v = idx.vertex_for(&set("k"));
+        assert!(idx.cache_mut(v).is_none());
+        idx.set_cache_capacity(16);
+        assert!(idx.cache_mut(v).is_some());
+        idx.set_cache_capacity(0);
+        assert!(idx.cache_mut(v).is_none());
+    }
+
+    #[test]
+    fn cache_alpha_rule() {
+        let mut idx = HypercubeIndex::new(4, 0).unwrap();
+        for i in 0..64 {
+            idx.insert(oid(i), set(&format!("w{i}"))).unwrap();
+        }
+        // 64 objects / 16 vertices = 4 avg; α = 0.5 → capacity 2.
+        idx.set_cache_alpha(0.5);
+        let v = idx.vertex_for(&set("w0"));
+        assert_eq!(idx.cache_mut(v).unwrap().capacity(), 2);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for the keyword index.
+
+use std::fmt;
+
+use hyperdex_hypercube::DimensionError;
+
+/// Errors raised by the keyword index and search layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The hypercube dimensionality or a bit pattern was invalid.
+    Dimension(DimensionError),
+    /// A keyword was empty (or whitespace-only) after normalization.
+    EmptyKeyword,
+    /// An operation that requires keywords received an empty set.
+    EmptyKeywordSet,
+    /// A superset-search threshold of zero was requested.
+    ZeroThreshold,
+    /// A decomposed index was asked about an unknown field.
+    UnknownField {
+        /// The field name that has no hypercube.
+        field: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Dimension(e) => write!(f, "{e}"),
+            Error::EmptyKeyword => write!(f, "keyword is empty after normalization"),
+            Error::EmptyKeywordSet => write!(f, "operation requires at least one keyword"),
+            Error::ZeroThreshold => write!(f, "superset search threshold must be positive"),
+            Error::UnknownField { field } => {
+                write!(f, "no hypercube registered for field `{field}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Dimension(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DimensionError> for Error {
+    fn from(e: DimensionError) -> Self {
+        Error::Dimension(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        assert!(Error::EmptyKeyword.to_string().contains("empty"));
+        assert!(Error::ZeroThreshold.to_string().contains("positive"));
+        assert!(Error::UnknownField { field: "os".into() }
+            .to_string()
+            .contains("os"));
+    }
+
+    #[test]
+    fn dimension_error_converts_and_sources() {
+        use std::error::Error as _;
+        let inner = hyperdex_hypercube::Shape::new(0).unwrap_err();
+        let err: Error = inner.clone().into();
+        assert_eq!(err, Error::Dimension(inner));
+        assert!(err.source().is_some());
+        assert!(Error::EmptyKeyword.source().is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-node index tables.
+//!
+//! §3.3: each hypercube node `u` maintains a table of entries
+//! `⟨keyword_set, object_id⟩`; entries with the same keyword set are
+//! combined into `⟨K, {σ₁…σₙ}⟩`. A node may be responsible for several
+//! distinct keyword sets (hash collisions in `F_h`), so the table is
+//! keyed by the full keyword set, not the vertex.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use hyperdex_dht::ObjectId;
+
+use crate::keyword::KeywordSet;
+
+/// The index table `Tbl_u` of one hypercube node.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_core::{IndexTable, KeywordSet, ObjectId};
+///
+/// let mut tbl = IndexTable::new();
+/// let k = KeywordSet::parse("tvbs, news")?;
+/// tbl.insert(k.clone(), ObjectId::from_raw(1));
+/// tbl.insert(k.clone(), ObjectId::from_raw(2));
+/// assert_eq!(tbl.objects_with(&k).count(), 2);
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexTable {
+    // Keyword sets are interned behind `Arc` so search results can
+    // reference them without deep-cloning string sets — result lists
+    // for popular queries reach tens of thousands of entries.
+    entries: BTreeMap<Arc<KeywordSet>, BTreeSet<ObjectId>>,
+}
+
+impl IndexTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds the entry `⟨keywords, object⟩`. Returns `false` if it was
+    /// already present.
+    pub fn insert(&mut self, keywords: KeywordSet, object: ObjectId) -> bool {
+        self.entries
+            .entry(Arc::new(keywords))
+            .or_default()
+            .insert(object)
+    }
+
+    /// Removes the entry `⟨keywords, object⟩`. Returns `false` if it was
+    /// absent.
+    pub fn remove(&mut self, keywords: &KeywordSet, object: ObjectId) -> bool {
+        match self.entries.get_mut(keywords) {
+            None => false,
+            Some(objs) => {
+                let removed = objs.remove(&object);
+                if objs.is_empty() {
+                    self.entries.remove(keywords);
+                }
+                removed
+            }
+        }
+    }
+
+    /// The objects indexed under exactly `keywords` (pin-search source).
+    pub fn objects_with<'a>(
+        &'a self,
+        keywords: &KeywordSet,
+    ) -> impl Iterator<Item = ObjectId> + 'a {
+        self.entries
+            .get(keywords)
+            .into_iter()
+            .flat_map(|objs| objs.iter().copied())
+    }
+
+    /// All entries `⟨K', O⟩` with `K' ⊇ query` — the per-node scan of
+    /// the superset-search protocol (§3.3, step 2).
+    ///
+    /// Keyword sets come back as `&Arc<KeywordSet>` so callers building
+    /// result lists can reference them at pointer cost.
+    pub fn superset_entries<'a>(
+        &'a self,
+        query: &'a KeywordSet,
+    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a
+    {
+        self.entries
+            .iter()
+            .filter(move |(k, _)| k.is_superset(query))
+            .map(|(k, objs)| (k, objs.iter().copied()))
+    }
+
+    /// Number of distinct keyword sets in the table.
+    pub fn keyword_set_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of indexed objects (the node's storage load — what
+    /// Figure 6 ranks).
+    pub fn object_count(&self) -> usize {
+        self.entries.values().map(BTreeSet::len).sum()
+    }
+
+    /// Whether the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over all `(keyword set, objects)` entries in sorted
+    /// keyword-set order.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (&Arc<KeywordSet>, impl Iterator<Item = ObjectId> + '_)> + '_ {
+        self.entries.iter().map(|(k, objs)| (k, objs.iter().copied()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    #[test]
+    fn entries_with_same_set_combine() {
+        let mut tbl = IndexTable::new();
+        assert!(tbl.insert(set("a b"), oid(1)));
+        assert!(tbl.insert(set("a b"), oid(2)));
+        assert!(!tbl.insert(set("a b"), oid(1)), "duplicate entry");
+        assert_eq!(tbl.keyword_set_count(), 1);
+        assert_eq!(tbl.object_count(), 2);
+    }
+
+    #[test]
+    fn remove_cleans_empty_sets() {
+        let mut tbl = IndexTable::new();
+        tbl.insert(set("a"), oid(1));
+        assert!(tbl.remove(&set("a"), oid(1)));
+        assert!(!tbl.remove(&set("a"), oid(1)));
+        assert!(tbl.is_empty());
+        assert_eq!(tbl.keyword_set_count(), 0);
+    }
+
+    #[test]
+    fn remove_missing_set_is_false() {
+        let mut tbl = IndexTable::new();
+        assert!(!tbl.remove(&set("nope"), oid(1)));
+    }
+
+    #[test]
+    fn pin_lookup_is_exact() {
+        let mut tbl = IndexTable::new();
+        tbl.insert(set("a b"), oid(1));
+        tbl.insert(set("a b c"), oid(2));
+        let hits: Vec<ObjectId> = tbl.objects_with(&set("a b")).collect();
+        assert_eq!(hits, vec![oid(1)], "no superset leakage in pin search");
+        assert_eq!(tbl.objects_with(&set("a")).count(), 0);
+    }
+
+    #[test]
+    fn superset_entries_filter() {
+        let mut tbl = IndexTable::new();
+        tbl.insert(set("a b"), oid(1));
+        tbl.insert(set("a b c"), oid(2));
+        tbl.insert(set("x y"), oid(3));
+        let query = set("a b");
+        let matched: Vec<(&std::sync::Arc<KeywordSet>, Vec<ObjectId>)> = tbl
+            .superset_entries(&query)
+            .map(|(k, objs)| (k, objs.collect()))
+            .collect();
+        assert_eq!(matched.len(), 2);
+        assert!(matched.iter().all(|(k, _)| k.is_superset(&set("a b"))));
+        let empty_query = KeywordSet::new();
+        assert_eq!(
+            tbl.superset_entries(&empty_query).count(),
+            3,
+            "empty query matches everything"
+        );
+    }
+
+    #[test]
+    fn iter_covers_all_entries() {
+        let mut tbl = IndexTable::new();
+        tbl.insert(set("m"), oid(1));
+        tbl.insert(set("n"), oid(2));
+        tbl.insert(set("n"), oid(3));
+        let total: usize = tbl.iter().map(|(_, objs)| objs.count()).sum();
+        assert_eq!(total, 3);
+    }
+}

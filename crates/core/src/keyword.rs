@@ -1,0 +1,360 @@
+//! Keyword and keyword-set value types.
+//!
+//! §2.2: every object `σ` carries a set `K_σ` of keywords; a set `K`
+//! *describes* `σ` when `K ⊆ K_σ`. Keywords here are normalized
+//! (trimmed, lowercased) so that `"MP3"` and `"mp3"` hash to the same
+//! bit position.
+
+use std::collections::btree_set;
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+
+/// A single normalized keyword: non-empty, trimmed, lowercase.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_core::Keyword;
+///
+/// let k = Keyword::new("  MP3 ")?;
+/// assert_eq!(k.as_str(), "mp3");
+/// assert!(Keyword::new("   ").is_err());
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Keyword(String);
+
+impl Keyword {
+    /// Normalizes and validates a keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeyword`] when the input is empty or
+    /// whitespace-only.
+    pub fn new(raw: &str) -> Result<Self, Error> {
+        let normalized = raw.trim().to_lowercase();
+        if normalized.is_empty() {
+            Err(Error::EmptyKeyword)
+        } else {
+            Ok(Keyword(normalized))
+        }
+    }
+
+    /// The normalized text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The normalized text as bytes (hash input).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+}
+
+impl fmt::Display for Keyword {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for Keyword {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for Keyword {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Error> {
+        Keyword::new(s)
+    }
+}
+
+/// A set of keywords — `K_σ` for an object, or a query set `K`.
+///
+/// Internally a sorted set, so equality, subset tests, and iteration
+/// order are canonical.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_core::KeywordSet;
+///
+/// let k_obj = KeywordSet::parse("ISP, telecommunication, network, download")?;
+/// let query = KeywordSet::parse("network, isp")?;
+/// assert!(query.describes(&k_obj));       // query ⊆ K_σ
+/// assert_eq!(k_obj.len(), 4);
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(
+    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct KeywordSet(BTreeSet<Keyword>);
+
+impl KeywordSet {
+    /// The empty keyword set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses a comma- or whitespace-separated list of keywords.
+    ///
+    /// Duplicates collapse. An empty input yields an empty set.
+    ///
+    /// # Errors
+    ///
+    /// Never fails on separator-only input (empty tokens are skipped);
+    /// present for future validation and API stability.
+    pub fn parse(raw: &str) -> Result<Self, Error> {
+        let mut set = BTreeSet::new();
+        for token in raw.split(|c: char| c == ',' || c.is_whitespace()) {
+            if !token.trim().is_empty() {
+                set.insert(Keyword::new(token)?);
+            }
+        }
+        Ok(KeywordSet(set))
+    }
+
+    /// Builds a set from anything iterable as string slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeyword`] if any item normalizes to empty.
+    pub fn from_strs<I, S>(items: I) -> Result<Self, Error>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut set = BTreeSet::new();
+        for item in items {
+            set.insert(Keyword::new(item.as_ref())?);
+        }
+        Ok(KeywordSet(set))
+    }
+
+    /// Adds a keyword. Returns `false` if it was already present.
+    pub fn insert(&mut self, keyword: Keyword) -> bool {
+        self.0.insert(keyword)
+    }
+
+    /// Removes a keyword. Returns `false` if it was absent.
+    pub fn remove(&mut self, keyword: &Keyword) -> bool {
+        self.0.remove(keyword)
+    }
+
+    /// Whether the set contains `keyword`.
+    pub fn contains(&self, keyword: &Keyword) -> bool {
+        self.0.contains(keyword)
+    }
+
+    /// Number of keywords.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `self` *describes* an object with keyword set `k_obj`
+    /// (`self ⊆ k_obj`, §2.2).
+    pub fn describes(&self, k_obj: &KeywordSet) -> bool {
+        self.0.is_subset(&k_obj.0)
+    }
+
+    /// Whether `self` is a superset of `other`.
+    pub fn is_superset(&self, other: &KeywordSet) -> bool {
+        self.0.is_superset(&other.0)
+    }
+
+    /// The keywords in `self` but not in `other` — the "extra" keywords
+    /// the ranking mechanism groups by.
+    pub fn difference(&self, other: &KeywordSet) -> KeywordSet {
+        KeywordSet(self.0.difference(&other.0).cloned().collect())
+    }
+
+    /// The union of two sets.
+    pub fn union(&self, other: &KeywordSet) -> KeywordSet {
+        KeywordSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Iterates over keywords in sorted order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter(self.0.iter())
+    }
+}
+
+/// Iterator over the keywords of a [`KeywordSet`] in sorted order.
+#[derive(Debug, Clone)]
+pub struct Iter<'a>(btree_set::Iter<'a, Keyword>);
+
+impl<'a> Iterator for Iter<'a> {
+    type Item = &'a Keyword;
+
+    fn next(&mut self) -> Option<&'a Keyword> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<'a> ExactSizeIterator for Iter<'a> {}
+
+impl<'a> IntoIterator for &'a KeywordSet {
+    type Item = &'a Keyword;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl IntoIterator for KeywordSet {
+    type Item = Keyword;
+    type IntoIter = btree_set::IntoIter<Keyword>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl FromIterator<Keyword> for KeywordSet {
+    fn from_iter<I: IntoIterator<Item = Keyword>>(iter: I) -> Self {
+        KeywordSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Keyword> for KeywordSet {
+    fn extend<I: IntoIterator<Item = Keyword>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl fmt::Display for KeywordSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, k) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_normalizes() {
+        assert_eq!(Keyword::new(" TVBS ").unwrap().as_str(), "tvbs");
+        assert_eq!(Keyword::new("News").unwrap().as_str(), "news");
+    }
+
+    #[test]
+    fn keyword_rejects_empty() {
+        assert_eq!(Keyword::new(""), Err(Error::EmptyKeyword));
+        assert_eq!(Keyword::new("  \t "), Err(Error::EmptyKeyword));
+    }
+
+    #[test]
+    fn keyword_from_str_trait() {
+        let k: Keyword = "Jazz".parse().unwrap();
+        assert_eq!(k.as_str(), "jazz");
+    }
+
+    #[test]
+    fn parse_table1_record() {
+        // Table 1, record 11: "ISP, telecommunication, network, download".
+        let set = KeywordSet::parse("ISP, telecommunication, network, download").unwrap();
+        assert_eq!(set.len(), 4);
+        assert!(set.contains(&Keyword::new("isp").unwrap()));
+        assert!(set.contains(&Keyword::new("download").unwrap()));
+    }
+
+    #[test]
+    fn parse_handles_mixed_separators_and_duplicates() {
+        let set = KeywordSet::parse("a b, c,,  a\tb").unwrap();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn parse_empty_gives_empty_set() {
+        assert!(KeywordSet::parse("").unwrap().is_empty());
+        assert!(KeywordSet::parse(" , ,, ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn describes_is_subset() {
+        let k_obj = KeywordSet::parse("tvbs news").unwrap();
+        assert!(KeywordSet::parse("news").unwrap().describes(&k_obj));
+        assert!(KeywordSet::parse("tvbs news").unwrap().describes(&k_obj));
+        assert!(!KeywordSet::parse("cnn").unwrap().describes(&k_obj));
+        assert!(KeywordSet::new().describes(&k_obj), "empty set describes all");
+    }
+
+    #[test]
+    fn difference_extracts_extras() {
+        let k_obj = KeywordSet::parse("jazz piano 1959").unwrap();
+        let query = KeywordSet::parse("jazz").unwrap();
+        let extra = k_obj.difference(&query);
+        assert_eq!(extra, KeywordSet::parse("piano 1959").unwrap());
+    }
+
+    #[test]
+    fn union_combines() {
+        let a = KeywordSet::parse("a b").unwrap();
+        let b = KeywordSet::parse("b c").unwrap();
+        assert_eq!(a.union(&b), KeywordSet::parse("a b c").unwrap());
+    }
+
+    #[test]
+    fn canonical_equality_ignores_order() {
+        let a = KeywordSet::parse("x y z").unwrap();
+        let b = KeywordSet::parse("z x y").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a.iter().map(Keyword::as_str).collect::<Vec<_>>(),
+            vec!["x", "y", "z"],
+            "iteration is sorted"
+        );
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut set = KeywordSet::new();
+        let k = Keyword::new("solo").unwrap();
+        assert!(set.insert(k.clone()));
+        assert!(!set.insert(k.clone()), "duplicate");
+        assert!(set.remove(&k));
+        assert!(!set.remove(&k));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let set = KeywordSet::parse("b a").unwrap();
+        assert_eq!(set.to_string(), "{a, b}");
+        assert_eq!(KeywordSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn from_strs_propagates_error() {
+        assert!(KeywordSet::from_strs(["ok", " "]).is_err());
+        assert_eq!(KeywordSet::from_strs(["A", "a"]).unwrap().len(), 1);
+    }
+}

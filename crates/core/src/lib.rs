@@ -1,0 +1,92 @@
+//! # hyperdex-core
+//!
+//! The hypercube keyword index and search scheme of *Keyword Search in
+//! DHT-based Peer-to-Peer Networks* (Joung, Fang & Yang, ICDCS 2005) —
+//! the paper's primary contribution.
+//!
+//! ## The scheme in one paragraph
+//!
+//! Every keyword hashes to a bit position in `{0..r-1}`
+//! ([`KeywordHasher`]); an object's keyword set therefore maps to the
+//! hypercube vertex whose one-bits are the hashed positions of its
+//! keywords (`F_h`, [`KeywordHasher::vertex_for`]). Each object is
+//! indexed at exactly **one** vertex. Pin search (exact keyword set) is
+//! a single lookup. Superset search explores the subhypercube induced by
+//! the query vertex along its spanning binomial tree, returning objects
+//! ordered by how many *extra* keywords they have — most-general-first
+//! (top-down) or most-specific-first (bottom-up) — with early exit after
+//! a threshold. Because popular keywords occur in many distinct keyword
+//! sets, index load spreads across many vertices even under Zipf
+//! popularity, unlike a distributed inverted index.
+//!
+//! ## Crate layout
+//!
+//! * [`keyword`] — [`Keyword`] and [`KeywordSet`] value types.
+//! * [`hashing`] — the keyword→bit hash `h` and set→vertex map `F_h`.
+//! * [`index`] — per-node index tables of `⟨keyword set, object⟩`.
+//! * [`cache`] — per-node FIFO result caches (§4, third experiment).
+//! * [`cluster`] — [`HypercubeIndex`], the logical-hypercube index used
+//!   by the paper's measurements (exact nodes-contacted accounting).
+//! * [`search`] — pin search, the `T_QUERY` superset-search protocol
+//!   (sequential top-down / bottom-up, level-parallel, cumulative).
+//! * [`ranking`] — grouping and sampling of results by extra keywords.
+//! * [`mapping`] — the vertex→DHT-node map `g`.
+//! * [`service`] — [`KeywordSearchService`]: the full §3.3 system over a
+//!   Chord-like DHT (publish/withdraw/pin/superset with hop accounting).
+//! * [`decompose`] — decomposed (multi-hypercube) indexes (§3.4).
+//! * [`analysis`] — Equation (1) and dimensioning guidance.
+//! * [`baseline`] — distributed inverted index and direct-DHT baselines
+//!   (the `DII-r` and `DHT-r` curves of Figure 6).
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdex_core::{HypercubeIndex, KeywordSet, ObjectId};
+//!
+//! let mut index = HypercubeIndex::new(10, 0)?;
+//! let song = ObjectId::from_name("song");
+//! index.insert(song, KeywordSet::parse("jazz, piano, 1959")?);
+//!
+//! // Pin search: the exact keyword set.
+//! let hit = index.pin_search(&KeywordSet::parse("jazz, piano, 1959")?);
+//! assert_eq!(hit.results, vec![song]);
+//!
+//! // Superset search: any object described by {jazz}.
+//! let out = index.superset_search(
+//!     &hyperdex_core::SupersetQuery::new(KeywordSet::parse("jazz")?).threshold(10),
+//! )?;
+//! assert!(out.results.iter().any(|r| r.object == song));
+//! # Ok::<(), hyperdex_core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baseline;
+pub mod cache;
+pub mod cluster;
+pub mod decompose;
+pub mod error;
+pub mod expansion;
+pub mod hashing;
+pub mod index;
+pub mod keyword;
+pub mod mapping;
+pub mod ranking;
+pub mod replication;
+pub mod search;
+pub mod service;
+pub mod sim_protocol;
+
+pub use cluster::HypercubeIndex;
+pub use error::Error;
+pub use hashing::KeywordHasher;
+pub use hyperdex_dht::ObjectId;
+pub use index::IndexTable;
+pub use keyword::{Keyword, KeywordSet};
+pub use mapping::VertexMap;
+pub use search::{
+    PinOutcome, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
+};
+pub use service::KeywordSearchService;

@@ -1,0 +1,255 @@
+//! Cumulative (resumable) superset search (§2.2, §3.3).
+//!
+//! "Superset search can be designated as *cumulative*, where the results
+//! returned by consecutive searches with the same keyword set must be
+//! different … implemented by letting the root node `F_h(K)` keep the
+//! queue `U` for subsequent queries until the search has completed."
+//!
+//! [`CumulativeSearch`] is that session state: the frontier queue `U`
+//! plus a buffer of scanned-but-undelivered results (a node may hold
+//! more matches than the batch needed; the root buffers the overflow so
+//! later batches do not re-contact the node).
+
+use std::collections::VecDeque;
+
+use hyperdex_hypercube::Vertex;
+
+use crate::cluster::HypercubeIndex;
+use crate::error::Error;
+use crate::keyword::KeywordSet;
+use crate::search::superset::scan_vertex;
+use crate::search::{RankedObject, SearchStats, SupersetOutcome};
+
+/// A resumable top-down superset search over one keyword set.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_core::search::cumulative::CumulativeSearch;
+/// use hyperdex_core::{HypercubeIndex, KeywordSet, ObjectId};
+///
+/// let mut index = HypercubeIndex::new(8, 0)?;
+/// for i in 0..10 {
+///     index.insert(
+///         ObjectId::from_raw(i),
+///         KeywordSet::parse(&format!("rock track{i}"))?,
+///     )?;
+/// }
+/// let mut session = CumulativeSearch::new(&index, KeywordSet::parse("rock")?);
+/// let first = session.next_batch(&index, 4)?;
+/// let second = session.next_batch(&index, 4)?;
+/// assert_eq!(first.results.len(), 4);
+/// // Consecutive batches never repeat an object.
+/// for r in &second.results {
+///     assert!(!first.results.contains(r));
+/// }
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CumulativeSearch {
+    keywords: KeywordSet,
+    root: Vertex,
+    frontier: VecDeque<(Vertex, u8)>,
+    pending: VecDeque<RankedObject>,
+    root_scanned: bool,
+    finished: bool,
+    delivered: usize,
+}
+
+impl CumulativeSearch {
+    /// Opens a session for `keywords` against `index`.
+    pub fn new(index: &HypercubeIndex, keywords: KeywordSet) -> Self {
+        let root = index.vertex_for(&keywords);
+        CumulativeSearch {
+            keywords,
+            root,
+            frontier: VecDeque::new(),
+            pending: VecDeque::new(),
+            root_scanned: false,
+            finished: false,
+            delivered: 0,
+        }
+    }
+
+    /// The queried keyword set.
+    pub fn keywords(&self) -> &KeywordSet {
+        &self.keywords
+    }
+
+    /// Whether the whole subhypercube has been drained.
+    pub fn is_finished(&self) -> bool {
+        self.finished && self.pending.is_empty()
+    }
+
+    /// Total objects delivered across all batches so far.
+    pub fn delivered(&self) -> usize {
+        self.delivered
+    }
+
+    /// Fetches the next `t` results, contacting only as many additional
+    /// nodes as needed. Consecutive batches are disjoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] when `t == 0`.
+    pub fn next_batch(
+        &mut self,
+        index: &HypercubeIndex,
+        t: usize,
+    ) -> Result<SupersetOutcome, Error> {
+        if t == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        let mut stats = SearchStats::default();
+        let mut results = Vec::with_capacity(t.min(64));
+
+        if !self.root_scanned {
+            self.root_scanned = true;
+            stats.query_messages += 1;
+            stats.nodes_contacted += 1;
+            let found = scan_vertex(index, self.root, &self.keywords);
+            if !found.is_empty() {
+                stats.result_messages += 1;
+            }
+            self.pending.extend(found);
+            self.frontier = self
+                .root
+                .zero_positions()
+                .rev()
+                .map(|i| (self.root.flip(i), i))
+                .collect();
+        }
+
+        loop {
+            // Serve buffered results first.
+            while results.len() < t {
+                match self.pending.pop_front() {
+                    Some(r) => results.push(r),
+                    None => break,
+                }
+            }
+            if results.len() >= t {
+                break;
+            }
+            // Need more: contact the next frontier node.
+            let Some((w, d)) = self.frontier.pop_front() else {
+                self.finished = true;
+                break;
+            };
+            stats.query_messages += 1;
+            stats.nodes_contacted += 1;
+            stats.control_messages += 1; // T_CONT back to the root
+            let found = scan_vertex(index, w, &self.keywords);
+            if !found.is_empty() {
+                stats.result_messages += 1;
+            }
+            self.pending.extend(found);
+            for i in (0..d).rev() {
+                if !w.bit(i) {
+                    self.frontier.push_back((w.flip(i), i));
+                }
+            }
+        }
+
+        self.delivered += results.len();
+        Ok(SupersetOutcome {
+            results,
+            stats,
+            exhausted: self.is_finished(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdex_dht::ObjectId;
+
+    fn index_with(n: u64) -> (HypercubeIndex, KeywordSet) {
+        let mut index = HypercubeIndex::new(8, 0).unwrap();
+        for i in 0..n {
+            index
+                .insert(
+                    ObjectId::from_raw(i),
+                    KeywordSet::parse(&format!("base extra{i}")).unwrap(),
+                )
+                .unwrap();
+        }
+        (index, KeywordSet::parse("base").unwrap())
+    }
+
+    #[test]
+    fn batches_are_disjoint_and_cover_everything() {
+        let (index, q) = index_with(25);
+        let mut session = CumulativeSearch::new(&index, q);
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0;
+        while !session.is_finished() {
+            let batch = session.next_batch(&index, 7).unwrap();
+            for r in &batch.results {
+                assert!(seen.insert(r.object), "duplicate {:?}", r.object);
+            }
+            total += batch.results.len();
+            if batch.results.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(total, 25);
+        assert_eq!(session.delivered(), 25);
+    }
+
+    #[test]
+    fn later_batches_skip_already_contacted_nodes() {
+        let (index, q) = index_with(40);
+        let mut session = CumulativeSearch::new(&index, q.clone());
+        let b1 = session.next_batch(&index, 10).unwrap();
+        let b2 = session.next_batch(&index, 10).unwrap();
+        // Fresh full searches would re-contact the whole prefix; the
+        // session only pays for new nodes.
+        let fresh_nodes = {
+            let mut idx2 = index.clone();
+            idx2.superset_search(
+                &crate::search::SupersetQuery::new(q).threshold(20).use_cache(false),
+            )
+            .unwrap()
+            .stats
+            .nodes_contacted
+        };
+        assert!(
+            b1.stats.nodes_contacted + b2.stats.nodes_contacted <= fresh_nodes + 1,
+            "cumulative ({} + {}) should not exceed fresh ({})",
+            b1.stats.nodes_contacted,
+            b2.stats.nodes_contacted,
+            fresh_nodes
+        );
+    }
+
+    #[test]
+    fn exhausted_flag_set_at_end() {
+        let (index, q) = index_with(3);
+        let mut session = CumulativeSearch::new(&index, q);
+        let batch = session.next_batch(&index, 100).unwrap();
+        assert_eq!(batch.results.len(), 3);
+        assert!(batch.exhausted);
+        assert!(session.is_finished());
+        let empty = session.next_batch(&index, 5).unwrap();
+        assert!(empty.results.is_empty());
+    }
+
+    #[test]
+    fn zero_batch_rejected() {
+        let (index, q) = index_with(1);
+        let mut session = CumulativeSearch::new(&index, q);
+        assert_eq!(session.next_batch(&index, 0), Err(Error::ZeroThreshold));
+    }
+
+    #[test]
+    fn no_matches_finishes_cleanly() {
+        let (index, _) = index_with(5);
+        let mut session =
+            CumulativeSearch::new(&index, KeywordSet::parse("absent").unwrap());
+        let batch = session.next_batch(&index, 10).unwrap();
+        assert!(batch.results.is_empty());
+        assert!(session.is_finished());
+    }
+}

@@ -1,0 +1,293 @@
+//! The superset-search protocol (§3.3) and its variants.
+//!
+//! The sequential top-down protocol is implemented exactly as published:
+//! the root `F_h(K)` keeps a frontier queue `U` of `(node, dimension)`
+//! pairs and a remaining-count `c`; one `T_QUERY` is outstanding at a
+//! time; a contacted node `w` reached via dimension `d` scans its table
+//! for entries `K' ⊇ K`, sends matches directly to the requester, and
+//! answers the root with `T_STOP` (done) or `T_CONT` carrying its child
+//! list `{(x, i) | i < d ∧ i ∈ Zero(w)}`.
+//!
+//! Variants: bottom-up (deepest tree levels first — most-specific
+//! objects first), and level-parallel (§3.5 — whole tree levels queried
+//! per round, time `r − |One(F_h(K))|` instead of `2^{r−|One|}`).
+
+use std::collections::VecDeque;
+
+use hyperdex_hypercube::Vertex;
+
+use crate::cluster::HypercubeIndex;
+use crate::error::Error;
+use crate::keyword::KeywordSet;
+use crate::search::{
+    ExecutionMode, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
+};
+
+/// Runs a superset search against a logical hypercube index.
+pub(crate) fn run(
+    index: &mut HypercubeIndex,
+    query: &SupersetQuery,
+) -> Result<SupersetOutcome, Error> {
+    query.validate()?;
+    let root = index.vertex_for(&query.keywords);
+    let mut stats = SearchStats::default();
+
+    // The requester's T_QUERY reaches the root node.
+    stats.query_messages += 1;
+    stats.nodes_contacted += 1;
+
+    // Cache check at the root. An exhaustive entry serves any
+    // threshold; a partial entry serves thresholds it covers.
+    if query.use_cache {
+        if let Some(cache) = index.cache_mut(root) {
+            if let Some(cached) = cache.lookup(&query.keywords, query.threshold) {
+                let exhausted = cached.exhausted && cached.results.len() <= query.threshold;
+                let results: Vec<RankedObject> = cached
+                    .results
+                    .iter()
+                    .take(query.threshold)
+                    .cloned()
+                    .collect();
+                stats.cache_hit = true;
+                stats.result_messages += 1;
+                return Ok(SupersetOutcome {
+                    results,
+                    stats,
+                    exhausted,
+                });
+            }
+        }
+    }
+
+    let outcome = match query.mode {
+        ExecutionMode::Sequential => match query.order {
+            TraversalOrder::TopDown => sequential_top_down(index, query, root, stats),
+            TraversalOrder::BottomUp => by_levels(index, query, root, stats, /*bottom_up=*/ true),
+        },
+        ExecutionMode::LevelParallel => match query.order {
+            TraversalOrder::TopDown => level_parallel(index, query, root, stats, false),
+            TraversalOrder::BottomUp => level_parallel(index, query, root, stats, true),
+        },
+    };
+
+    // Cache the traversal's results; the exhausted flag records whether
+    // they can serve any threshold or only covered ones.
+    if query.use_cache {
+        if let Some(cache) = index.cache_mut(root) {
+            cache.put(
+                query.keywords.clone(),
+                outcome.results.clone(),
+                outcome.exhausted,
+            );
+        }
+    }
+    Ok(outcome)
+}
+
+/// The paper's sequential top-down protocol.
+fn sequential_top_down(
+    index: &HypercubeIndex,
+    query: &SupersetQuery,
+    root: Vertex,
+    mut stats: SearchStats,
+) -> SupersetOutcome {
+    let mut results = Vec::new();
+
+    // Root scans its own table first.
+    scan_node(index, root, query, &mut results, &mut stats);
+    if results.len() >= query.threshold {
+        // Exhausted only if the root is the whole subcube AND nothing
+        // was truncated away — a truncated result set must never be
+        // cached as complete.
+        let exhausted = root.zero_count() == 0 && results.len() == query.threshold;
+        results.truncate(query.threshold);
+        return SupersetOutcome {
+            results,
+            stats,
+            exhausted,
+        };
+    }
+
+    // Frontier queue U, initialized with the root's neighbors across
+    // every free dimension (descending, matching Sbt::children order).
+    let mut frontier: VecDeque<(Vertex, u8)> = root
+        .zero_positions()
+        .rev()
+        .map(|i| (root.flip(i), i))
+        .collect();
+
+    let mut stopped_early = false;
+    while let Some((w, d)) = frontier.pop_front() {
+        stats.query_messages += 1;
+        stats.nodes_contacted += 1;
+        scan_node(index, w, query, &mut results, &mut stats);
+        if results.len() >= query.threshold {
+            results.truncate(query.threshold);
+            stats.control_messages += 1; // T_STOP
+            stopped_early = true;
+            break;
+        }
+        // T_CONT carrying w's children: free dims below d where w is 0.
+        stats.control_messages += 1;
+        for i in (0..d).rev() {
+            if !w.bit(i) {
+                frontier.push_back((w.flip(i), i));
+            }
+        }
+    }
+
+    SupersetOutcome {
+        results,
+        stats,
+        exhausted: !stopped_early,
+    }
+}
+
+/// Sequential traversal by whole tree levels; `bottom_up` visits the
+/// deepest level first (most-specific objects first).
+fn by_levels(
+    index: &HypercubeIndex,
+    query: &SupersetQuery,
+    root: Vertex,
+    mut stats: SearchStats,
+    bottom_up: bool,
+) -> SupersetOutcome {
+    let sbt = hyperdex_hypercube::Sbt::induced(root);
+    let mut results = Vec::new();
+    let mut stopped_early = false;
+    let depth_order: Vec<u32> = if bottom_up {
+        (0..=sbt.height()).rev().collect()
+    } else {
+        (0..=sbt.height()).collect()
+    };
+    'outer: for d in depth_order {
+        for w in sbt.level(d) {
+            // The root was already charged for receiving the query.
+            if w != root {
+                stats.query_messages += 1;
+                stats.nodes_contacted += 1;
+            }
+            scan_node(index, w, query, &mut results, &mut stats);
+            if w != root {
+                stats.control_messages += 1; // T_CONT / T_STOP ack
+            }
+            if results.len() >= query.threshold {
+                results.truncate(query.threshold);
+                stopped_early = true;
+                break 'outer;
+            }
+        }
+    }
+    SupersetOutcome {
+        results,
+        stats,
+        exhausted: !stopped_early,
+    }
+}
+
+/// §3.5's parallel execution: tree levels are queried in rounds; the
+/// search stops after the first round that satisfies the threshold.
+fn level_parallel(
+    index: &HypercubeIndex,
+    query: &SupersetQuery,
+    root: Vertex,
+    mut stats: SearchStats,
+    bottom_up: bool,
+) -> SupersetOutcome {
+    let sbt = hyperdex_hypercube::Sbt::induced(root);
+    let mut results = Vec::new();
+    let mut stopped_early = false;
+    let depth_order: Vec<u32> = if bottom_up {
+        (0..=sbt.height()).rev().collect()
+    } else {
+        (0..=sbt.height()).collect()
+    };
+    let last_depth = *depth_order.last().expect("at least one level");
+    for d in depth_order {
+        stats.rounds += 1;
+        // All level-d nodes are queried simultaneously; results within a
+        // round may overshoot the threshold and are truncated afterwards.
+        for w in sbt.level(d) {
+            if w != root {
+                stats.query_messages += 1;
+                stats.nodes_contacted += 1;
+            }
+            scan_node(index, w, query, &mut results, &mut stats);
+        }
+        if results.len() >= query.threshold {
+            // Exhausted only when every level was visited AND nothing
+            // was truncated (a truncated set must not be cached as
+            // complete).
+            stopped_early = d != last_depth || results.len() > query.threshold;
+            results.truncate(query.threshold);
+            break;
+        }
+    }
+    SupersetOutcome {
+        results,
+        stats,
+        exhausted: !stopped_early,
+    }
+}
+
+/// One node's table scan: find entries `K' ⊇ K`, rank them locally by
+/// extra-keyword count (ascending for top-down preference, descending
+/// for bottom-up), and append.
+fn scan_node(
+    index: &HypercubeIndex,
+    vertex: Vertex,
+    query: &SupersetQuery,
+    results: &mut Vec<RankedObject>,
+    stats: &mut SearchStats,
+) {
+    let Some(table) = index.table_at(vertex) else {
+        return; // logically contacted, but holds nothing
+    };
+    stats.entries_scanned += table.keyword_set_count() as u64;
+    let mut found: Vec<RankedObject> = Vec::new();
+    for (keyword_set, objects) in table.superset_entries(&query.keywords) {
+        let extra = (keyword_set.len() - query.keywords.len()) as u32;
+        for object in objects {
+            found.push(RankedObject {
+                object,
+                keyword_set: keyword_set.clone(),
+                extra_keywords: extra,
+            });
+        }
+    }
+    match query.order {
+        TraversalOrder::TopDown => found.sort_by_key(|r| r.extra_keywords),
+        TraversalOrder::BottomUp => {
+            found.sort_by_key(|r| std::cmp::Reverse(r.extra_keywords))
+        }
+    }
+    if !found.is_empty() {
+        stats.result_messages += 1;
+    }
+    results.extend(found);
+}
+
+/// Shared helper: the matching entries at one vertex, used by the
+/// cumulative session as well.
+pub(crate) fn scan_vertex(
+    index: &HypercubeIndex,
+    vertex: Vertex,
+    keywords: &KeywordSet,
+) -> Vec<RankedObject> {
+    let Some(table) = index.table_at(vertex) else {
+        return Vec::new();
+    };
+    let mut found = Vec::new();
+    for (keyword_set, objects) in table.superset_entries(keywords) {
+        let extra = (keyword_set.len() - keywords.len()) as u32;
+        for object in objects {
+            found.push(RankedObject {
+                object,
+                keyword_set: keyword_set.clone(),
+                extra_keywords: extra,
+            });
+        }
+    }
+    found.sort_by_key(|r| r.extra_keywords);
+    found
+}

@@ -1,0 +1,557 @@
+//! Message-level execution of the superset-search protocol.
+//!
+//! The figure sweeps use the *direct* engine in [`crate::search`] (exact
+//! node/message counts, no event loop). This module runs the **same
+//! protocol as actual messages** over `hyperdex-simnet`: every logical
+//! hypercube node is an endpoint, `T_QUERY` / `T_CONT` / `T_STOP` /
+//! result deliveries are messages with latency, and the measured
+//! quantity the direct engine cannot give — **elapsed virtual time** —
+//! falls out of the event clock. §3.5's claim that level-parallel
+//! execution cuts time from `2^{r−|One|}` to `r − |One|` message delays
+//! is validated here as an actual latency measurement.
+
+use std::collections::VecDeque;
+
+use hyperdex_simnet::latency::LatencyModel;
+use hyperdex_simnet::net::{EndpointId, Network};
+
+use hyperdex_dht::ObjectId;
+use hyperdex_hypercube::{Sbt, Shape, Vertex};
+
+use crate::error::Error;
+use crate::hashing::KeywordHasher;
+use crate::index::IndexTable;
+use crate::keyword::KeywordSet;
+use crate::search::RankedObject;
+
+/// Protocol messages (§3.3's `T_QUERY`, `T_CONT`, `T_STOP`, plus the
+/// direct result deliveries to the requester).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KwMsg {
+    /// Query forwarded to one tree node.
+    TQuery {
+        /// The queried keyword set `K`.
+        keywords: KeywordSet,
+        /// Objects still wanted (`c` in the paper).
+        remaining: usize,
+        /// Endpoint collecting results (`u`).
+        requester: EndpointId,
+        /// The dimension via which this node was reached (`d`); `None`
+        /// for the initial query to the root.
+        via_dim: Option<u8>,
+        /// The coordinating root endpoint (`v`).
+        root: EndpointId,
+    },
+    /// Node → root: found `c1` objects, here are my children.
+    TCont {
+        /// Number of objects this node returned.
+        found: usize,
+        /// Child contacts `(vertex bits, dimension)`.
+        children: Vec<(u64, u8)>,
+    },
+    /// Node → root: the threshold is satisfied; stop the search.
+    TStop,
+    /// Node → requester: matching objects.
+    Results {
+        /// The matches found at one node.
+        objects: Vec<RankedObject>,
+    },
+}
+
+/// Outcome of a message-level search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSearchOutcome {
+    /// Results in arrival order at the requester.
+    pub results: Vec<RankedObject>,
+    /// Distinct hypercube nodes that processed a `T_QUERY`.
+    pub nodes_contacted: u64,
+    /// Total messages the network carried.
+    pub messages: u64,
+    /// Virtual time from first send to last delivery.
+    pub elapsed: hyperdex_simnet::time::SimDuration,
+}
+
+/// Root-side coordinator state for one sequential search.
+#[derive(Debug)]
+struct Coordinator {
+    keywords: KeywordSet,
+    remaining: usize,
+    requester: EndpointId,
+    frontier: VecDeque<(u64, u8)>,
+    done: bool,
+}
+
+/// A logical hypercube whose nodes exchange real protocol messages.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_core::sim_protocol::ProtocolSim;
+/// use hyperdex_core::{KeywordSet, ObjectId};
+/// use hyperdex_simnet::latency::LatencyModel;
+///
+/// let mut sim = ProtocolSim::new(6, 0, LatencyModel::constant(1))?;
+/// sim.insert(ObjectId::from_raw(1), KeywordSet::parse("a b")?)?;
+/// let out = sim.search_sequential(&KeywordSet::parse("a")?, 10)?;
+/// assert_eq!(out.results.len(), 1);
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ProtocolSim {
+    net: Network<KwMsg>,
+    shape: Shape,
+    hasher: KeywordHasher,
+    tables: Vec<IndexTable>,
+    /// Endpoint of vertex `bits` is `eps[bits]`.
+    eps: Vec<EndpointId>,
+    requester: EndpointId,
+}
+
+impl ProtocolSim {
+    /// Creates a hypercube of dimension `r` (one endpoint per vertex,
+    /// plus a requester endpoint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 16` (the endpoint
+    /// table is `2^r` entries; larger cubes belong in the direct
+    /// engine).
+    pub fn new(r: u8, seed: u64, latency: LatencyModel) -> Result<Self, Error> {
+        let hasher = KeywordHasher::new(r, seed)?;
+        if r > 16 {
+            return Err(Error::Dimension(
+                hyperdex_hypercube::DimensionError::InvalidDimension { r },
+            ));
+        }
+        let shape = hasher.shape();
+        let mut net = Network::new(latency, seed ^ 0x51AE);
+        let n = shape.vertex_count() as usize;
+        let eps = net.add_endpoints(n);
+        let requester = net.add_endpoint();
+        Ok(ProtocolSim {
+            net,
+            shape,
+            hasher,
+            tables: vec![IndexTable::new(); n],
+            eps,
+            requester,
+        })
+    }
+
+    /// The hypercube shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Indexes an object at `F_h(keywords)` (local table write; the
+    /// DOLR routing cost of inserts is covered by `hyperdex-dht`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeywordSet`] for an empty set.
+    pub fn insert(&mut self, object: ObjectId, keywords: KeywordSet) -> Result<(), Error> {
+        if keywords.is_empty() {
+            return Err(Error::EmptyKeywordSet);
+        }
+        let vertex = self.hasher.vertex_for(&keywords);
+        self.tables[vertex.bits() as usize].insert(keywords, object);
+        Ok(())
+    }
+
+    /// Runs the paper's sequential top-down protocol as messages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] when `threshold == 0`.
+    pub fn search_sequential(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+    ) -> Result<SimSearchOutcome, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        let root_vertex = self.hasher.vertex_for(keywords);
+        let root_ep = self.eps[root_vertex.bits() as usize];
+        let start = self.net.now();
+        let sent_before = self.net.metrics().messages_sent.get();
+
+        self.net.send(
+            self.requester,
+            root_ep,
+            KwMsg::TQuery {
+                keywords: keywords.clone(),
+                remaining: threshold,
+                requester: self.requester,
+                via_dim: None,
+                root: root_ep,
+            },
+        );
+
+        let mut coordinator: Option<Coordinator> = None;
+        let mut results = Vec::new();
+        let mut contacted = 0u64;
+        let mut last_at = start;
+
+        while let Some(d) = self.net.step() {
+            last_at = d.at;
+            let to = d.to;
+            match d.payload {
+                KwMsg::TQuery {
+                    keywords,
+                    remaining,
+                    requester,
+                    via_dim,
+                    root,
+                } => {
+                    contacted += 1;
+                    let vertex = self.vertex_of(to);
+                    let found = self.scan_and_reply(vertex, &keywords, remaining, requester);
+                    if to == root {
+                        // The root doubles as coordinator.
+                        let mut coord = Coordinator {
+                            remaining: remaining.saturating_sub(found),
+                            keywords,
+                            requester,
+                            frontier: root_frontier(vertex),
+                            done: false,
+                        };
+                        self.advance(&mut coord, root);
+                        coordinator = Some(coord);
+                    } else {
+                        // Ordinary node: report back to the root.
+                        let dim = via_dim.expect("non-root nodes are reached via a dimension");
+                        if found >= remaining {
+                            self.net.send(to, root, KwMsg::TStop);
+                        } else {
+                            let children = child_contacts(vertex, dim);
+                            self.net.send(to, root, KwMsg::TCont { found, children });
+                        }
+                    }
+                }
+                KwMsg::TCont { found, children } => {
+                    let coord = coordinator.as_mut().expect("TCont implies a coordinator");
+                    coord.remaining = coord.remaining.saturating_sub(found);
+                    coord.frontier.extend(children);
+                    self.advance_boxed(&mut coordinator, to);
+                }
+                KwMsg::TStop => {
+                    if let Some(coord) = coordinator.as_mut() {
+                        coord.done = true;
+                    }
+                }
+                KwMsg::Results { objects } => {
+                    debug_assert_eq!(to, self.requester);
+                    results.extend(objects);
+                }
+            }
+        }
+
+        results.truncate(threshold);
+        Ok(SimSearchOutcome {
+            results,
+            nodes_contacted: contacted,
+            messages: self.net.metrics().messages_sent.get() - sent_before,
+            elapsed: last_at.saturating_since(start),
+        })
+    }
+
+    /// Runs the §3.5 level-parallel variant as messages: the root
+    /// queries whole SBT levels in rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] when `threshold == 0`.
+    pub fn search_parallel(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+    ) -> Result<SimSearchOutcome, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        let root_vertex = self.hasher.vertex_for(keywords);
+        let root_ep = self.eps[root_vertex.bits() as usize];
+        let sbt = Sbt::induced(root_vertex);
+        let start = self.net.now();
+        let sent_before = self.net.metrics().messages_sent.get();
+
+        let mut results = Vec::new();
+        let mut contacted = 0u64;
+        let mut last_at = start;
+        let mut satisfied = 0usize;
+
+        'levels: for depth in 0..=sbt.height() {
+            // The root addresses every level-d node directly (any node
+            // is reachable through the underlying DHT).
+            let level: Vec<Vertex> = sbt.level(depth).collect();
+            for w in &level {
+                let from = if depth == 0 { self.requester } else { root_ep };
+                self.net.send(
+                    from,
+                    self.eps[w.bits() as usize],
+                    KwMsg::TQuery {
+                        keywords: keywords.clone(),
+                        remaining: threshold - satisfied.min(threshold),
+                        requester: self.requester,
+                        via_dim: None,
+                        root: root_ep,
+                    },
+                );
+            }
+            // Synchronize the round: deliver everything in flight.
+            while let Some(d) = self.net.step() {
+                last_at = d.at;
+                match d.payload {
+                    KwMsg::TQuery {
+                        keywords, remaining, requester, ..
+                    } => {
+                        contacted += 1;
+                        let vertex = self.vertex_of(d.to);
+                        self.scan_and_reply(vertex, &keywords, remaining, requester);
+                    }
+                    KwMsg::Results { objects } => {
+                        satisfied += objects.len();
+                        results.extend(objects);
+                    }
+                    KwMsg::TCont { .. } | KwMsg::TStop => {}
+                }
+            }
+            if satisfied >= threshold {
+                break 'levels;
+            }
+        }
+
+        results.truncate(threshold);
+        Ok(SimSearchOutcome {
+            results,
+            nodes_contacted: contacted,
+            messages: self.net.metrics().messages_sent.get() - sent_before,
+            elapsed: last_at.saturating_since(start),
+        })
+    }
+
+    /// Scans a vertex's table, sends matches to the requester, and
+    /// returns how many were sent.
+    fn scan_and_reply(
+        &mut self,
+        vertex: Vertex,
+        keywords: &KeywordSet,
+        remaining: usize,
+        requester: EndpointId,
+    ) -> usize {
+        let table = &self.tables[vertex.bits() as usize];
+        let mut found = Vec::new();
+        for (keyword_set, objects) in table.superset_entries(keywords) {
+            let extra = (keyword_set.len() - keywords.len()) as u32;
+            for object in objects {
+                if found.len() >= remaining {
+                    break;
+                }
+                found.push(RankedObject {
+                    object,
+                    keyword_set: keyword_set.clone(),
+                    extra_keywords: extra,
+                });
+            }
+        }
+        let count = found.len();
+        if count > 0 {
+            let from = self.eps[vertex.bits() as usize];
+            self.net.send(from, requester, KwMsg::Results { objects: found });
+        }
+        count
+    }
+
+    /// Pops the coordinator's next frontier node and queries it, or
+    /// marks the search done.
+    fn advance(&mut self, coord: &mut Coordinator, root_ep: EndpointId) {
+        if coord.done || coord.remaining == 0 {
+            coord.done = true;
+            return;
+        }
+        match coord.frontier.pop_front() {
+            None => coord.done = true,
+            Some((bits, dim)) => {
+                self.net.send(
+                    root_ep,
+                    self.eps[bits as usize],
+                    KwMsg::TQuery {
+                        keywords: coord.keywords.clone(),
+                        remaining: coord.remaining,
+                        requester: coord.requester,
+                        via_dim: Some(dim),
+                        root: root_ep,
+                    },
+                );
+            }
+        }
+    }
+
+    /// `advance` through the `Option` wrapper (borrow-checker helper).
+    fn advance_boxed(&mut self, coordinator: &mut Option<Coordinator>, root_ep: EndpointId) {
+        if let Some(mut coord) = coordinator.take() {
+            self.advance(&mut coord, root_ep);
+            *coordinator = Some(coord);
+        }
+    }
+
+    fn vertex_of(&self, ep: EndpointId) -> Vertex {
+        Vertex::from_bits(self.shape, ep.raw()).expect("vertex endpoints precede the requester")
+    }
+
+    /// Read access to the underlying network (metrics, faults).
+    pub fn network(&self) -> &Network<KwMsg> {
+        &self.net
+    }
+}
+
+/// The root's initial frontier: its free dimensions, descending.
+fn root_frontier(root: Vertex) -> VecDeque<(u64, u8)> {
+    root.zero_positions()
+        .rev()
+        .map(|i| (root.flip(i).bits(), i))
+        .collect()
+}
+
+/// A node's child contacts: free dims below its arrival dimension.
+fn child_contacts(w: Vertex, via_dim: u8) -> Vec<(u64, u8)> {
+    (0..via_dim)
+        .rev()
+        .filter(|&i| !w.bit(i))
+        .map(|i| (w.flip(i).bits(), i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::HypercubeIndex;
+    use crate::search::SupersetQuery;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    /// Builds both the direct index and the protocol sim with identical
+    /// content.
+    fn twin(r: u8, objects: &[(u64, &str)]) -> (HypercubeIndex, ProtocolSim) {
+        let mut direct = HypercubeIndex::new(r, 0).unwrap();
+        let mut sim = ProtocolSim::new(r, 0, LatencyModel::constant(1)).unwrap();
+        for &(id, kws) in objects {
+            direct.insert(oid(id), set(kws)).unwrap();
+            sim.insert(oid(id), set(kws)).unwrap();
+        }
+        (direct, sim)
+    }
+
+    const CORPUS: &[(u64, &str)] = &[
+        (1, "a"),
+        (2, "a b"),
+        (3, "a b c"),
+        (4, "a c"),
+        (5, "b c"),
+        (6, "a d e"),
+        (7, "x y"),
+        (8, "a b d"),
+    ];
+
+    #[test]
+    fn sequential_matches_direct_engine() {
+        let (mut direct, mut sim) = twin(8, CORPUS);
+        for query in ["a", "a b", "b", "x", "zzz"] {
+            let d = direct
+                .superset_search(&SupersetQuery::new(set(query)).use_cache(false))
+                .unwrap();
+            let s = sim.search_sequential(&set(query), usize::MAX - 1).unwrap();
+            let mut d_ids: Vec<ObjectId> = d.results.iter().map(|r| r.object).collect();
+            let mut s_ids: Vec<ObjectId> = s.results.iter().map(|r| r.object).collect();
+            d_ids.sort_unstable();
+            s_ids.sort_unstable();
+            assert_eq!(d_ids, s_ids, "query {query}");
+            assert_eq!(
+                d.stats.nodes_contacted, s.nodes_contacted,
+                "node parity for {query}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let (_, mut sim) = twin(8, CORPUS);
+        let seq = sim.search_sequential(&set("a"), 100).unwrap();
+        let par = sim.search_parallel(&set("a"), 100).unwrap();
+        let mut a: Vec<ObjectId> = seq.results.iter().map(|r| r.object).collect();
+        let mut b: Vec<ObjectId> = par.results.iter().map(|r| r.object).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_is_faster_sequential_cheaper_in_messages() {
+        // A query whose subcube is big enough to show the asymmetry.
+        let (_, mut sim) = twin(10, CORPUS);
+        let seq = sim.search_sequential(&set("a"), usize::MAX - 1).unwrap();
+        let par = sim.search_parallel(&set("a"), usize::MAX - 1).unwrap();
+        assert!(
+            par.elapsed < seq.elapsed,
+            "parallel {} vs sequential {} ticks",
+            par.elapsed,
+            seq.elapsed
+        );
+        // §3.5: sequential time ≈ 2 messages per node (query + ack);
+        // parallel time ≈ tree height × one latency per level + replies.
+        assert!(
+            seq.elapsed.ticks() >= seq.nodes_contacted,
+            "sequential latency grows with every contacted node"
+        );
+    }
+
+    #[test]
+    fn threshold_stops_early_with_tstop() {
+        let (_, mut sim) = twin(8, CORPUS);
+        let full = sim.search_sequential(&set("a"), 100).unwrap();
+        let early = sim.search_sequential(&set("a"), 1).unwrap();
+        assert_eq!(early.results.len(), 1);
+        assert!(
+            early.nodes_contacted < full.nodes_contacted,
+            "T_STOP must cut the traversal: {} vs {}",
+            early.nodes_contacted,
+            full.nodes_contacted
+        );
+    }
+
+    #[test]
+    fn elapsed_time_accounts_latency() {
+        let mut slow = ProtocolSim::new(6, 0, LatencyModel::constant(10)).unwrap();
+        slow.insert(oid(1), set("k")).unwrap();
+        let out = slow.search_sequential(&set("k"), 10).unwrap();
+        assert!(out.elapsed.ticks() >= 10, "at least one 10-tick hop");
+        assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let (_, mut sim) = twin(6, CORPUS);
+        assert!(sim.search_sequential(&set("a"), 0).is_err());
+        assert!(sim.search_parallel(&set("a"), 0).is_err());
+    }
+
+    #[test]
+    fn empty_query_browses_whole_cube() {
+        let (_, mut sim) = twin(6, &[(1, "p"), (2, "q")]);
+        let out = sim.search_sequential(&KeywordSet::new(), 100).unwrap();
+        assert_eq!(out.results.len(), 2);
+        assert_eq!(out.nodes_contacted, 64, "empty query spans the full cube");
+    }
+
+    #[test]
+    fn rejects_oversized_dimension() {
+        assert!(ProtocolSim::new(17, 0, LatencyModel::default()).is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! Stable, platform-independent 64-bit hashing.
+//!
+//! The DOLR mapping `L : O → {0..2^a-1}` and the keyword-position hash
+//! `h : W → {0..r-1}` of the paper must be deterministic and uniform.
+//! `std::hash` makes no cross-run stability promise, so we provide our
+//! own: FNV-1a over the bytes followed by a SplitMix64 finalizer for
+//! avalanche. Quality is ample for simulation workloads.
+
+/// Hashes `bytes` to a stable 64-bit value.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_dht::keyhash::stable_hash64;
+///
+/// let h1 = stable_hash64(b"mp3");
+/// let h2 = stable_hash64(b"mp3");
+/// assert_eq!(h1, h2);
+/// assert_ne!(stable_hash64(b"mp3"), stable_hash64(b"mp4"));
+/// ```
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
+    stable_hash64_seeded(bytes, 0)
+}
+
+/// Hashes `bytes` with a seed, yielding an independent hash family per
+/// seed.
+///
+/// Seeded variants let different subsystems (object placement, keyword
+/// bit positions, hypercube→ring mapping) use uncorrelated hashes of the
+/// same strings.
+pub fn stable_hash64_seeded(bytes: &[u8], seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    let mut hash = FNV_OFFSET ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finalizer: FNV alone has weak high-bit diffusion.
+    let mut z = hash;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a `u64` (e.g. an object id) to a stable 64-bit value.
+pub fn stable_hash_u64(value: u64, seed: u64) -> u64 {
+    stable_hash64_seeded(&value.to_le_bytes(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(stable_hash64(b"hello"), stable_hash64(b"hello"));
+        assert_eq!(
+            stable_hash64_seeded(b"hello", 9),
+            stable_hash64_seeded(b"hello", 9)
+        );
+    }
+
+    #[test]
+    fn seed_changes_hash() {
+        assert_ne!(
+            stable_hash64_seeded(b"hello", 1),
+            stable_hash64_seeded(b"hello", 2)
+        );
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        // Different seeds must still differ on empty input.
+        assert_ne!(
+            stable_hash64_seeded(b"", 1),
+            stable_hash64_seeded(b"", 2)
+        );
+    }
+
+    #[test]
+    fn avalanche_on_single_bit() {
+        // Flipping one input bit should flip ~half the output bits.
+        let a = stable_hash64(b"keyword0");
+        let b = stable_hash64(b"keyword1");
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // Bucket 10k strings into 16 buckets; expect no bucket to deviate
+        // wildly from 625.
+        let mut buckets = [0u32; 16];
+        for i in 0..10_000u32 {
+            let h = stable_hash64(format!("key-{i}").as_bytes());
+            buckets[(h >> 60) as usize] += 1;
+        }
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                (450..=800).contains(&count),
+                "bucket {i} has {count} items"
+            );
+        }
+    }
+
+    #[test]
+    fn u64_hash_matches_byte_hash() {
+        assert_eq!(
+            stable_hash_u64(42, 7),
+            stable_hash64_seeded(&42u64.to_le_bytes(), 7)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for ring invariants and DOLR behaviour.
+
+use hyperdex_dht::{keyhash, Dolr, NodeId, ObjectId, Ring, Router};
+use proptest::prelude::*;
+
+fn ids(seed: u64, n: usize) -> Vec<NodeId> {
+    (0..n as u64)
+        .map(|i| NodeId::from_raw(keyhash::stable_hash_u64(i, seed)))
+        .collect()
+}
+
+proptest! {
+    /// Every key has exactly one owner, and it is the surrogate.
+    #[test]
+    fn unique_ownership(seed in any::<u64>(), n in 1usize..40, key in any::<u64>()) {
+        let ring: Ring = ids(seed, n).into_iter().collect();
+        let key = NodeId::from_raw(key);
+        let owners: Vec<NodeId> = ring.iter().filter(|&m| ring.owns(m, key)).collect();
+        prop_assert_eq!(owners.len(), 1);
+        prop_assert_eq!(owners[0], ring.surrogate(key).unwrap());
+    }
+
+    /// successor and predecessor are inverse on members.
+    #[test]
+    fn successor_predecessor_inverse(seed in any::<u64>(), n in 2usize..40) {
+        let ring: Ring = ids(seed, n).into_iter().collect();
+        for m in ring.iter() {
+            let s = ring.successor(m).unwrap();
+            prop_assert_eq!(ring.predecessor(s), Some(m));
+        }
+    }
+
+    /// Routing always terminates at the surrogate within n hops.
+    #[test]
+    fn routing_terminates(seed in any::<u64>(), n in 1usize..64, key in any::<u64>()) {
+        let ring: Ring = ids(seed, n).into_iter().collect();
+        let router = Router::build(&ring);
+        let from = ring.iter().next().unwrap();
+        let key = NodeId::from_raw(key);
+        let path = router.path(from, key);
+        prop_assert!(path.len() <= n + 1);
+        prop_assert_eq!(*path.last().unwrap(), ring.surrogate(key).unwrap());
+        // No node repeats on the path.
+        let mut seen = std::collections::HashSet::new();
+        for hop in &path {
+            prop_assert!(seen.insert(*hop), "loop through {hop}");
+        }
+    }
+
+    /// Insert → read returns the inserted owner; delete removes it.
+    #[test]
+    fn insert_read_delete(seed in any::<u64>(), n in 1usize..32, name in "[a-z]{1,12}") {
+        let mut dht = Dolr::builder().nodes(n).seed(seed).build();
+        let obj = ObjectId::from_name(&name);
+        let publisher = dht.random_node();
+        dht.insert(publisher, obj, publisher);
+        let read = dht.read(publisher, obj).unwrap();
+        prop_assert!(read.refs.iter().any(|r| r.owner == publisher));
+        dht.delete(publisher, obj, publisher);
+        prop_assert!(dht.read(publisher, obj).is_none());
+    }
+
+    /// Churn (graceful leave) never loses data.
+    #[test]
+    fn graceful_churn_preserves(seed in any::<u64>(), n in 4usize..24, leaves in 1usize..3) {
+        let mut dht = Dolr::builder().nodes(n).seed(seed).build();
+        let publisher = dht.random_node();
+        let objs: Vec<ObjectId> =
+            (0..30).map(|i| ObjectId::from_raw(i * 7 + 1)).collect();
+        for &o in &objs {
+            dht.insert(publisher, o, publisher);
+        }
+        for k in 0..leaves.min(n - 1) {
+            let victim = dht.ring().iter().nth(k + 1).unwrap();
+            dht.leave(victim);
+        }
+        let reader = dht.random_node();
+        for &o in &objs {
+            prop_assert!(dht.read(reader, o).is_some(), "lost {o}");
+        }
+    }
+
+    /// With replication k, data survives k crashes of arbitrary nodes.
+    #[test]
+    fn replicated_crash_tolerance(seed in any::<u64>(), n in 6usize..20) {
+        let k = 2usize;
+        let mut dht = Dolr::builder().nodes(n).seed(seed).replication(k).build();
+        let publisher = dht.random_node();
+        let obj = ObjectId::from_raw(99);
+        dht.insert(publisher, obj, publisher);
+        for _ in 0..k {
+            let primary = dht.locate(obj);
+            dht.crash(primary);
+            let reader = dht.random_node();
+            prop_assert!(dht.read(reader, obj).is_some(), "lost after crash");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Optimal hypercube broadcast via spanning binomial trees.
+//!
+//! Johnsson & Ho's classic result (the paper's reference \[3\]): a message
+//! can reach all `2^k` nodes of a (sub)hypercube in `k` rounds by sending
+//! across one dimension per round. §3.5 uses the same idea to cut
+//! superset-search latency from `2^k` sequential messages to `k` parallel
+//! rounds. This module computes those schedules explicitly so simulated
+//! searches (and tests) can replay them.
+
+use crate::sbt::Sbt;
+use crate::vertex::Vertex;
+
+/// One message transmission within a broadcast round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// Sender (already informed).
+    pub from: Vertex,
+    /// Receiver (newly informed).
+    pub to: Vertex,
+    /// The dimension the message crosses.
+    pub dim: u8,
+}
+
+/// Computes the round-by-round broadcast schedule for a spanning binomial
+/// tree.
+///
+/// Round `k` sends across the `k`-th *highest* free dimension from every
+/// already-informed vertex; after `height()` rounds every tree node is
+/// informed. Every transmission is a parent→child tree edge.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_hypercube::{broadcast::schedule, Sbt, Shape, Vertex};
+///
+/// let shape = Shape::new(3)?;
+/// let sbt = Sbt::spanning(Vertex::zero(shape));
+/// let rounds = schedule(&sbt);
+/// assert_eq!(rounds.len(), 3);
+/// assert_eq!(rounds[0].len(), 1); // 1 sender in round 0
+/// assert_eq!(rounds[1].len(), 2);
+/// assert_eq!(rounds[2].len(), 4);
+/// # Ok::<(), hyperdex_hypercube::DimensionError>(())
+/// ```
+pub fn schedule(sbt: &Sbt) -> Vec<Vec<Transmission>> {
+    let mut informed = vec![sbt.root()];
+    let mut rounds = Vec::with_capacity(sbt.height() as usize);
+    // Descending dimension order matches Sbt::children: a child reached
+    // by flipping dimension j may itself only forward across dims < j.
+    for dim in sbt.free_dims().rev() {
+        let round: Vec<Transmission> = informed
+            .iter()
+            .map(|&from| Transmission {
+                from,
+                to: from.flip(dim),
+                dim,
+            })
+            .collect();
+        informed.extend(round.iter().map(|t| t.to));
+        rounds.push(round);
+    }
+    rounds
+}
+
+/// The minimum number of rounds needed to broadcast over the tree —
+/// `r - |One(F_h(K))|` in the paper's superset-search analysis (§3.5).
+pub fn round_count(sbt: &Sbt) -> u32 {
+    sbt.height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn v(r: u8, bits: u64) -> Vertex {
+        Vertex::from_bits(Shape::new(r).unwrap(), bits).unwrap()
+    }
+
+    #[test]
+    fn doubles_informed_each_round() {
+        let sbt = Sbt::spanning(v(4, 0b0110));
+        let rounds = schedule(&sbt);
+        assert_eq!(rounds.len(), 4);
+        for (k, round) in rounds.iter().enumerate() {
+            assert_eq!(round.len(), 1 << k, "round {k} has 2^{k} transmissions");
+        }
+    }
+
+    #[test]
+    fn informs_every_node_exactly_once() {
+        let sbt = Sbt::induced(v(5, 0b00100));
+        let rounds = schedule(&sbt);
+        let mut informed = vec![sbt.root()];
+        for round in &rounds {
+            for t in round {
+                assert!(informed.contains(&t.from), "sender must be informed");
+                assert!(!informed.contains(&t.to), "receiver informed once");
+                informed.push(t.to);
+            }
+        }
+        assert_eq!(informed.len() as u64, sbt.node_count());
+    }
+
+    #[test]
+    fn transmissions_are_tree_edges() {
+        let sbt = Sbt::induced(v(4, 0b0100));
+        for round in schedule(&sbt) {
+            for t in round {
+                assert_eq!(sbt.parent(t.to), Some(t.from), "edge {} -> {}", t.from, t.to);
+                assert_eq!(sbt.branch_dim(t.to), Some(t.dim));
+            }
+        }
+    }
+
+    #[test]
+    fn round_count_matches_paper_bound() {
+        // §3.5: parallel search takes r - |One(F_h(K))| rounds.
+        let root = v(10, 0b0000011011);
+        let sbt = Sbt::induced(root);
+        assert_eq!(round_count(&sbt), 10 - root.one_count());
+    }
+
+    #[test]
+    fn unit_tree_needs_no_rounds() {
+        let sbt = Sbt::induced(v(3, 0b111));
+        assert!(schedule(&sbt).is_empty());
+        assert_eq!(round_count(&sbt), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Dimension-ordered (e-cube) routing between hypercube vertices.
+//!
+//! When the hypercube is a physical overlay (e.g. HyperCuP, which the
+//! paper cites as one deployment option), a message between two logical
+//! nodes travels edge-by-edge. E-cube routing fixes the classic
+//! deadlock-free path: correct differing bits in a fixed dimension
+//! order. Path length equals the Hamming distance — the overlay
+//! diameter is `r`.
+
+use crate::vertex::Vertex;
+
+/// The e-cube path from `from` to `to`, inclusive of both endpoints.
+///
+/// Differing dimensions are corrected from the highest to the lowest,
+/// so every step crosses exactly one edge and the path has
+/// `Hamming(from, to) + 1` vertices.
+///
+/// # Panics
+///
+/// Panics if the vertices come from different shapes.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_hypercube::{route, Shape, Vertex};
+///
+/// let shape = Shape::new(4)?;
+/// let a = Vertex::from_bits(shape, 0b0000)?;
+/// let b = Vertex::from_bits(shape, 0b1010)?;
+/// let path = route::ecube_path(a, b);
+/// assert_eq!(path.len(), 3); // Hamming distance 2, plus the start
+/// assert_eq!(path[0], a);
+/// assert_eq!(path[2], b);
+/// # Ok::<(), hyperdex_hypercube::DimensionError>(())
+/// ```
+pub fn ecube_path(from: Vertex, to: Vertex) -> Vec<Vertex> {
+    assert_eq!(
+        from.shape(),
+        to.shape(),
+        "cannot route between different hypercubes"
+    );
+    let mut path = Vec::with_capacity(from.hamming(to) as usize + 1);
+    let mut current = from;
+    path.push(current);
+    let diff = from.bits() ^ to.bits();
+    for dim in (0..from.shape().r()).rev() {
+        if diff & (1u64 << dim) != 0 {
+            current = current.flip(dim);
+            path.push(current);
+        }
+    }
+    debug_assert_eq!(*path.last().expect("non-empty"), to);
+    path
+}
+
+/// The number of overlay hops between two vertices (the Hamming
+/// distance — provided for symmetry with [`ecube_path`]).
+pub fn hop_count(from: Vertex, to: Vertex) -> u32 {
+    from.hamming(to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn v(r: u8, bits: u64) -> Vertex {
+        Vertex::from_bits(Shape::new(r).unwrap(), bits).unwrap()
+    }
+
+    #[test]
+    fn path_endpoints_and_length() {
+        let a = v(6, 0b010101);
+        let b = v(6, 0b101010);
+        let path = ecube_path(a, b);
+        assert_eq!(path.len() as u32, a.hamming(b) + 1);
+        assert_eq!(path[0], a);
+        assert_eq!(*path.last().unwrap(), b);
+    }
+
+    #[test]
+    fn every_step_is_one_edge() {
+        let a = v(8, 0b0011_0101);
+        let b = v(8, 0b1100_1010);
+        for pair in ecube_path(a, b).windows(2) {
+            assert_eq!(pair[0].hamming(pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn self_route_is_trivial() {
+        let a = v(4, 0b1001);
+        assert_eq!(ecube_path(a, a), vec![a]);
+        assert_eq!(hop_count(a, a), 0);
+    }
+
+    #[test]
+    fn corrects_high_dimensions_first() {
+        let a = v(4, 0b0000);
+        let b = v(4, 0b1001);
+        let path = ecube_path(a, b);
+        assert_eq!(path[1], v(4, 0b1000), "dimension 3 first");
+        assert_eq!(path[2], v(4, 0b1001));
+    }
+
+    #[test]
+    fn no_vertex_repeats() {
+        let a = v(10, 0);
+        let b = v(10, 0b11_1111_1111);
+        let path = ecube_path(a, b);
+        let mut seen: Vec<u64> = path.iter().map(|p| p.bits()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), path.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "different hypercubes")]
+    fn cross_shape_routing_panics() {
+        ecube_path(v(4, 0), v(5, 0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Fault injection: endpoint crash/recovery schedules and message loss.
+//!
+//! §3.4 of the paper argues that the hypercube scheme tolerates node
+//! failures because a keyword is spread over many index nodes. The
+//! fault-tolerance experiments drive that claim through this module.
+
+use std::collections::BTreeMap;
+
+use crate::net::EndpointId;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// A crash or recovery transition for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Transition {
+    Down,
+    Up,
+}
+
+/// A schedule of endpoint outages plus an optional uniform message-drop
+/// probability.
+///
+/// Outages are half-open intervals `[from, until)` during which the
+/// endpoint neither receives nor emits messages.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_simnet::fault::FaultPlan;
+/// use hyperdex_simnet::net::EndpointId;
+/// use hyperdex_simnet::time::SimTime;
+///
+/// let ep = EndpointId::from_raw(3);
+/// let mut plan = FaultPlan::new();
+/// plan.outage(ep, SimTime::from_ticks(10), SimTime::from_ticks(20));
+/// assert!(plan.is_up(ep, SimTime::from_ticks(5)));
+/// assert!(!plan.is_up(ep, SimTime::from_ticks(15)));
+/// assert!(plan.is_up(ep, SimTime::from_ticks(20)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    // endpoint -> time -> transition (BTreeMap gives in-order scanning).
+    schedules: BTreeMap<EndpointId, BTreeMap<SimTime, Transition>>,
+    drop_probability: f64,
+    permanently_down: Vec<EndpointId>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan: every endpoint up, no message loss.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an outage for `ep` over `[from, until)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until`.
+    pub fn outage(&mut self, ep: EndpointId, from: SimTime, until: SimTime) {
+        assert!(from < until, "outage interval must be non-empty");
+        let sched = self.schedules.entry(ep).or_default();
+        sched.insert(from, Transition::Down);
+        sched.insert(until, Transition::Up);
+    }
+
+    /// Marks `ep` as crashed forever (never recovers).
+    pub fn kill(&mut self, ep: EndpointId) {
+        if !self.permanently_down.contains(&ep) {
+            self.permanently_down.push(ep);
+        }
+    }
+
+    /// Sets a uniform probability in `[0, 1]` that any message is lost in
+    /// transit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn set_drop_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.drop_probability = p;
+    }
+
+    /// Whether `ep` is alive at instant `now`.
+    pub fn is_up(&self, ep: EndpointId, now: SimTime) -> bool {
+        if self.permanently_down.contains(&ep) {
+            return false;
+        }
+        match self.schedules.get(&ep) {
+            None => true,
+            Some(sched) => {
+                // The last transition at or before `now` decides the state.
+                match sched.range(..=now).next_back() {
+                    None => true,
+                    Some((_, Transition::Down)) => false,
+                    Some((_, Transition::Up)) => true,
+                }
+            }
+        }
+    }
+
+    /// Decides whether a message sent at `now` should be dropped.
+    ///
+    /// A message is dropped when the link loses it (probabilistic) — the
+    /// network separately checks that the *destination* is up on delivery.
+    pub fn should_drop(&self, rng: &mut SimRng) -> bool {
+        self.drop_probability > 0.0 && rng.chance(self.drop_probability)
+    }
+
+    /// Returns the list of endpoints marked permanently down.
+    pub fn killed(&self) -> &[EndpointId] {
+        &self.permanently_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(n: u64) -> EndpointId {
+        EndpointId::from_raw(n)
+    }
+
+    fn t(n: u64) -> SimTime {
+        SimTime::from_ticks(n)
+    }
+
+    #[test]
+    fn default_everything_up() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_up(ep(0), t(0)));
+        assert!(plan.is_up(ep(99), t(1_000_000)));
+    }
+
+    #[test]
+    fn outage_interval_half_open() {
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(10), t(20));
+        assert!(plan.is_up(ep(1), t(9)));
+        assert!(!plan.is_up(ep(1), t(10)));
+        assert!(!plan.is_up(ep(1), t(19)));
+        assert!(plan.is_up(ep(1), t(20)));
+    }
+
+    #[test]
+    fn multiple_outages_for_one_endpoint() {
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(10), t(20));
+        plan.outage(ep(1), t(30), t(40));
+        assert!(plan.is_up(ep(1), t(25)));
+        assert!(!plan.is_up(ep(1), t(35)));
+        assert!(plan.is_up(ep(1), t(45)));
+    }
+
+    #[test]
+    fn kill_is_permanent() {
+        let mut plan = FaultPlan::new();
+        plan.kill(ep(2));
+        plan.kill(ep(2)); // idempotent
+        assert!(!plan.is_up(ep(2), t(0)));
+        assert!(!plan.is_up(ep(2), t(u64::MAX)));
+        assert_eq!(plan.killed(), &[ep(2)]);
+    }
+
+    #[test]
+    fn outage_does_not_affect_other_endpoints() {
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(0), t(100));
+        assert!(plan.is_up(ep(2), t(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_outage_panics() {
+        FaultPlan::new().outage(ep(1), t(10), t(10));
+    }
+
+    #[test]
+    fn drop_probability_zero_never_drops() {
+        let plan = FaultPlan::new();
+        let mut rng = SimRng::new(1);
+        assert!((0..100).all(|_| !plan.should_drop(&mut rng)));
+    }
+
+    #[test]
+    fn drop_probability_one_always_drops() {
+        let mut plan = FaultPlan::new();
+        plan.set_drop_probability(1.0);
+        let mut rng = SimRng::new(1);
+        assert!((0..100).all(|_| plan.should_drop(&mut rng)));
+    }
+
+    #[test]
+    fn drop_probability_partial() {
+        let mut plan = FaultPlan::new();
+        plan.set_drop_probability(0.5);
+        let mut rng = SimRng::new(2);
+        let drops = (0..10_000).filter(|_| plan.should_drop(&mut rng)).count();
+        assert!((4_000..6_000).contains(&drops), "drops {drops}");
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn bad_probability_panics() {
+        FaultPlan::new().set_drop_probability(1.5);
+    }
+}

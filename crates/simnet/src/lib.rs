@@ -1,0 +1,52 @@
+//! # hyperdex-simnet
+//!
+//! A deterministic discrete-event network simulation substrate.
+//!
+//! The evaluation in *Keyword Search in DHT-based Peer-to-Peer Networks*
+//! (Joung, Fang & Yang, ICDCS 2005) is simulation-based: it counts the
+//! number of nodes contacted and messages exchanged by the index scheme.
+//! This crate provides the machinery those measurements rest on:
+//!
+//! * [`rng`] — a seeded, dependency-free PRNG (xoshiro256++) so every
+//!   experiment is bit-reproducible from a `u64` seed.
+//! * [`time`] — virtual simulation time ([`SimTime`], [`SimDuration`]).
+//! * [`event`] — a deterministic event queue with stable FIFO tie-breaking.
+//! * [`latency`] — pluggable link-latency models.
+//! * [`net`] — an in-memory message-passing network between endpoints with
+//!   per-message accounting.
+//! * [`fault`] — crash/recovery schedules and probabilistic message loss.
+//! * [`metrics`] — counters and histograms used by the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdex_simnet::{net::Network, latency::LatencyModel};
+//!
+//! let mut net: Network<&'static str> = Network::new(LatencyModel::constant(1), 42);
+//! let a = net.add_endpoint();
+//! let b = net.add_endpoint();
+//! net.send(a, b, "hello");
+//! let delivered = net.run_to_quiescence(|_now, _ep, msg| assert_eq!(msg, "hello"));
+//! assert_eq!(delivered, 1);
+//! assert_eq!(net.metrics().messages_sent.get(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fault;
+pub mod latency;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use fault::FaultPlan;
+pub use latency::LatencyModel;
+pub use metrics::{Counter, Histogram, NetMetrics};
+pub use net::{EndpointId, Network};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

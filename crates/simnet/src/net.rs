@@ -1,0 +1,422 @@
+//! An in-memory message-passing network between simulated endpoints.
+//!
+//! [`Network`] owns the event queue, the latency model, fault injection,
+//! and message accounting. Higher layers (the DHT, the keyword index)
+//! register endpoints, send typed messages, and drain deliveries either
+//! one at a time ([`Network::step`]) or until quiescence.
+
+use crate::event::EventQueue;
+use crate::fault::FaultPlan;
+use crate::latency::LatencyModel;
+use crate::metrics::NetMetrics;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// Identifies an endpoint (a simulated process) within a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EndpointId(u64);
+
+impl EndpointId {
+    /// Creates an endpoint id from its raw index.
+    ///
+    /// Normally ids come from [`Network::add_endpoint`]; this constructor
+    /// exists for fault plans and tests that name endpoints directly.
+    pub const fn from_raw(raw: u64) -> Self {
+        EndpointId(raw)
+    }
+
+    /// The raw index.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InFlight<M> {
+    from: EndpointId,
+    to: EndpointId,
+    payload: M,
+}
+
+/// A delivered message, as returned by [`Network::step`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Delivery instant.
+    pub at: SimTime,
+    /// Sender endpoint.
+    pub from: EndpointId,
+    /// Receiving endpoint.
+    pub to: EndpointId,
+    /// The message payload.
+    pub payload: M,
+}
+
+/// A deterministic simulated network carrying messages of type `M`.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_simnet::{net::Network, latency::LatencyModel};
+///
+/// let mut net: Network<u32> = Network::new(LatencyModel::constant(2), 1);
+/// let a = net.add_endpoint();
+/// let b = net.add_endpoint();
+/// net.send(a, b, 7);
+/// let d = net.step().expect("one message in flight");
+/// assert_eq!((d.from, d.to, d.payload), (a, b, 7));
+/// assert_eq!(d.at.ticks(), 2);
+/// ```
+#[derive(Debug)]
+pub struct Network<M> {
+    queue: EventQueue<InFlight<M>>,
+    latency: LatencyModel,
+    faults: FaultPlan,
+    rng: SimRng,
+    metrics: NetMetrics,
+    endpoints: u64,
+    trace: Trace,
+}
+
+impl<M> Network<M> {
+    /// Creates a network with the given latency model and RNG seed.
+    pub fn new(latency: LatencyModel, seed: u64) -> Self {
+        Network {
+            queue: EventQueue::new(),
+            latency,
+            faults: FaultPlan::new(),
+            rng: SimRng::new(seed),
+            metrics: NetMetrics::new(),
+            endpoints: 0,
+            trace: Trace::new(0),
+        }
+    }
+
+    /// Enables event tracing, keeping the `capacity` most recent
+    /// events (0 disables). See [`crate::trace`].
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Trace::new(capacity);
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Registers a new endpoint and returns its id.
+    pub fn add_endpoint(&mut self) -> EndpointId {
+        let id = EndpointId(self.endpoints);
+        self.endpoints += 1;
+        id
+    }
+
+    /// Registers `n` endpoints at once, returning their ids.
+    pub fn add_endpoints(&mut self, n: usize) -> Vec<EndpointId> {
+        (0..n).map(|_| self.add_endpoint()).collect()
+    }
+
+    /// Number of registered endpoints.
+    pub fn endpoint_count(&self) -> u64 {
+        self.endpoints
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Message accounting so far.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// Resets message accounting (virtual time is unaffected).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Mutable access to the fault plan.
+    pub fn faults_mut(&mut self) -> &mut FaultPlan {
+        &mut self.faults
+    }
+
+    /// Read access to the fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether `ep` is currently alive under the fault plan.
+    pub fn is_up(&self, ep: EndpointId) -> bool {
+        self.faults.is_up(ep, self.now())
+    }
+
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// The message is queued with a latency drawn from the model. It may
+    /// later be dropped by fault injection or a dead destination; the send
+    /// itself always succeeds (fire-and-forget, like UDP).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint id was never registered.
+    pub fn send(&mut self, from: EndpointId, to: EndpointId, payload: M) {
+        self.send_sized(from, to, payload, 0);
+    }
+
+    /// Like [`Network::send`] but also accounts `bytes` of payload size.
+    pub fn send_sized(&mut self, from: EndpointId, to: EndpointId, payload: M, bytes: u64) {
+        assert!(from.0 < self.endpoints, "unknown sender {from}");
+        assert!(to.0 < self.endpoints, "unknown destination {to}");
+        self.metrics.messages_sent.incr();
+        self.metrics.bytes_sent.add(bytes);
+        self.trace.record(TraceEvent {
+            at: self.now(),
+            kind: TraceKind::Sent,
+            from,
+            to,
+        });
+        // A dead sender cannot emit; the message silently vanishes.
+        if !self.faults.is_up(from, self.now()) || self.faults.should_drop(&mut self.rng) {
+            self.metrics.messages_dropped.incr();
+            self.trace.record(TraceEvent {
+                at: self.now(),
+                kind: TraceKind::Dropped,
+                from,
+                to,
+            });
+            return;
+        }
+        let delay = self.latency.sample(&mut self.rng);
+        self.queue.schedule_after(delay, InFlight { from, to, payload });
+    }
+
+    /// Delivers the next in-flight message, advancing virtual time.
+    ///
+    /// Returns `None` when the network is quiescent. Messages whose
+    /// destination is down at delivery time are counted as dropped and
+    /// skipped.
+    pub fn step(&mut self) -> Option<Delivery<M>> {
+        while let Some((at, msg)) = self.queue.pop() {
+            if !self.faults.is_up(msg.to, at) {
+                self.metrics.messages_dropped.incr();
+                self.trace.record(TraceEvent {
+                    at,
+                    kind: TraceKind::Dropped,
+                    from: msg.from,
+                    to: msg.to,
+                });
+                continue;
+            }
+            self.metrics.messages_delivered.incr();
+            self.trace.record(TraceEvent {
+                at,
+                kind: TraceKind::Delivered,
+                from: msg.from,
+                to: msg.to,
+            });
+            return Some(Delivery {
+                at,
+                from: msg.from,
+                to: msg.to,
+                payload: msg.payload,
+            });
+        }
+        None
+    }
+
+    /// Runs the network until no messages remain, handing each delivery to
+    /// `handler`. Returns the number of deliveries.
+    ///
+    /// The handler may not send further messages (it has no access to the
+    /// network); for request/response protocols drive the network manually
+    /// with [`Network::step`] in a loop.
+    pub fn run_to_quiescence<F>(&mut self, mut handler: F) -> u64
+    where
+        F: FnMut(SimTime, EndpointId, M),
+    {
+        let mut delivered = 0;
+        while let Some(d) = self.step() {
+            handler(d.at, d.to, d.payload);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Number of messages currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn net(latency: LatencyModel) -> (Network<u32>, EndpointId, EndpointId) {
+        let mut n = Network::new(latency, 42);
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        (n, a, b)
+    }
+
+    #[test]
+    fn delivers_with_latency() {
+        let (mut n, a, b) = net(LatencyModel::constant(3));
+        n.send(a, b, 1);
+        let d = n.step().unwrap();
+        assert_eq!(d.at, SimTime::from_ticks(3));
+        assert_eq!(d.payload, 1);
+        assert!(n.step().is_none());
+    }
+
+    #[test]
+    fn fifo_between_same_instant_messages() {
+        let (mut n, a, b) = net(LatencyModel::constant(1));
+        for i in 0..10 {
+            n.send(a, b, i);
+        }
+        let got: Vec<u32> = std::iter::from_fn(|| n.step()).map(|d| d.payload).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn metrics_account_sends_and_deliveries() {
+        let (mut n, a, b) = net(LatencyModel::constant(1));
+        n.send_sized(a, b, 1, 100);
+        n.send_sized(b, a, 2, 50);
+        n.run_to_quiescence(|_, _, _| {});
+        let m = n.metrics();
+        assert_eq!(m.messages_sent.get(), 2);
+        assert_eq!(m.messages_delivered.get(), 2);
+        assert_eq!(m.messages_dropped.get(), 0);
+        assert_eq!(m.bytes_sent.get(), 150);
+    }
+
+    #[test]
+    fn dead_destination_drops() {
+        let (mut n, a, b) = net(LatencyModel::constant(1));
+        n.faults_mut().kill(b);
+        n.send(a, b, 1);
+        assert!(n.step().is_none());
+        assert_eq!(n.metrics().messages_dropped.get(), 1);
+    }
+
+    #[test]
+    fn dead_sender_drops() {
+        let (mut n, a, b) = net(LatencyModel::constant(1));
+        n.faults_mut().kill(a);
+        n.send(a, b, 1);
+        assert!(n.step().is_none());
+        assert_eq!(n.metrics().messages_dropped.get(), 1);
+        assert_eq!(n.in_flight(), 0);
+    }
+
+    #[test]
+    fn outage_expires() {
+        let (mut n, a, b) = net(LatencyModel::constant(5));
+        n.faults_mut()
+            .outage(b, SimTime::from_ticks(0), SimTime::from_ticks(3));
+        // Delivered at t=5, after the outage ends.
+        n.send(a, b, 9);
+        let d = n.step().unwrap();
+        assert_eq!(d.payload, 9);
+    }
+
+    #[test]
+    fn lossy_link_drops_fraction() {
+        let (mut n, a, b) = net(LatencyModel::constant(1));
+        n.faults_mut().set_drop_probability(0.5);
+        for i in 0..1000 {
+            n.send(a, b, i);
+        }
+        let delivered = n.run_to_quiescence(|_, _, _| {});
+        assert!((300..700).contains(&delivered), "delivered {delivered}");
+        assert_eq!(
+            n.metrics().messages_dropped.get() + delivered,
+            1000,
+            "every message is either dropped or delivered"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown destination")]
+    fn unknown_endpoint_panics() {
+        let mut n: Network<u32> = Network::new(LatencyModel::default(), 1);
+        let a = n.add_endpoint();
+        n.send(a, EndpointId::from_raw(5), 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut n: Network<u64> = Network::new(LatencyModel::uniform(1, 10), 7);
+            let eps = n.add_endpoints(4);
+            for i in 0..100u64 {
+                n.send(eps[(i % 4) as usize], eps[((i + 1) % 4) as usize], i);
+            }
+            let mut trace = Vec::new();
+            while let Some(d) = n.step() {
+                trace.push((d.at, d.from, d.to, d.payload));
+            }
+            trace
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn add_endpoints_bulk() {
+        let mut n: Network<()> = Network::new(LatencyModel::default(), 1);
+        let eps = n.add_endpoints(5);
+        assert_eq!(eps.len(), 5);
+        assert_eq!(n.endpoint_count(), 5);
+        assert!(eps.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::trace::TraceKind;
+
+    #[test]
+    fn tracing_records_send_and_delivery() {
+        let mut n: Network<u8> = Network::new(LatencyModel::constant(1), 1);
+        n.enable_tracing(16);
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 1);
+        n.step();
+        let kinds: Vec<TraceKind> = n.trace().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::Sent, TraceKind::Delivered]);
+    }
+
+    #[test]
+    fn tracing_records_drops() {
+        let mut n: Network<u8> = Network::new(LatencyModel::constant(1), 1);
+        n.enable_tracing(16);
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.faults_mut().kill(b);
+        n.send(a, b, 1);
+        assert!(n.step().is_none());
+        assert_eq!(n.trace().of_kind(TraceKind::Dropped).count(), 1);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default() {
+        let mut n: Network<u8> = Network::new(LatencyModel::constant(1), 1);
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        n.send(a, b, 1);
+        n.step();
+        assert!(n.trace().is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the simulation substrate.
+
+use hyperdex_simnet::latency::LatencyModel;
+use hyperdex_simnet::net::Network;
+use hyperdex_simnet::rng::SimRng;
+use hyperdex_simnet::time::{SimDuration, SimTime};
+use hyperdex_simnet::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// scheduling order.
+    #[test]
+    fn event_queue_monotone(delays in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, d) in delays.iter().enumerate() {
+            q.schedule_at(SimTime::from_ticks(*d), i);
+        }
+        let mut last = SimTime::ZERO;
+        while let Some((at, _)) = q.pop() {
+            prop_assert!(at >= last);
+            last = at;
+        }
+    }
+
+    /// Same-instant events preserve scheduling order (stable FIFO).
+    #[test]
+    fn event_queue_fifo_within_tick(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule_at(SimTime::from_ticks(7), i);
+        }
+        let popped: Vec<usize> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        prop_assert_eq!(popped, (0..n).collect::<Vec<_>>());
+    }
+
+    /// gen_range never exceeds its bound and hits both halves of the
+    /// domain over enough draws.
+    #[test]
+    fn rng_range_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+
+    /// Identical seeds give identical streams; shuffles are permutations.
+    #[test]
+    fn rng_shuffle_permutes(seed in any::<u64>(), len in 0usize..64) {
+        let mut rng = SimRng::new(seed);
+        let mut v: Vec<usize> = (0..len).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..len).collect::<Vec<_>>());
+    }
+
+    /// Every sent message is exactly once delivered or dropped, and the
+    /// simulation reaches quiescence.
+    #[test]
+    fn network_conservation(
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0u64..8, 0u64..8), 0..200),
+        drop_p in 0.0f64..1.0,
+    ) {
+        let mut net: Network<usize> = Network::new(LatencyModel::uniform(1, 5), seed);
+        let eps = net.add_endpoints(8);
+        net.faults_mut().set_drop_probability(drop_p);
+        for (i, (from, to)) in sends.iter().enumerate() {
+            net.send(eps[*from as usize], eps[*to as usize], i);
+        }
+        let delivered = net.run_to_quiescence(|_, _, _| {});
+        let m = net.metrics();
+        prop_assert_eq!(m.messages_sent.get(), sends.len() as u64);
+        prop_assert_eq!(delivered + m.messages_dropped.get(), sends.len() as u64);
+        prop_assert_eq!(net.in_flight(), 0);
+    }
+
+    /// Latency samples respect each model's support.
+    #[test]
+    fn latency_support(seed in any::<u64>(), lo in 0u64..50, span in 0u64..50) {
+        let mut rng = SimRng::new(seed);
+        let hi = lo + span;
+        let m = LatencyModel::uniform(lo, hi);
+        for _ in 0..32 {
+            let t = m.sample(&mut rng).ticks();
+            prop_assert!(t >= lo && t <= hi);
+        }
+    }
+
+    /// SimTime arithmetic: (t + d) - t == d.
+    #[test]
+    fn time_roundtrip(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 2) {
+        let t0 = SimTime::from_ticks(t);
+        let dur = SimDuration::from_ticks(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+    }
+}

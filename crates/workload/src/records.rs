@@ -1,0 +1,95 @@
+//! Website records shaped like the paper's Table 1.
+//!
+//! Each PCHome record carries six fields: ID, Title, URL, Category,
+//! Description, and Keyword. Only the keyword set participates in
+//! indexing; the other fields exist so examples and Table 1 output look
+//! like the original data.
+
+use hyperdex_core::{KeywordSet, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// One website directory record (Table 1 schema).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebsiteRecord {
+    /// Record id (also the DHT object id).
+    pub id: u64,
+    /// Site title.
+    pub title: String,
+    /// Site URL.
+    pub url: String,
+    /// PCHome-style numeric category path.
+    pub category: String,
+    /// Editor-written description.
+    pub description: String,
+    /// The keyword set used for indexing.
+    pub keywords: KeywordSet,
+}
+
+impl WebsiteRecord {
+    /// The DHT object id for this record.
+    pub fn object_id(&self) -> ObjectId {
+        ObjectId::from_raw(self.id)
+    }
+
+    /// Renders the record as a Table 1-style row.
+    pub fn table_row(&self) -> String {
+        let kw: Vec<&str> = self.keywords.iter().map(|k| k.as_str()).collect();
+        format!(
+            "| {} | {} | {} | {} | {} | {} |",
+            self.id,
+            self.title,
+            self.url,
+            self.category,
+            self.description,
+            kw.join(", ")
+        )
+    }
+}
+
+impl std::fmt::Display for WebsiteRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{} {} <{}> {}", self.id, self.title, self.url, self.keywords)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> WebsiteRecord {
+        WebsiteRecord {
+            id: 11,
+            title: "Hinet".into(),
+            url: "http://www.hinet.net".into(),
+            category: "0818013020".into(),
+            description: "Largest ISP in Taiwan".into(),
+            keywords: KeywordSet::parse("ISP, telecommunication, network, download").unwrap(),
+        }
+    }
+
+    #[test]
+    fn object_id_derives_from_record_id() {
+        assert_eq!(record().object_id(), ObjectId::from_raw(11));
+    }
+
+    #[test]
+    fn table_row_contains_all_fields() {
+        let row = record().table_row();
+        for field in ["11", "Hinet", "hinet.net", "0818013020", "ISP in Taiwan", "isp"] {
+            assert!(row.contains(field), "missing {field} in {row}");
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = record().to_string();
+        assert!(s.starts_with("#11 Hinet"));
+        assert!(s.contains("isp"));
+    }
+
+    #[test]
+    fn implements_serde_traits() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<WebsiteRecord>();
+    }
+}

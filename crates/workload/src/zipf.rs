@@ -1,0 +1,208 @@
+//! An exact, seedable Zipf sampler.
+//!
+//! §1: "keyword frequency … typically follows *Zipf's law*: a few
+//! keywords occur very often while many others occur rarely." Rank `k`
+//! (1-based) gets probability proportional to `k^(−s)`.
+
+use hyperdex_simnet::rng::SimRng;
+
+/// A Zipf(`s`) distribution over ranks `0..n` sampled by inverse-CDF
+/// binary search — exact (no rejection), deterministic given the RNG.
+///
+/// # Example
+///
+/// ```
+/// use hyperdex_simnet::rng::SimRng;
+/// use hyperdex_workload::zipf::ZipfSampler;
+///
+/// let zipf = ZipfSampler::new(1000, 1.0);
+/// let mut rng = SimRng::new(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf domain must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against rounding leaving the last value below 1.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        ZipfSampler { cdf, exponent: s }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of rank `k` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn probability(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Cumulative probability of the top `k` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > len()`.
+    pub fn top_share(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "k out of range");
+        self.cdf[k - 1]
+    }
+
+    /// Draws a rank (0-based; rank 0 is the most popular).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.gen_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Finds an exponent `s` such that the top `k` of `n` ranks carry
+    /// approximately `share` of the mass (bisection) — used to calibrate
+    /// query skew to the paper's "top-10 ≈ 60 %" statistic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `share` is not in `(0, 1)` or `k >= n`.
+    pub fn calibrate_exponent(n: usize, k: usize, share: f64) -> f64 {
+        assert!((0.0..1.0).contains(&share) && share > 0.0, "share in (0,1)");
+        assert!(k >= 1 && k < n, "need 1 <= k < n");
+        let (mut lo, mut hi) = (0.0f64, 8.0f64);
+        for _ in 0..60 {
+            let mid = (lo + hi) / 2.0;
+            let got = ZipfSampler::new(n, mid).top_share(k);
+            if got < share {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo + hi) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(500, 1.0);
+        let total: f64 = (0..500).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_one_dominates() {
+        let z = ZipfSampler::new(100, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(50));
+        // p(k) ∝ 1/k: p(0)/p(1) = 2.
+        assert!((z.probability(0) / z.probability(1) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.probability(k) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let z = ZipfSampler::new(50, 1.2);
+        let mut rng = SimRng::new(3);
+        let n = 100_000;
+        let mut counts = [0u32; 50];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in [0usize, 1, 5, 20] {
+            let observed = f64::from(counts[k]) / n as f64;
+            let expected = z.probability(k);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "rank {k}: {observed} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_within_range() {
+        let z = ZipfSampler::new(7, 2.0);
+        let mut rng = SimRng::new(9);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn top_share_monotone_in_exponent() {
+        let low = ZipfSampler::new(1000, 0.5).top_share(10);
+        let high = ZipfSampler::new(1000, 1.5).top_share(10);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn calibrate_hits_target_share() {
+        // The paper's statistic: top-10 of the daily distinct queries
+        // carry 60 % of the volume.
+        let s = ZipfSampler::calibrate_exponent(10_000, 10, 0.6);
+        let achieved = ZipfSampler::new(10_000, s).top_share(10);
+        assert!((achieved - 0.6).abs() < 0.01, "achieved {achieved}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_domain_panics() {
+        ZipfSampler::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut a = SimRng::new(5);
+        let mut b = SimRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut a), z.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! File sharing: the paper's motivating workload — multimedia metadata
+//! search over a P2P overlay, with ranking and query refinement.
+//!
+//! Builds a synthetic PCHome-style corpus, indexes it, and walks
+//! through the user journey §1 describes: a broad query, category
+//! sampling to refine it, then a narrower query whose search space is
+//! nested inside the first (Lemma 3.3), and cumulative browsing.
+//!
+//! ```text
+//! cargo run --release --example file_sharing
+//! ```
+
+use hyperdex::core::expansion::QueryExpander;
+use hyperdex::core::search::cumulative::CumulativeSearch;
+use hyperdex::core::{ranking, HypercubeIndex, KeywordSet, SupersetQuery};
+use hyperdex::workload::{Corpus, CorpusConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Index a 10k-record corpus with the paper's distributions.
+    let corpus = Corpus::generate(&CorpusConfig::pchome().with_objects(10_000), 11);
+    let mut index = HypercubeIndex::new(10, 0)?;
+    for (id, keywords) in corpus.indexable() {
+        index.insert(id, keywords.clone())?;
+    }
+    println!(
+        "indexed {} records (mean {:.1} keywords) over H_10",
+        index.len(),
+        corpus.mean_keywords_per_object()
+    );
+
+    // 1. A broad single-keyword query (the most popular word).
+    let broad = KeywordSet::parse("kw000000")?;
+    let out = index.superset_search(&SupersetQuery::new(broad.clone()).threshold(200))?;
+    println!(
+        "\nbroad query {broad}: {} matches shown, {} nodes contacted ({}% of 1024)",
+        out.results.len(),
+        out.stats.nodes_contacted,
+        out.stats.nodes_contacted * 100 / 1024
+    );
+
+    // 2. Sample refinement categories: "objects with extra keyword σ1,
+    //    extra keyword σ2, ..." — no global knowledge needed.
+    let samples = ranking::sample_categories(&out.results, &broad, 2);
+    println!("refinement suggestions (first 5 categories):");
+    for cat in samples.iter().take(5) {
+        println!("  +{} ({} objects)", cat.extra, cat.total);
+    }
+
+    // 3. Refine via the §3.4 query expander, which ranks the sampled
+    //    categories by the user's preference history; Lemma 3.3: the
+    //    refined search space nests inside the broad one.
+    let mut expander = QueryExpander::new();
+    expander.note(&KeywordSet::parse("kw000002")?); // simulated history
+    let refined = expander
+        .expand(&mut index, &broad, 200, 1)?
+        .first()
+        .map(|e| e.query.clone())
+        .unwrap_or_else(|| broad.clone());
+    let refined_out = index.superset_search(&SupersetQuery::new(refined.clone()).threshold(50))?;
+    println!(
+        "\nrefined query {refined}: {} matches, {} nodes contacted",
+        refined_out.results.len(),
+        refined_out.stats.nodes_contacted
+    );
+    let broad_root = index.vertex_for(&broad);
+    let refined_root = index.vertex_for(&refined);
+    assert!(
+        refined_root.contains(broad_root),
+        "Lemma 3.3: refined subcube nests inside the broad one"
+    );
+
+    // 4. Browse the broad result set cumulatively, Google-style.
+    let mut session = CumulativeSearch::new(&index, broad);
+    for page in 1..=3 {
+        let batch = session.next_batch(&index, 10)?;
+        println!(
+            "\npage {page}: {} results ({} new nodes contacted)",
+            batch.results.len(),
+            batch.stats.nodes_contacted
+        );
+        for r in batch.results.iter().take(3) {
+            println!("  {} — {}", r.object, r.keyword_set);
+        }
+        if session.is_finished() {
+            break;
+        }
+    }
+    println!("\ntotal delivered across pages: {}", session.delivered());
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Quickstart: publish objects into a DHT-backed keyword index and
+//! search them.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hyperdex::core::search::TraversalOrder;
+use hyperdex::core::{KeywordSearchService, KeywordSet, ObjectId, SupersetQuery};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 64-node Chord-like DHT carrying a 10-dimensional hypercube
+    // keyword index — the r the paper found optimal for PCHome-like
+    // metadata.
+    let mut svc = KeywordSearchService::builder()
+        .nodes(64)
+        .dimension(10)
+        .seed(7)
+        .build()?;
+
+    // Publish a few objects, each indexed at exactly ONE node — the
+    // vertex F_h(K) determined by its keyword set.
+    let publisher = svc.random_node();
+    let catalogue = [
+        ("kind-of-blue", "jazz, trumpet, 1959"),
+        ("giant-steps", "jazz, sax, 1960"),
+        ("blue-train", "jazz, sax, 1957, hard-bop"),
+        ("kind-of-bloop", "chiptune, remix"),
+    ];
+    for (name, keywords) in catalogue {
+        let receipt = svc.publish(
+            publisher,
+            ObjectId::from_name(name),
+            KeywordSet::parse(keywords)?,
+        )?;
+        println!(
+            "published {name:<14} -> index vertex {} ({} DHT hops)",
+            receipt.index_vertex.expect("first copy"),
+            receipt.total_hops()
+        );
+    }
+
+    // Pin search: the exact keyword set, one lookup.
+    let requester = svc.random_node();
+    let pin = svc.pin_search(requester, &KeywordSet::parse("jazz, sax, 1960")?);
+    println!(
+        "\npin search {{jazz, sax, 1960}} -> {:?} ({} nodes contacted)",
+        pin.outcome.results, pin.outcome.stats.nodes_contacted
+    );
+    assert_eq!(pin.outcome.results, vec![ObjectId::from_name("giant-steps")]);
+
+    // Superset search: everything describable by {jazz}, most general
+    // first; the traversal covers only the induced subhypercube.
+    let out = svc.superset_search(
+        requester,
+        &SupersetQuery::new(KeywordSet::parse("jazz")?)
+            .threshold(10)
+            .order(TraversalOrder::TopDown),
+    )?;
+    println!(
+        "\nsuperset search {{jazz}} found {} objects over {} nodes:",
+        out.outcome.results.len(),
+        out.outcome.stats.nodes_contacted
+    );
+    for r in &out.outcome.results {
+        println!(
+            "  {} (+{} extra keywords: {})",
+            r.object, r.extra_keywords, r.keyword_set
+        );
+    }
+    assert_eq!(out.outcome.results.len(), 3, "three jazz records");
+
+    // Fetch a reference (the final Read(σ) of the DOLR layer).
+    let reference = svc
+        .fetch_reference(publisher, ObjectId::from_name("blue-train"))
+        .expect("published above");
+    println!(
+        "\nRead(blue-train): copy at node {} ({} hops)",
+        reference.refs[0].owner, reference.hops
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! # hyperdex — facade crate
+//!
+//! One-stop entry point for the hyperdex workspace: a complete Rust
+//! implementation of *Keyword Search in DHT-based Peer-to-Peer
+//! Networks* (Joung, Fang & Yang, ICDCS 2005).
+//!
+//! The paper's scheme hashes every keyword to a bit position and
+//! indexes each object at the single hypercube vertex determined by its
+//! whole keyword set; superset queries walk the induced subhypercube
+//! along a spanning binomial tree. See README.md and DESIGN.md for the
+//! full tour.
+//!
+//! # Modules
+//!
+//! * [`core`] — the keyword index and search scheme (the contribution):
+//!   [`core::KeywordSearchService`], [`core::HypercubeIndex`],
+//!   [`core::SupersetQuery`], ranking, caching, baselines, analysis.
+//! * [`dht`] — the Chord-like DHT substrate with the paper's
+//!   generalized DOLR model.
+//! * [`hypercube`] — vertices, induced subhypercubes, spanning binomial
+//!   trees.
+//! * [`simnet`] — the deterministic discrete-event network simulator.
+//! * [`workload`] — synthetic corpus and query-log generation
+//!   calibrated to the paper's dataset statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use hyperdex::core::{KeywordSearchService, KeywordSet, ObjectId, SupersetQuery};
+//!
+//! let mut svc = KeywordSearchService::builder().nodes(32).dimension(10).build()?;
+//! let publisher = svc.random_node();
+//! svc.publish(
+//!     publisher,
+//!     ObjectId::from_name("track-1"),
+//!     KeywordSet::parse("jazz, piano, 1959")?,
+//! )?;
+//! let out = svc.superset_search(
+//!     publisher,
+//!     &SupersetQuery::new(KeywordSet::parse("jazz")?).threshold(10),
+//! )?;
+//! assert_eq!(out.outcome.results.len(), 1);
+//! # Ok::<(), hyperdex::core::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hyperdex_core as core;
+pub use hyperdex_dht as dht;
+pub use hyperdex_hypercube as hypercube;
+pub use hyperdex_simnet as simnet;
+pub use hyperdex_workload as workload;
+
+/// Convenience re-exports of the types most applications touch.
+///
+/// ```
+/// use hyperdex::prelude::*;
+///
+/// let mut index = HypercubeIndex::new(8, 0)?;
+/// index.insert(ObjectId::from_name("doc"), KeywordSet::parse("a b")?)?;
+/// assert_eq!(index.len(), 1);
+/// # Ok::<(), Error>(())
+/// ```
+pub mod prelude {
+    pub use hyperdex_core::{
+        Error, HypercubeIndex, Keyword, KeywordSearchService, KeywordSet, ObjectId,
+        RankedObject, SupersetQuery, TraversalOrder,
+    };
+    pub use hyperdex_dht::{Dolr, NodeId};
+    pub use hyperdex_hypercube::{Shape, Vertex};
+}

@@ -1,0 +1,155 @@
+//! Fault-tolerance integration: churn, crashes, surrogate routing, and
+//! the §3.4 claim that no single failure blocks a keyword's queries.
+
+use hyperdex::core::{HypercubeIndex, KeywordSet, ObjectId, SupersetQuery};
+use hyperdex::dht::sim::SimDht;
+use hyperdex::dht::{Dolr, NodeId};
+use hyperdex::simnet::latency::LatencyModel;
+
+#[test]
+fn graceful_churn_preserves_all_references() {
+    let mut dht = Dolr::builder().nodes(32).seed(1).build();
+    let publisher = dht.random_node();
+    let objects: Vec<ObjectId> = (0..200).map(ObjectId::from_raw).collect();
+    for &obj in &objects {
+        dht.insert(publisher, obj, publisher);
+    }
+    // Half the ring leaves gracefully.
+    for _ in 0..16 {
+        let victim = dht.ring().iter().nth(1).expect("nodes remain");
+        dht.leave(victim);
+    }
+    let reader = dht.random_node();
+    for &obj in &objects {
+        assert!(dht.read(reader, obj).is_some(), "{obj} lost in churn");
+    }
+}
+
+#[test]
+fn joins_rebalance_without_losing_data() {
+    let mut dht = Dolr::builder().nodes(8).seed(2).build();
+    let publisher = dht.random_node();
+    let objects: Vec<ObjectId> = (0..100).map(ObjectId::from_raw).collect();
+    for &obj in &objects {
+        dht.insert(publisher, obj, publisher);
+    }
+    for i in 0..24u64 {
+        dht.join(NodeId::from_raw(i.wrapping_mul(0x0765_4321_FEDC_BA98)));
+    }
+    assert_eq!(dht.ring().len(), 32);
+    let reader = dht.random_node();
+    for &obj in &objects {
+        assert!(dht.read(reader, obj).is_some(), "{obj} lost on join");
+    }
+}
+
+#[test]
+fn replication_covers_cascading_crashes() {
+    let mut dht = Dolr::builder().nodes(24).seed(3).replication(3).build();
+    let publisher = dht.random_node();
+    let objects: Vec<ObjectId> = (0..50).map(ObjectId::from_raw).collect();
+    for &obj in &objects {
+        dht.insert(publisher, obj, publisher);
+    }
+    // Crash 10 nodes one at a time (re-replication runs after each).
+    for _ in 0..10 {
+        let victim = dht.ring().iter().last().expect("nodes remain");
+        dht.crash(victim);
+        let reader = dht.random_node();
+        for &obj in &objects {
+            assert!(dht.read(reader, obj).is_some(), "{obj} lost after crash");
+        }
+    }
+}
+
+#[test]
+fn simulated_lookups_survive_node_failures() {
+    let mut sim = SimDht::new(48, LatencyModel::constant(1), 5);
+    let nodes = sim.nodes();
+    // Crash a third of the ring (never the requester).
+    for victim in nodes.iter().skip(1).step_by(3).take(16) {
+        sim.crash(*victim);
+    }
+    sim.stabilize();
+    // Every key must still resolve to a live owner.
+    for i in 0..40u64 {
+        let key = NodeId::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let outcome = sim
+            .lookup(nodes[0], key)
+            .expect("stabilized lookup succeeds");
+        assert_eq!(Some(outcome.owner), sim.ring().surrogate(key));
+        assert!(sim.ring().contains(outcome.owner), "owner is live");
+    }
+}
+
+#[test]
+fn keyword_queries_survive_single_index_node_loss() {
+    // §3.4: a popular keyword's objects spread over many vertices, so
+    // deleting any single vertex's table loses only that vertex's
+    // objects, never the whole keyword.
+    let mut index = HypercubeIndex::new(8, 0).expect("valid");
+    let common = "popular";
+    let objects: Vec<(ObjectId, KeywordSet)> = (0..200)
+        .map(|i| {
+            (
+                ObjectId::from_raw(i),
+                KeywordSet::parse(&format!("{common} unique{i} extra{}", i % 7))
+                    .expect("parses"),
+            )
+        })
+        .collect();
+    for (id, k) in &objects {
+        index.insert(*id, k.clone()).expect("non-empty");
+    }
+    let loads = index.node_loads();
+    assert!(
+        loads.len() > 10,
+        "a popular keyword spreads over many vertices ({} here)",
+        loads.len()
+    );
+    // Simulate losing the heaviest index vertex: remove its entries.
+    let (heaviest, heavy_load) = loads
+        .iter()
+        .max_by_key(|&&(_, l)| l)
+        .copied()
+        .expect("non-empty");
+    let lost: Vec<(ObjectId, KeywordSet)> = objects
+        .iter()
+        .filter(|(_, k)| index.vertex_for(k) == heaviest)
+        .cloned()
+        .collect();
+    assert_eq!(lost.len(), heavy_load);
+    for (id, k) in &lost {
+        index.remove(*id, k);
+    }
+    // The keyword remains queryable; only the lost vertex's objects are
+    // missing.
+    let out = index
+        .superset_search(
+            &SupersetQuery::new(KeywordSet::parse(common).expect("parses")).use_cache(false),
+        )
+        .expect("valid");
+    assert_eq!(out.results.len(), objects.len() - lost.len());
+    assert!(
+        out.results.len() > objects.len() / 2,
+        "single node loss must not block the keyword"
+    );
+}
+
+#[test]
+fn lossy_network_lookups_eventually_succeed() {
+    let mut sim = SimDht::new(32, LatencyModel::constant(1), 11);
+    sim.network_mut().faults_mut().set_drop_probability(0.3);
+    let nodes = sim.nodes();
+    let key = NodeId::from_raw(u64::MAX / 7);
+    // Individual lookups may die with 30% loss; retries (fresh messages)
+    // must succeed within a bounded number of attempts.
+    let mut succeeded = false;
+    for _ in 0..20 {
+        if sim.lookup(nodes[0], key).is_some() {
+            succeeded = true;
+            break;
+        }
+    }
+    assert!(succeeded, "20 retries at 30% loss should succeed");
+}
