@@ -100,6 +100,7 @@ fn main() -> ExitCode {
             }
             "availability" => {
                 availability::run(&ctx);
+                availability::run_protocol(&ctx);
             }
             other => {
                 eprintln!("unknown experiment `{other}`\n{USAGE}");

@@ -91,6 +91,59 @@ pub fn csv_series(name: &str, x_label: &str, y_label: &str, points: &[(f64, f64)
     out
 }
 
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a labeled `(x, y)` series as a single-line JSON object —
+/// `{"series":…,"tags":{…},"x":…,"y":…,"points":[[x,y],…]}` — without
+/// any serialization dependency. Tags carry sweep parameters (strategy,
+/// drop probability, …) so downstream plotting can group lines.
+pub fn json_series(
+    name: &str,
+    tags: &[(&str, String)],
+    x_label: &str,
+    y_label: &str,
+    points: &[(f64, f64)],
+) -> String {
+    let mut out = format!("{{\"series\":\"{}\",\"tags\":{{", json_escape(name));
+    for (i, (k, v)) in tags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    let _ = write!(
+        out,
+        "}},\"x\":\"{}\",\"y\":\"{}\",\"points\":[",
+        json_escape(x_label),
+        json_escape(y_label)
+    );
+    for (i, (x, y)) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "[{x:.6},{y:.6}]");
+    }
+    out.push_str("]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +171,29 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.1234), "12.34%");
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn json_series_shape() {
+        let s = json_series(
+            "recall",
+            &[("strategy", "redelegate".into()), ("drop", "0.2".into())],
+            "crash_fraction",
+            "recall",
+            &[(0.1, 0.95), (0.2, 0.9)],
+        );
+        assert_eq!(
+            s,
+            "{\"series\":\"recall\",\"tags\":{\"strategy\":\"redelegate\",\
+             \"drop\":\"0.2\"},\"x\":\"crash_fraction\",\"y\":\"recall\",\
+             \"points\":[[0.100000,0.950000],[0.200000,0.900000]]}"
+        );
+    }
+
+    #[test]
+    fn json_series_escapes_strings() {
+        let s = json_series("a\"b\\c\n", &[], "x", "y", &[]);
+        assert!(s.contains("a\\\"b\\\\c\\n"));
     }
 
     #[test]

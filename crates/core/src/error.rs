@@ -20,6 +20,9 @@ pub enum Error {
         /// The field name that has no hypercube.
         field: String,
     },
+    /// A fault-tolerant search was configured with a zero base timeout
+    /// (the retry machinery would spin without ever waiting).
+    ZeroTimeout,
 }
 
 impl fmt::Display for Error {
@@ -31,6 +34,9 @@ impl fmt::Display for Error {
             Error::ZeroThreshold => write!(f, "superset search threshold must be positive"),
             Error::UnknownField { field } => {
                 write!(f, "no hypercube registered for field `{field}`")
+            }
+            Error::ZeroTimeout => {
+                write!(f, "fault-tolerant search requires a positive base timeout")
             }
         }
     }

@@ -25,7 +25,7 @@ use crate::keyword::KeywordSet;
 use crate::search::{PinOutcome, SupersetOutcome, SupersetQuery};
 
 /// Seed offset separating the secondary hash family from the primary.
-const SECONDARY_SEED_OFFSET: u64 = 0x5EC0_0DA2_CB0E_71CE;
+pub(crate) const SECONDARY_SEED_OFFSET: u64 = 0x5EC0_0DA2_CB0E_71CE;
 
 /// A primary + secondary hypercube index with failover search.
 ///

@@ -9,11 +9,27 @@
 //! falls out of the event clock. §3.5's claim that level-parallel
 //! execution cuts time from `2^{r−|One|}` to `r − |One|` message delays
 //! is validated here as an actual latency measurement.
+//!
+//! # Fault tolerance
+//!
+//! [`ProtocolSim::search_fault_tolerant`] runs the same traversal
+//! against crashed vertices and lossy links (§3.4). The coordinator
+//! tracks every outstanding child query with a network timer, retries
+//! with exponential backoff up to a budget, and — under
+//! [`RecoveryStrategy::Redelegate`] — routes around a dead child by
+//! expanding its SBT children directly: by Lemma 3.2 a child's subtree
+//! is computable from its bits and arrival dimension alone, so no state
+//! from the dead node is needed. [`RecoveryStrategy::ReplicatedFailover`]
+//! additionally sweeps the secondary hypercube (a second hash seed, as
+//! in [`crate::replication`]) when any vertex stayed dead. Every search
+//! returns a [`CoverageReport`] accounting exactly for reached and
+//! skipped vertices, retries, timeouts, and messages by kind.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use hyperdex_simnet::latency::LatencyModel;
-use hyperdex_simnet::net::{EndpointId, Network};
+use hyperdex_simnet::net::{EndpointId, NetEvent, Network, TimerId};
+use hyperdex_simnet::time::SimDuration;
 
 use hyperdex_dht::ObjectId;
 use hyperdex_hypercube::{Sbt, Shape, Vertex};
@@ -51,11 +67,125 @@ pub enum KwMsg {
     },
     /// Node → root: the threshold is satisfied; stop the search.
     TStop,
+    /// Node → coordinator, fault-tolerant mode only: the continuation
+    /// with results piggybacked, so a retransmitted query re-delivers
+    /// them — a separately routed result message would be lost for good
+    /// if dropped, even after the traversal recovered.
+    TContFt {
+        /// The matches found at this node.
+        objects: Vec<RankedObject>,
+        /// Child contacts `(vertex bits, dimension)`.
+        children: Vec<(u64, u8)>,
+    },
     /// Node → requester: matching objects.
     Results {
         /// The matches found at one node.
         objects: Vec<RankedObject>,
     },
+}
+
+/// How the coordinator reacts to unresponsive vertices (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStrategy {
+    /// Fire-and-forget: no timers, no retries. Any lost message
+    /// silently truncates the traversal — the paper's baseline.
+    Naive,
+    /// Retransmit with exponential backoff up to the budget, then
+    /// abandon the unresponsive child's whole subtree.
+    RetryOnly,
+    /// Retry, then route around a dead child by querying its SBT
+    /// children directly from the coordinator (Lemma 3.2: the subtree
+    /// is computable from the child's bits and arrival dimension).
+    Redelegate,
+    /// [`RecoveryStrategy::Redelegate`], plus a sweep of the secondary
+    /// hypercube (second hash seed, as in [`crate::replication`]) when
+    /// any vertex stayed dead, recovering its locally stored objects.
+    ReplicatedFailover,
+}
+
+/// Tuning for [`ProtocolSim::search_fault_tolerant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtConfig {
+    /// Recovery behaviour on timeout.
+    pub strategy: RecoveryStrategy,
+    /// Retransmissions per child before declaring it dead.
+    pub max_retries: u32,
+    /// Timeout for the first attempt; doubles per retry (capped at
+    /// `base_timeout × 64`).
+    pub base_timeout: SimDuration,
+}
+
+impl FtConfig {
+    /// A sensible default for the given strategy: 4 retries, 16-tick
+    /// base timeout.
+    pub fn new(strategy: RecoveryStrategy) -> Self {
+        FtConfig {
+            strategy,
+            max_retries: 4,
+            base_timeout: SimDuration::from_ticks(16),
+        }
+    }
+
+    /// Overrides the retry budget.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Overrides the base timeout.
+    pub fn base_timeout(mut self, d: SimDuration) -> Self {
+        self.base_timeout = d;
+        self
+    }
+}
+
+/// Exact coordinator-side accounting for one fault-tolerant search.
+///
+/// At quiescence every vertex of the query's induced subcube is either
+/// *reached* (it answered), *skipped* (declared dead, or unreachable
+/// behind a dead ancestor), or unvisited because the result threshold
+/// stopped the traversal early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageReport {
+    /// The strategy that produced this report.
+    pub strategy: RecoveryStrategy,
+    /// Vertices in the query's induced subcube (`2^{r−|One|}`).
+    pub subcube_vertices: u64,
+    /// Distinct vertices confirmed by the coordinator (primary cube).
+    pub vertices_reached: u64,
+    /// Distinct vertices given up on (primary cube).
+    pub vertices_skipped: u64,
+    /// Bits of the skipped primary vertices, sorted.
+    pub skipped: Vec<u64>,
+    /// `T_QUERY` transmissions, including retransmissions.
+    pub queries_sent: u64,
+    /// Continuation messages the coordinator received.
+    pub conts: u64,
+    /// Continuations that carried at least one result object.
+    pub result_messages: u64,
+    /// Retransmissions after a timeout.
+    pub retries: u64,
+    /// Children declared dead after the retry budget ran out.
+    pub timeouts: u64,
+    /// Dead children whose subtrees were re-delegated.
+    pub redelegations: u64,
+    /// Whether the secondary hypercube was swept.
+    pub failed_over: bool,
+    /// Vertices reached in the secondary sweep (0 without failover).
+    pub secondary_reached: u64,
+    /// Vertices skipped in the secondary sweep (0 without failover).
+    pub secondary_skipped: u64,
+    /// Virtual time from first send to last event.
+    pub elapsed: SimDuration,
+}
+
+/// Outcome of [`ProtocolSim::search_fault_tolerant`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtSearchOutcome {
+    /// Deduplicated results in arrival order at the requester.
+    pub results: Vec<RankedObject>,
+    /// Exact traversal accounting.
+    pub coverage: CoverageReport,
 }
 
 /// Outcome of a message-level search.
@@ -102,6 +232,10 @@ pub struct ProtocolSim {
     shape: Shape,
     hasher: KeywordHasher,
     tables: Vec<IndexTable>,
+    /// Secondary-cube hasher (different seed, same dimension).
+    hasher2: KeywordHasher,
+    /// Secondary index tables, co-hosted on the same endpoints.
+    tables2: Vec<IndexTable>,
     /// Endpoint of vertex `bits` is `eps[bits]`.
     eps: Vec<EndpointId>,
     requester: EndpointId,
@@ -124,6 +258,7 @@ impl ProtocolSim {
             ));
         }
         let shape = hasher.shape();
+        let hasher2 = KeywordHasher::new(r, seed ^ crate::replication::SECONDARY_SEED_OFFSET)?;
         let mut net = Network::new(latency, seed ^ 0x51AE);
         let n = shape.vertex_count() as usize;
         let eps = net.add_endpoints(n);
@@ -133,6 +268,8 @@ impl ProtocolSim {
             shape,
             hasher,
             tables: vec![IndexTable::new(); n],
+            hasher2,
+            tables2: vec![IndexTable::new(); n],
             eps,
             requester,
         })
@@ -154,7 +291,9 @@ impl ProtocolSim {
             return Err(Error::EmptyKeywordSet);
         }
         let vertex = self.hasher.vertex_for(&keywords);
-        self.tables[vertex.bits() as usize].insert(keywords, object);
+        let vertex2 = self.hasher2.vertex_for(&keywords);
+        self.tables[vertex.bits() as usize].insert(keywords.clone(), object);
+        self.tables2[vertex2.bits() as usize].insert(keywords, object);
         Ok(())
     }
 
@@ -206,7 +345,7 @@ impl ProtocolSim {
                 } => {
                     contacted += 1;
                     let vertex = self.vertex_of(to);
-                    let found = self.scan_and_reply(vertex, &keywords, remaining, requester);
+                    let found = self.scan_and_reply(vertex, &keywords, remaining, requester, false);
                     if to == root {
                         // The root doubles as coordinator.
                         let mut coord = Coordinator {
@@ -244,6 +383,8 @@ impl ProtocolSim {
                     debug_assert_eq!(to, self.requester);
                     results.extend(objects);
                 }
+                // Fault-tolerant-mode message; never sent by this path.
+                KwMsg::TContFt { .. } => {}
             }
         }
 
@@ -308,13 +449,13 @@ impl ProtocolSim {
                     } => {
                         contacted += 1;
                         let vertex = self.vertex_of(d.to);
-                        self.scan_and_reply(vertex, &keywords, remaining, requester);
+                        self.scan_and_reply(vertex, &keywords, remaining, requester, false);
                     }
                     KwMsg::Results { objects } => {
                         satisfied += objects.len();
                         results.extend(objects);
                     }
-                    KwMsg::TCont { .. } | KwMsg::TStop => {}
+                    KwMsg::TCont { .. } | KwMsg::TStop | KwMsg::TContFt { .. } => {}
                 }
             }
             if satisfied >= threshold {
@@ -331,16 +472,380 @@ impl ProtocolSim {
         })
     }
 
-    /// Scans a vertex's table, sends matches to the requester, and
-    /// returns how many were sent.
-    fn scan_and_reply(
+    /// Runs the fault-tolerant superset search (§3.4).
+    ///
+    /// The traversal is an eager SBT walk: the coordinator (the query
+    /// root, or the requester if the root is dead) tracks every
+    /// outstanding child query with a network timer, retransmits with
+    /// exponential backoff up to `config.max_retries`, and applies
+    /// `config.strategy` once a child's budget is exhausted. The event
+    /// loop drains the network to quiescence, so the search terminates
+    /// even when every vertex is dead — losses show up as skipped
+    /// vertices in the [`CoverageReport`], never as a hang.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] when `threshold == 0`, and
+    /// [`Error::ZeroTimeout`] when the strategy needs timers but
+    /// `config.base_timeout` is zero.
+    pub fn search_fault_tolerant(
         &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+        config: FtConfig,
+    ) -> Result<FtSearchOutcome, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        if config.strategy != RecoveryStrategy::Naive && config.base_timeout.ticks() == 0 {
+            return Err(Error::ZeroTimeout);
+        }
+        let start = self.net.now();
+        let mut results = Vec::new();
+        let mut seen = HashSet::new();
+        let primary = self.run_ft_pass(keywords, threshold, config, false, &mut results, &mut seen);
+        let mut report = CoverageReport {
+            strategy: config.strategy,
+            subcube_vertices: primary.subcube_vertices,
+            vertices_reached: primary.reached,
+            vertices_skipped: primary.skipped.len() as u64,
+            skipped: primary.skipped.iter().copied().collect(),
+            queries_sent: primary.queries_sent,
+            conts: primary.conts,
+            result_messages: primary.result_messages,
+            retries: primary.retries,
+            timeouts: primary.timeouts,
+            redelegations: primary.redelegations,
+            failed_over: false,
+            secondary_reached: 0,
+            secondary_skipped: 0,
+            elapsed: SimDuration::ZERO,
+        };
+        if config.strategy == RecoveryStrategy::ReplicatedFailover && !primary.skipped.is_empty() {
+            // Objects homed on the skipped vertices are lost to the
+            // primary sweep; recover them from the secondary cube. The
+            // sweep itself recovers via re-delegation (no third cube to
+            // fail over to).
+            report.failed_over = true;
+            self.net.metrics_mut().failovers.incr();
+            let cfg2 = FtConfig {
+                strategy: RecoveryStrategy::Redelegate,
+                ..config
+            };
+            let sec = self.run_ft_pass(keywords, threshold, cfg2, true, &mut results, &mut seen);
+            report.secondary_reached = sec.reached;
+            report.secondary_skipped = sec.skipped.len() as u64;
+            report.queries_sent += sec.queries_sent;
+            report.conts += sec.conts;
+            report.result_messages += sec.result_messages;
+            report.retries += sec.retries;
+            report.timeouts += sec.timeouts;
+            report.redelegations += sec.redelegations;
+        }
+        report.elapsed = self.net.now().saturating_since(start);
+        results.truncate(threshold);
+        Ok(FtSearchOutcome {
+            results,
+            coverage: report,
+        })
+    }
+
+    /// One coordinator-driven sweep over the primary or secondary cube.
+    fn run_ft_pass(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+        config: FtConfig,
+        secondary: bool,
+        results: &mut Vec<RankedObject>,
+        seen: &mut HashSet<ObjectId>,
+    ) -> PassStats {
+        let hasher = if secondary { &self.hasher2 } else { &self.hasher };
+        let root_vertex = hasher.vertex_for(keywords);
+        let root_ep = self.eps[root_vertex.bits() as usize];
+        let use_timers = config.strategy != RecoveryStrategy::Naive;
+        let base = config.base_timeout;
+
+        let mut stats = PassStats {
+            subcube_vertices: 1u64 << root_vertex.zero_positions().count(),
+            ..PassStats::default()
+        };
+        // Coordinator: the root, until a dead root promotes the requester.
+        let mut coord = root_ep;
+        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
+        let mut covered: HashSet<u64> = HashSet::new();
+        let mut remaining = threshold;
+        let mut done = false;
+
+        // Initial query: the requester contacts the root, guarding it
+        // with its own timer — the root itself may be dead.
+        self.ft_send_query(self.requester, root_vertex.bits(), None, keywords, remaining, coord);
+        stats.queries_sent += 1;
+        let timer =
+            use_timers.then(|| self.net.set_timer(self.requester, ft_backoff(base, 0), root_vertex.bits()));
+        pending.insert(
+            root_vertex.bits(),
+            Pending {
+                attempts: 0,
+                timer,
+                via_dim: None,
+                owner: self.requester,
+            },
+        );
+
+        while let Some(ev) = self.net.step_event() {
+            match ev {
+                NetEvent::Delivery(d) => {
+                    let (to, from) = (d.to, d.from);
+                    match d.payload {
+                        KwMsg::TQuery {
+                            keywords: kw,
+                            remaining: rem,
+                            via_dim,
+                            root,
+                            ..
+                        } => {
+                            let vertex = self.vertex_of(to);
+                            if to == coord && via_dim.is_none() {
+                                // The root doubles as coordinator: it
+                                // scans locally, no self-messages.
+                                let bits = vertex.bits();
+                                if covered.contains(&bits) {
+                                    continue; // duplicate of a retried query
+                                }
+                                if let Some(p) = pending.remove(&bits) {
+                                    if let Some(t) = p.timer {
+                                        self.net.cancel_timer(t);
+                                    }
+                                }
+                                covered.insert(bits);
+                                let objects = self.scan(vertex, &kw, rem, secondary);
+                                let added = ft_record(objects, results, seen);
+                                remaining = remaining.saturating_sub(added);
+                                if remaining == 0 {
+                                    done = true;
+                                    ft_cancel_all(&mut self.net, &mut pending);
+                                } else if !done {
+                                    let children: Vec<(u64, u8)> =
+                                        root_frontier(vertex).into_iter().collect();
+                                    self.ft_enqueue_children(
+                                        &children, coord, keywords, remaining, use_timers, base,
+                                        &mut pending, &covered, &stats.skipped,
+                                        &mut stats.queries_sent,
+                                    );
+                                }
+                            } else {
+                                // Ordinary node: continuation back to
+                                // the coordinator named in the query,
+                                // results piggybacked so retransmitted
+                                // queries re-deliver them.
+                                let objects = self.scan(vertex, &kw, rem, secondary);
+                                let children: Vec<(u64, u8)> = match via_dim {
+                                    Some(dim) => child_contacts(vertex, dim),
+                                    None => root_frontier(vertex).into_iter().collect(),
+                                };
+                                if root != to {
+                                    self.net
+                                        .send(to, root, KwMsg::TContFt { objects, children });
+                                }
+                            }
+                        }
+                        KwMsg::TContFt { objects, children } => {
+                            if to != coord {
+                                continue; // stale coordinator address
+                            }
+                            stats.conts += 1;
+                            if !objects.is_empty() {
+                                stats.result_messages += 1;
+                            }
+                            let added = ft_record(objects, results, seen);
+                            remaining = remaining.saturating_sub(added);
+                            let bits = from.raw();
+                            let fresh = !covered.contains(&bits);
+                            if fresh {
+                                // A reply after the timeout budget ran
+                                // out resurrects the vertex: it is
+                                // alive, merely slow or unlucky.
+                                stats.skipped.remove(&bits);
+                                if let Some(p) = pending.remove(&bits) {
+                                    if let Some(t) = p.timer {
+                                        self.net.cancel_timer(t);
+                                    }
+                                }
+                                covered.insert(bits);
+                            }
+                            if remaining == 0 {
+                                done = true;
+                                ft_cancel_all(&mut self.net, &mut pending);
+                            } else if fresh && !done {
+                                self.ft_enqueue_children(
+                                    &children, coord, keywords, remaining, use_timers, base,
+                                    &mut pending, &covered, &stats.skipped,
+                                    &mut stats.queries_sent,
+                                );
+                            }
+                        }
+                        // Legacy sequential/parallel variants cannot
+                        // appear mid-pass (every search drains the
+                        // network first); ignore them defensively.
+                        KwMsg::TCont { .. } | KwMsg::TStop | KwMsg::Results { .. } => {}
+                    }
+                }
+                NetEvent::Timer(t) => {
+                    let bits = t.token;
+                    let armed = pending.get(&bits).is_some_and(|p| p.timer == Some(t.id));
+                    if !armed || done {
+                        continue; // stale timer
+                    }
+                    let (attempts, owner, via_dim) = {
+                        let p = pending.get(&bits).expect("armed implies pending");
+                        (p.attempts, p.owner, p.via_dim)
+                    };
+                    if attempts < config.max_retries {
+                        // Retransmit with doubled timeout.
+                        stats.retries += 1;
+                        self.net.metrics_mut().retries.incr();
+                        self.ft_send_query(owner, bits, via_dim, keywords, remaining, coord);
+                        stats.queries_sent += 1;
+                        let timer = self.net.set_timer(owner, ft_backoff(base, attempts + 1), bits);
+                        let p = pending.get_mut(&bits).expect("armed implies pending");
+                        p.attempts = attempts + 1;
+                        p.timer = Some(timer);
+                    } else {
+                        // Budget exhausted: declare the child dead.
+                        let p = pending.remove(&bits).expect("armed implies pending");
+                        stats.timeouts += 1;
+                        self.net.metrics_mut().timeouts.incr();
+                        let vertex =
+                            Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
+                        match config.strategy {
+                            RecoveryStrategy::Naive => unreachable!("naive sets no timers"),
+                            RecoveryStrategy::RetryOnly => {
+                                // The whole subtree behind the dead
+                                // child is unreachable.
+                                let mut subtree = Vec::new();
+                                subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
+                                for w in subtree {
+                                    if !covered.contains(&w) {
+                                        stats.skipped.insert(w);
+                                    }
+                                }
+                            }
+                            RecoveryStrategy::Redelegate
+                            | RecoveryStrategy::ReplicatedFailover => {
+                                stats.skipped.insert(bits);
+                                if p.via_dim.is_none() {
+                                    // The root itself is dead: the
+                                    // requester promotes itself to
+                                    // coordinator (Lemma 3.2 gives it
+                                    // the frontier from bits alone).
+                                    coord = self.requester;
+                                }
+                                let children: Vec<(u64, u8)> = match p.via_dim {
+                                    None => root_frontier(vertex).into_iter().collect(),
+                                    Some(dim) => child_contacts(vertex, dim),
+                                };
+                                if !children.is_empty() {
+                                    stats.redelegations += 1;
+                                    self.net.metrics_mut().redelegations.incr();
+                                    self.ft_enqueue_children(
+                                        &children, coord, keywords, remaining, use_timers, base,
+                                        &mut pending, &covered, &stats.skipped,
+                                        &mut stats.queries_sent,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Quiescence with queries still outstanding: no timers were set
+        // (naive), or the coordinator died and its timers were
+        // suppressed. Account the unreachable subtrees honestly.
+        for (bits, _p) in std::mem::take(&mut pending) {
+            let vertex = Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
+            let mut subtree = Vec::new();
+            subtree_bits(self.shape, vertex, _p.via_dim, &mut subtree);
+            for w in subtree {
+                if !covered.contains(&w) {
+                    stats.skipped.insert(w);
+                }
+            }
+        }
+        stats.reached = covered.len() as u64;
+        stats
+    }
+
+    /// Sends one `T_QUERY` for the fault-tolerant traversal.
+    fn ft_send_query(
+        &mut self,
+        from: EndpointId,
+        bits: u64,
+        via_dim: Option<u8>,
+        keywords: &KeywordSet,
+        remaining: usize,
+        coord: EndpointId,
+    ) {
+        self.net.send(
+            from,
+            self.eps[bits as usize],
+            KwMsg::TQuery {
+                keywords: keywords.clone(),
+                remaining,
+                requester: self.requester,
+                via_dim,
+                root: coord,
+            },
+        );
+    }
+
+    /// Queries every not-yet-tracked child and arms its timer.
+    #[allow(clippy::too_many_arguments)]
+    fn ft_enqueue_children(
+        &mut self,
+        children: &[(u64, u8)],
+        coord: EndpointId,
+        keywords: &KeywordSet,
+        remaining: usize,
+        use_timers: bool,
+        base: SimDuration,
+        pending: &mut BTreeMap<u64, Pending>,
+        covered: &HashSet<u64>,
+        skipped: &BTreeSet<u64>,
+        queries_sent: &mut u64,
+    ) {
+        for &(bits, dim) in children {
+            if covered.contains(&bits) || skipped.contains(&bits) || pending.contains_key(&bits) {
+                continue;
+            }
+            self.ft_send_query(coord, bits, Some(dim), keywords, remaining, coord);
+            *queries_sent += 1;
+            let timer = use_timers.then(|| self.net.set_timer(coord, ft_backoff(base, 0), bits));
+            pending.insert(
+                bits,
+                Pending {
+                    attempts: 0,
+                    timer,
+                    via_dim: Some(dim),
+                    owner: coord,
+                },
+            );
+        }
+    }
+
+    /// Scans a vertex's table (primary or secondary) for supersets of
+    /// `keywords`, returning at most `remaining` matches.
+    fn scan(
+        &self,
         vertex: Vertex,
         keywords: &KeywordSet,
         remaining: usize,
-        requester: EndpointId,
-    ) -> usize {
-        let table = &self.tables[vertex.bits() as usize];
+        secondary: bool,
+    ) -> Vec<RankedObject> {
+        let tables = if secondary { &self.tables2 } else { &self.tables };
+        let table = &tables[vertex.bits() as usize];
         let mut found = Vec::new();
         for (keyword_set, objects) in table.superset_entries(keywords) {
             let extra = (keyword_set.len() - keywords.len()) as u32;
@@ -355,6 +860,20 @@ impl ProtocolSim {
                 });
             }
         }
+        found
+    }
+
+    /// Scans a vertex's table, sends matches to the requester, and
+    /// returns how many were sent.
+    fn scan_and_reply(
+        &mut self,
+        vertex: Vertex,
+        keywords: &KeywordSet,
+        remaining: usize,
+        requester: EndpointId,
+        secondary: bool,
+    ) -> usize {
+        let found = self.scan(vertex, keywords, remaining, secondary);
         let count = found.len();
         if count > 0 {
             let from = self.eps[vertex.bits() as usize];
@@ -403,6 +922,100 @@ impl ProtocolSim {
     /// Read access to the underlying network (metrics, faults).
     pub fn network(&self) -> &Network<KwMsg> {
         &self.net
+    }
+
+    /// Mutable access to the underlying network, for fault injection
+    /// (kills, outages, link loss) in tests and experiments.
+    pub fn network_mut(&mut self) -> &mut Network<KwMsg> {
+        &mut self.net
+    }
+
+    /// The vertex a query hashes to (the traversal root), in the
+    /// primary cube.
+    pub fn query_root(&self, keywords: &KeywordSet) -> Vertex {
+        self.hasher.vertex_for(keywords)
+    }
+
+    /// The endpoint hosting vertex `bits`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside the cube.
+    pub fn endpoint_of(&self, bits: u64) -> EndpointId {
+        self.eps[bits as usize]
+    }
+}
+
+/// One outstanding fault-tolerant child query.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    attempts: u32,
+    timer: Option<TimerId>,
+    via_dim: Option<u8>,
+    /// Who retransmits (and owns the timer): the coordinator, or the
+    /// requester for the initial root query.
+    owner: EndpointId,
+}
+
+/// Per-pass accounting for the fault-tolerant traversal.
+#[derive(Debug, Default)]
+struct PassStats {
+    subcube_vertices: u64,
+    reached: u64,
+    skipped: BTreeSet<u64>,
+    queries_sent: u64,
+    conts: u64,
+    result_messages: u64,
+    retries: u64,
+    timeouts: u64,
+    redelegations: u64,
+}
+
+/// Dedups `objects` into `results` by object id, returning how many
+/// were new.
+fn ft_record(
+    objects: Vec<RankedObject>,
+    results: &mut Vec<RankedObject>,
+    seen: &mut HashSet<ObjectId>,
+) -> usize {
+    let mut added = 0;
+    for obj in objects {
+        if seen.insert(obj.object) {
+            results.push(obj);
+            added += 1;
+        }
+    }
+    added
+}
+
+/// Exponential backoff: `base << attempts`, capped at `base × 64`.
+fn ft_backoff(base: SimDuration, attempts: u32) -> SimDuration {
+    SimDuration::from_ticks(base.ticks() << attempts.min(6))
+}
+
+/// Cancels every armed timer and forgets the outstanding queries
+/// (early-stop path: those vertices are unvisited, not skipped).
+fn ft_cancel_all(net: &mut Network<KwMsg>, pending: &mut BTreeMap<u64, Pending>) {
+    for (_, p) in std::mem::take(pending) {
+        if let Some(t) = p.timer {
+            net.cancel_timer(t);
+        }
+    }
+}
+
+/// Collects the bits of every vertex in the SBT subtree rooted at `w`
+/// (reached via `via_dim`; `None` means `w` is the query root). By
+/// Lemma 3.2 the subtree is fully determined by `w` and the arrival
+/// dimension — no state from `w` itself is needed.
+fn subtree_bits(shape: Shape, w: Vertex, via_dim: Option<u8>, out: &mut Vec<u64>) {
+    out.push(w.bits());
+    let children: Vec<(u64, u8)> = match via_dim {
+        None => root_frontier(w).into_iter().collect(),
+        Some(d) => child_contacts(w, d),
+    };
+    for (bits, dim) in children {
+        let child = Vertex::from_bits(shape, bits).expect("children stay inside the cube");
+        subtree_bits(shape, child, Some(dim), out);
     }
 }
 
@@ -553,5 +1166,215 @@ mod tests {
     #[test]
     fn rejects_oversized_dimension() {
         assert!(ProtocolSim::new(17, 0, LatencyModel::default()).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-tolerant search
+    // ------------------------------------------------------------------
+
+    const BIG: usize = usize::MAX >> 1;
+
+    fn ft(strategy: RecoveryStrategy) -> FtConfig {
+        FtConfig::new(strategy).max_retries(10)
+    }
+
+    fn ids(results: &[RankedObject]) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = results.iter().map(|r| r.object).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn ft_fault_free_matches_sequential() {
+        for strategy in [
+            RecoveryStrategy::Naive,
+            RecoveryStrategy::RetryOnly,
+            RecoveryStrategy::Redelegate,
+            RecoveryStrategy::ReplicatedFailover,
+        ] {
+            let (_, mut sim) = twin(8, CORPUS);
+            let seq = sim.search_sequential(&set("a"), BIG).unwrap();
+            let out = sim.search_fault_tolerant(&set("a"), BIG, ft(strategy)).unwrap();
+            assert_eq!(ids(&seq.results), ids(&out.results), "{strategy:?}");
+            let c = &out.coverage;
+            assert_eq!(c.vertices_reached, c.subcube_vertices, "{strategy:?}");
+            assert_eq!(c.vertices_skipped, 0);
+            assert_eq!(c.retries, 0);
+            assert_eq!(c.timeouts, 0);
+            assert!(!c.failed_over);
+        }
+    }
+
+    #[test]
+    fn ft_retry_recovers_from_20pct_loss() {
+        let (_, mut clean) = twin(8, CORPUS);
+        let want = ids(
+            &clean
+                .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::RetryOnly))
+                .unwrap()
+                .results,
+        );
+        let (_, mut lossy) = twin(8, CORPUS);
+        lossy.network_mut().faults_mut().set_drop_probability(0.2);
+        let out = lossy
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::RetryOnly))
+            .unwrap();
+        assert_eq!(want, ids(&out.results), "retries must restore full recall");
+        assert!(out.coverage.retries > 0, "20% loss must trigger retries");
+        assert_eq!(
+            out.coverage.vertices_reached,
+            out.coverage.subcube_vertices,
+            "every vertex is live, so all must eventually answer"
+        );
+    }
+
+    /// Kills the root's highest-dimension child: its SBT subtree is
+    /// half the subcube.
+    fn kill_big_child(sim: &mut ProtocolSim, query: &KeywordSet) -> u64 {
+        let root = sim.query_root(query);
+        let top = root.zero_positions().next_back().expect("query has free dims");
+        let dead = root.flip(top).bits();
+        let ep = sim.endpoint_of(dead);
+        sim.network_mut().faults_mut().kill(ep);
+        dead
+    }
+
+    #[test]
+    fn ft_redelegation_covers_crashed_subtree() {
+        let (_, mut sim) = twin(8, CORPUS);
+        let dead = kill_big_child(&mut sim, &set("a"));
+        let out = sim
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate))
+            .unwrap();
+        let c = &out.coverage;
+        assert_eq!(c.skipped, vec![dead], "only the crashed vertex is lost");
+        assert_eq!(c.vertices_reached, c.subcube_vertices - 1);
+        assert!(c.redelegations >= 1);
+        assert!(c.timeouts >= 1);
+    }
+
+    #[test]
+    fn ft_retry_only_loses_the_whole_subtree() {
+        let (_, mut sim) = twin(8, CORPUS);
+        kill_big_child(&mut sim, &set("a"));
+        let out = sim
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::RetryOnly))
+            .unwrap();
+        let c = &out.coverage;
+        assert_eq!(
+            c.vertices_skipped,
+            c.subcube_vertices / 2,
+            "the dead child's subtree is half the subcube"
+        );
+        assert_eq!(c.vertices_reached + c.vertices_skipped, c.subcube_vertices);
+    }
+
+    #[test]
+    fn ft_naive_terminates_under_crash_with_exact_accounting() {
+        let (_, mut sim) = twin(8, CORPUS);
+        kill_big_child(&mut sim, &set("a"));
+        let out = sim
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Naive))
+            .unwrap();
+        let c = &out.coverage;
+        assert_eq!(c.retries, 0);
+        assert!(c.vertices_reached < c.subcube_vertices);
+        assert_eq!(
+            c.vertices_reached + c.vertices_skipped,
+            c.subcube_vertices,
+            "quiescence accounting must cover the whole subcube"
+        );
+    }
+
+    #[test]
+    fn ft_dead_root_promotes_requester() {
+        let (_, mut sim) = twin(8, CORPUS);
+        let root = sim.query_root(&set("a")).bits();
+        let ep = sim.endpoint_of(root);
+        sim.network_mut().faults_mut().kill(ep);
+        let out = sim
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate))
+            .unwrap();
+        let c = &out.coverage;
+        assert_eq!(c.skipped, vec![root], "only the root itself is lost");
+        assert_eq!(
+            c.vertices_reached,
+            c.subcube_vertices - 1,
+            "the requester must take over the dead root's frontier"
+        );
+    }
+
+    #[test]
+    fn ft_failover_recovers_objects_from_dead_vertex() {
+        // Object 2 ("a b") is homed at F_h({a,b}); kill that vertex.
+        let (_, mut sim) = twin(8, CORPUS);
+        let home = sim.query_root(&set("a b")).bits();
+        let ep = sim.endpoint_of(home);
+        sim.network_mut().faults_mut().kill(ep);
+        let redel = sim
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate))
+            .unwrap();
+        assert!(
+            !ids(&redel.results).contains(&oid(2)),
+            "without a replica the dead vertex's objects are gone"
+        );
+
+        let (_, mut sim2) = twin(8, CORPUS);
+        let ep2 = sim2.endpoint_of(home);
+        sim2.network_mut().faults_mut().kill(ep2);
+        let failover = sim2
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::ReplicatedFailover))
+            .unwrap();
+        assert!(failover.coverage.failed_over);
+        assert!(
+            ids(&failover.results).contains(&oid(2)),
+            "the secondary cube holds a copy under a different hash"
+        );
+        let (_, mut clean) = twin(8, CORPUS);
+        let full = clean.search_sequential(&set("a"), BIG).unwrap();
+        assert_eq!(ids(&full.results), ids(&failover.results));
+    }
+
+    #[test]
+    fn ft_threshold_stops_early() {
+        let (_, mut sim) = twin(8, CORPUS);
+        let out = sim
+            .search_fault_tolerant(&set("a"), 1, ft(RecoveryStrategy::Redelegate))
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.coverage.vertices_skipped, 0);
+    }
+
+    #[test]
+    fn ft_deterministic_across_runs() {
+        let run = || {
+            let (_, mut sim) = twin(8, CORPUS);
+            sim.network_mut().faults_mut().set_drop_probability(0.2);
+            kill_big_child(&mut sim, &set("a"));
+            let out = sim
+                .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate))
+                .unwrap();
+            (ids(&out.results), out.coverage)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn ft_rejects_bad_config() {
+        let (_, mut sim) = twin(6, CORPUS);
+        assert_eq!(
+            sim.search_fault_tolerant(&set("a"), 0, ft(RecoveryStrategy::Redelegate)),
+            Err(Error::ZeroThreshold)
+        );
+        let zero = FtConfig::new(RecoveryStrategy::RetryOnly)
+            .base_timeout(hyperdex_simnet::time::SimDuration::ZERO);
+        assert_eq!(
+            sim.search_fault_tolerant(&set("a"), 5, zero),
+            Err(Error::ZeroTimeout)
+        );
+        // Naive never waits, so a zero timeout is fine there.
+        let naive = FtConfig::new(RecoveryStrategy::Naive)
+            .base_timeout(hyperdex_simnet::time::SimDuration::ZERO);
+        assert!(sim.search_fault_tolerant(&set("a"), 5, naive).is_ok());
     }
 }

@@ -10,18 +10,15 @@ use crate::net::EndpointId;
 use crate::rng::SimRng;
 use crate::time::SimTime;
 
-/// A crash or recovery transition for one endpoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Transition {
-    Down,
-    Up,
-}
-
 /// A schedule of endpoint outages plus an optional uniform message-drop
 /// probability.
 ///
 /// Outages are half-open intervals `[from, until)` during which the
-/// endpoint neither receives nor emits messages.
+/// endpoint neither receives nor emits messages. Multiple outages for
+/// one endpoint may overlap or nest arbitrarily; the endpoint is down
+/// whenever *any* scheduled interval covers the instant (interval
+/// union, not last-transition-wins — overlapping windows used to
+/// truncate each other).
 ///
 /// # Example
 ///
@@ -39,8 +36,8 @@ enum Transition {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
-    // endpoint -> time -> transition (BTreeMap gives in-order scanning).
-    schedules: BTreeMap<EndpointId, BTreeMap<SimTime, Transition>>,
+    // endpoint -> outage intervals `[from, until)`, in insertion order.
+    outages: BTreeMap<EndpointId, Vec<(SimTime, SimTime)>>,
     drop_probability: f64,
     permanently_down: Vec<EndpointId>,
 }
@@ -58,9 +55,7 @@ impl FaultPlan {
     /// Panics if `from >= until`.
     pub fn outage(&mut self, ep: EndpointId, from: SimTime, until: SimTime) {
         assert!(from < until, "outage interval must be non-empty");
-        let sched = self.schedules.entry(ep).or_default();
-        sched.insert(from, Transition::Down);
-        sched.insert(until, Transition::Up);
+        self.outages.entry(ep).or_default().push((from, until));
     }
 
     /// Marks `ep` as crashed forever (never recovers).
@@ -86,16 +81,9 @@ impl FaultPlan {
         if self.permanently_down.contains(&ep) {
             return false;
         }
-        match self.schedules.get(&ep) {
+        match self.outages.get(&ep) {
             None => true,
-            Some(sched) => {
-                // The last transition at or before `now` decides the state.
-                match sched.range(..=now).next_back() {
-                    None => true,
-                    Some((_, Transition::Down)) => false,
-                    Some((_, Transition::Up)) => true,
-                }
-            }
+            Some(windows) => !windows.iter().any(|&(from, until)| from <= now && now < until),
         }
     }
 
@@ -150,6 +138,55 @@ mod tests {
         assert!(plan.is_up(ep(1), t(25)));
         assert!(!plan.is_up(ep(1), t(35)));
         assert!(plan.is_up(ep(1), t(45)));
+    }
+
+    #[test]
+    fn overlapping_outages_union() {
+        // [10,30) and [20,40) must union to [10,40): the transition
+        // representation used to report `up` at t=35 because the first
+        // window's recovery at t=30 was the last transition seen.
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(10), t(30));
+        plan.outage(ep(1), t(20), t(40));
+        assert!(plan.is_up(ep(1), t(9)));
+        assert!(!plan.is_up(ep(1), t(15)));
+        assert!(!plan.is_up(ep(1), t(25)));
+        assert!(!plan.is_up(ep(1), t(30)));
+        assert!(!plan.is_up(ep(1), t(35)));
+        assert!(plan.is_up(ep(1), t(40)));
+    }
+
+    #[test]
+    fn nested_outages_union() {
+        // [10,50) fully contains [20,30); the inner recovery must not
+        // puncture the outer window.
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(10), t(50));
+        plan.outage(ep(1), t(20), t(30));
+        assert!(!plan.is_up(ep(1), t(30)));
+        assert!(!plan.is_up(ep(1), t(49)));
+        assert!(plan.is_up(ep(1), t(50)));
+    }
+
+    #[test]
+    fn identical_outages_are_idempotent() {
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(10), t(20));
+        plan.outage(ep(1), t(10), t(20));
+        assert!(!plan.is_up(ep(1), t(15)));
+        assert!(plan.is_up(ep(1), t(20)));
+    }
+
+    #[test]
+    fn touching_outages_cover_boundary() {
+        // [10,20) followed by [20,30): down for all of [10,30).
+        let mut plan = FaultPlan::new();
+        plan.outage(ep(1), t(10), t(20));
+        plan.outage(ep(1), t(20), t(30));
+        assert!(!plan.is_up(ep(1), t(19)));
+        assert!(!plan.is_up(ep(1), t(20)));
+        assert!(!plan.is_up(ep(1), t(29)));
+        assert!(plan.is_up(ep(1), t(30)));
     }
 
     #[test]

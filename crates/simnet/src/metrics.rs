@@ -44,6 +44,16 @@ impl fmt::Display for Counter {
 }
 
 /// Message-level accounting for a simulated network.
+///
+/// The first four counters are maintained by [`crate::net::Network`]
+/// itself and obey the conservation law `messages_sent ==
+/// messages_delivered + messages_dropped` at quiescence. The timer
+/// counters are likewise network-maintained. The recovery counters
+/// (`retries`, `timeouts`, `redelegations`, `failovers`) belong to the
+/// *protocol* running on top: the network exposes them here so one
+/// metrics snapshot tells the whole fault-tolerance story, but only
+/// protocol code increments them (via
+/// [`crate::net::Network::metrics_mut`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetMetrics {
     /// Messages handed to the network by `send`.
@@ -54,6 +64,20 @@ pub struct NetMetrics {
     pub messages_dropped: Counter,
     /// Approximate payload bytes sent (when the caller reports sizes).
     pub bytes_sent: Counter,
+    /// Timers scheduled via `set_timer`.
+    pub timers_set: Counter,
+    /// Timers that fired (reached a live owner uncancelled).
+    pub timers_fired: Counter,
+    /// Timers cancelled before firing.
+    pub timers_cancelled: Counter,
+    /// Protocol-level: queries retransmitted after a timeout.
+    pub retries: Counter,
+    /// Protocol-level: timeouts that exhausted their retry budget.
+    pub timeouts: Counter,
+    /// Protocol-level: dead subtrees re-delegated around a failed node.
+    pub redelegations: Counter,
+    /// Protocol-level: searches that failed over to a replica index.
+    pub failovers: Counter,
 }
 
 impl NetMetrics {

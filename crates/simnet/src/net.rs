@@ -4,13 +4,22 @@
 //! and message accounting. Higher layers (the DHT, the keyword index)
 //! register endpoints, send typed messages, and drain deliveries either
 //! one at a time ([`Network::step`]) or until quiescence.
+//!
+//! Endpoints may also schedule **timers** ([`Network::set_timer`]): a
+//! local event delivered back to the owning endpoint at a virtual
+//! deadline, the primitive that lets protocols detect lost messages and
+//! crashed peers. Timer-aware protocols drive the network with
+//! [`Network::step_event`], which interleaves deliveries and timer
+//! firings in global time order.
+
+use std::collections::HashSet;
 
 use crate::event::EventQueue;
 use crate::fault::FaultPlan;
 use crate::latency::LatencyModel;
 use crate::metrics::NetMetrics;
 use crate::rng::SimRng;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent, TraceKind};
 
 /// Identifies an endpoint (a simulated process) within a [`Network`].
@@ -46,6 +55,46 @@ struct InFlight<M> {
     payload: M,
 }
 
+/// Anything the event queue can hold: a message or a pending timer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Queued<M> {
+    Message(InFlight<M>),
+    Timer { owner: EndpointId, token: u64, id: u64 },
+}
+
+/// Handle to a pending timer, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+impl TimerId {
+    /// The raw timer sequence number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A timer that fired at its owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerFired {
+    /// Firing instant.
+    pub at: SimTime,
+    /// The endpoint that set the timer.
+    pub owner: EndpointId,
+    /// The caller-chosen token passed to [`Network::set_timer`].
+    pub token: u64,
+    /// The timer's handle.
+    pub id: TimerId,
+}
+
+/// One event as seen by [`Network::step_event`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetEvent<M> {
+    /// A message arrived at a live endpoint.
+    Delivery(Delivery<M>),
+    /// A timer fired at its live owner.
+    Timer(TimerFired),
+}
+
 /// A delivered message, as returned by [`Network::step`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delivery<M> {
@@ -76,13 +125,18 @@ pub struct Delivery<M> {
 /// ```
 #[derive(Debug)]
 pub struct Network<M> {
-    queue: EventQueue<InFlight<M>>,
+    queue: EventQueue<Queued<M>>,
     latency: LatencyModel,
     faults: FaultPlan,
     rng: SimRng,
     metrics: NetMetrics,
     endpoints: u64,
     trace: Trace,
+    next_timer: u64,
+    /// Timers scheduled but not yet fired or cancelled.
+    live_timers: HashSet<u64>,
+    /// Timers cancelled while still in the queue.
+    cancelled_timers: HashSet<u64>,
 }
 
 impl<M> Network<M> {
@@ -96,6 +150,9 @@ impl<M> Network<M> {
             metrics: NetMetrics::new(),
             endpoints: 0,
             trace: Trace::new(0),
+            next_timer: 0,
+            live_timers: HashSet::new(),
+            cancelled_timers: HashSet::new(),
         }
     }
 
@@ -135,6 +192,13 @@ impl<M> Network<M> {
     /// Message accounting so far.
     pub fn metrics(&self) -> &NetMetrics {
         &self.metrics
+    }
+
+    /// Mutable metrics access, for protocol layers that account their
+    /// recovery actions (retries, timeouts, re-delegations) alongside
+    /// the network's own counters.
+    pub fn metrics_mut(&mut self) -> &mut NetMetrics {
+        &mut self.metrics
     }
 
     /// Resets message accounting (virtual time is unaffected).
@@ -194,39 +258,119 @@ impl<M> Network<M> {
             return;
         }
         let delay = self.latency.sample(&mut self.rng);
-        self.queue.schedule_after(delay, InFlight { from, to, payload });
+        self.queue
+            .schedule_after(delay, Queued::Message(InFlight { from, to, payload }));
+    }
+
+    /// Schedules a timer that fires at `owner` after `after`, returning
+    /// a handle for [`Network::cancel_timer`].
+    ///
+    /// The `token` is an opaque caller-chosen value handed back in the
+    /// [`TimerFired`] event, typically identifying the request being
+    /// timed. A timer whose owner is down at the deadline is silently
+    /// discarded (a crashed process observes nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner` was never registered.
+    pub fn set_timer(&mut self, owner: EndpointId, after: SimDuration, token: u64) -> TimerId {
+        assert!(owner.0 < self.endpoints, "unknown timer owner {owner}");
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.live_timers.insert(id);
+        self.metrics.timers_set.incr();
+        self.trace.record(TraceEvent {
+            at: self.now(),
+            kind: TraceKind::TimerSet,
+            from: owner,
+            to: owner,
+        });
+        self.queue.schedule_after(after, Queued::Timer { owner, token, id });
+        TimerId(id)
+    }
+
+    /// Cancels a pending timer. Cancelling a timer that already fired
+    /// (or was already cancelled) is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if self.live_timers.remove(&id.0) {
+            self.cancelled_timers.insert(id.0);
+            self.metrics.timers_cancelled.incr();
+        }
+    }
+
+    /// Delivers the next event — a message delivery or a timer firing —
+    /// in global virtual-time order, advancing the clock.
+    ///
+    /// Returns `None` when the network is quiescent (no messages in
+    /// flight and no live timers pending). Messages whose destination
+    /// is down at delivery time are counted as dropped and skipped;
+    /// cancelled timers and timers of dead owners are skipped silently.
+    pub fn step_event(&mut self) -> Option<NetEvent<M>> {
+        while let Some((at, queued)) = self.queue.pop() {
+            match queued {
+                Queued::Timer { owner, token, id } => {
+                    if self.cancelled_timers.remove(&id) {
+                        continue;
+                    }
+                    self.live_timers.remove(&id);
+                    if !self.faults.is_up(owner, at) {
+                        continue;
+                    }
+                    self.metrics.timers_fired.incr();
+                    self.trace.record(TraceEvent {
+                        at,
+                        kind: TraceKind::TimerFired,
+                        from: owner,
+                        to: owner,
+                    });
+                    return Some(NetEvent::Timer(TimerFired {
+                        at,
+                        owner,
+                        token,
+                        id: TimerId(id),
+                    }));
+                }
+                Queued::Message(msg) => {
+                    if !self.faults.is_up(msg.to, at) {
+                        self.metrics.messages_dropped.incr();
+                        self.trace.record(TraceEvent {
+                            at,
+                            kind: TraceKind::Dropped,
+                            from: msg.from,
+                            to: msg.to,
+                        });
+                        continue;
+                    }
+                    self.metrics.messages_delivered.incr();
+                    self.trace.record(TraceEvent {
+                        at,
+                        kind: TraceKind::Delivered,
+                        from: msg.from,
+                        to: msg.to,
+                    });
+                    return Some(NetEvent::Delivery(Delivery {
+                        at,
+                        from: msg.from,
+                        to: msg.to,
+                        payload: msg.payload,
+                    }));
+                }
+            }
+        }
+        None
     }
 
     /// Delivers the next in-flight message, advancing virtual time.
     ///
     /// Returns `None` when the network is quiescent. Messages whose
     /// destination is down at delivery time are counted as dropped and
-    /// skipped.
+    /// skipped, and timer firings are discarded — timer-aware protocols
+    /// should drive the network with [`Network::step_event`] instead.
     pub fn step(&mut self) -> Option<Delivery<M>> {
-        while let Some((at, msg)) = self.queue.pop() {
-            if !self.faults.is_up(msg.to, at) {
-                self.metrics.messages_dropped.incr();
-                self.trace.record(TraceEvent {
-                    at,
-                    kind: TraceKind::Dropped,
-                    from: msg.from,
-                    to: msg.to,
-                });
-                continue;
+        while let Some(event) = self.step_event() {
+            if let NetEvent::Delivery(d) = event {
+                return Some(d);
             }
-            self.metrics.messages_delivered.incr();
-            self.trace.record(TraceEvent {
-                at,
-                kind: TraceKind::Delivered,
-                from: msg.from,
-                to: msg.to,
-            });
-            return Some(Delivery {
-                at,
-                from: msg.from,
-                to: msg.to,
-                payload: msg.payload,
-            });
         }
         None
     }
@@ -249,9 +393,14 @@ impl<M> Network<M> {
         delivered
     }
 
-    /// Number of messages currently in flight.
+    /// Number of messages currently in flight (excludes pending timers).
     pub fn in_flight(&self) -> usize {
-        self.queue.len()
+        self.queue.len() - self.live_timers.len() - self.cancelled_timers.len()
+    }
+
+    /// Number of timers scheduled but not yet fired or cancelled.
+    pub fn pending_timers(&self) -> usize {
+        self.live_timers.len()
     }
 }
 
@@ -331,6 +480,32 @@ mod tests {
     }
 
     #[test]
+    fn recovery_exactly_at_delivery_tick() {
+        // Outage is [0,5) and the message arrives at exactly t=5: the
+        // half-open interval means the endpoint is back up, so the
+        // message must be delivered, not dropped.
+        let (mut n, a, b) = net(LatencyModel::constant(5));
+        n.faults_mut()
+            .outage(b, SimTime::from_ticks(0), SimTime::from_ticks(5));
+        n.send(a, b, 9);
+        let d = n.step().expect("delivered at the recovery instant");
+        assert_eq!(d.at, SimTime::from_ticks(5));
+        assert_eq!(n.metrics().messages_dropped.get(), 0);
+    }
+
+    #[test]
+    fn outage_covering_delivery_tick_drops() {
+        // Same shape but the outage is [0,6): at t=5 the endpoint is
+        // still down, so the message is dropped.
+        let (mut n, a, b) = net(LatencyModel::constant(5));
+        n.faults_mut()
+            .outage(b, SimTime::from_ticks(0), SimTime::from_ticks(6));
+        n.send(a, b, 9);
+        assert!(n.step().is_none());
+        assert_eq!(n.metrics().messages_dropped.get(), 1);
+    }
+
+    #[test]
     fn lossy_link_drops_fraction() {
         let (mut n, a, b) = net(LatencyModel::constant(1));
         n.faults_mut().set_drop_probability(0.5);
@@ -378,6 +553,132 @@ mod tests {
         assert_eq!(eps.len(), 5);
         assert_eq!(n.endpoint_count(), 5);
         assert!(eps.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+#[cfg(test)]
+mod timer_tests {
+    use super::*;
+    use crate::time::{SimDuration, SimTime};
+
+    fn net() -> (Network<u32>, EndpointId, EndpointId) {
+        let mut n = Network::new(LatencyModel::constant(2), 42);
+        let a = n.add_endpoint();
+        let b = n.add_endpoint();
+        (n, a, b)
+    }
+
+    #[test]
+    fn timer_fires_at_deadline() {
+        let (mut n, a, _) = net();
+        let id = n.set_timer(a, SimDuration::from_ticks(7), 99);
+        match n.step_event() {
+            Some(NetEvent::Timer(t)) => {
+                assert_eq!(t.at, SimTime::from_ticks(7));
+                assert_eq!(t.owner, a);
+                assert_eq!(t.token, 99);
+                assert_eq!(t.id, id);
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+        assert!(n.step_event().is_none());
+        assert_eq!(n.metrics().timers_set.get(), 1);
+        assert_eq!(n.metrics().timers_fired.get(), 1);
+    }
+
+    #[test]
+    fn timers_and_messages_interleave_in_time_order() {
+        let (mut n, a, b) = net();
+        n.set_timer(a, SimDuration::from_ticks(1), 0); // fires t=1
+        n.send(a, b, 5); // delivered t=2
+        n.set_timer(a, SimDuration::from_ticks(3), 1); // fires t=3
+        let mut order = Vec::new();
+        while let Some(ev) = n.step_event() {
+            match ev {
+                NetEvent::Timer(t) => order.push(("timer", t.at.ticks())),
+                NetEvent::Delivery(d) => order.push(("msg", d.at.ticks())),
+            }
+        }
+        assert_eq!(order, vec![("timer", 1), ("msg", 2), ("timer", 3)]);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        let (mut n, a, _) = net();
+        let id = n.set_timer(a, SimDuration::from_ticks(5), 0);
+        n.cancel_timer(id);
+        n.cancel_timer(id); // double-cancel is a no-op
+        assert!(n.step_event().is_none());
+        assert_eq!(n.metrics().timers_cancelled.get(), 1);
+        assert_eq!(n.metrics().timers_fired.get(), 0);
+        assert_eq!(n.pending_timers(), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let (mut n, a, _) = net();
+        let id = n.set_timer(a, SimDuration::from_ticks(1), 0);
+        assert!(matches!(n.step_event(), Some(NetEvent::Timer(_))));
+        n.cancel_timer(id);
+        assert_eq!(n.metrics().timers_cancelled.get(), 0);
+    }
+
+    #[test]
+    fn dead_owner_timer_is_suppressed() {
+        let (mut n, a, _) = net();
+        n.set_timer(a, SimDuration::from_ticks(4), 0);
+        n.faults_mut()
+            .outage(a, SimTime::from_ticks(2), SimTime::from_ticks(10));
+        assert!(n.step_event().is_none(), "owner down at deadline");
+        assert_eq!(n.metrics().timers_fired.get(), 0);
+    }
+
+    #[test]
+    fn step_discards_timers_for_legacy_callers() {
+        let (mut n, a, b) = net();
+        n.set_timer(a, SimDuration::from_ticks(1), 0);
+        n.send(a, b, 7);
+        let d = n.step().expect("message still delivered");
+        assert_eq!(d.payload, 7);
+        assert!(n.step().is_none());
+    }
+
+    #[test]
+    fn in_flight_excludes_timers() {
+        let (mut n, a, b) = net();
+        let id = n.set_timer(a, SimDuration::from_ticks(5), 0);
+        n.set_timer(a, SimDuration::from_ticks(6), 1);
+        n.send(a, b, 1);
+        assert_eq!(n.in_flight(), 1);
+        assert_eq!(n.pending_timers(), 2);
+        n.cancel_timer(id);
+        assert_eq!(n.in_flight(), 1);
+        assert_eq!(n.pending_timers(), 1);
+    }
+
+    #[test]
+    fn timer_ids_are_unique_and_deterministic() {
+        let run = || {
+            let (mut n, a, _) = net();
+            let ids: Vec<u64> = (0..5)
+                .map(|i| n.set_timer(a, SimDuration::from_ticks(i + 1), i).raw())
+                .collect();
+            ids
+        };
+        let ids = run();
+        assert_eq!(ids, run());
+        let unique: HashSet<u64> = ids.iter().copied().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    fn timer_trace_events() {
+        let (mut n, a, _) = net();
+        n.enable_tracing(16);
+        n.set_timer(a, SimDuration::from_ticks(1), 0);
+        n.step_event();
+        let kinds: Vec<TraceKind> = n.trace().iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec![TraceKind::TimerSet, TraceKind::TimerFired]);
     }
 }
 

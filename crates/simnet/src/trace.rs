@@ -11,7 +11,7 @@ use std::fmt;
 use crate::net::EndpointId;
 use crate::time::SimTime;
 
-/// What happened to one message.
+/// What happened to one message or timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceKind {
     /// The message was handed to the network.
@@ -20,6 +20,10 @@ pub enum TraceKind {
     Delivered,
     /// The message was lost (dead sender/receiver or link loss).
     Dropped,
+    /// A timer was scheduled (`from == to == owner`).
+    TimerSet,
+    /// A timer fired at its live owner (`from == to == owner`).
+    TimerFired,
 }
 
 impl fmt::Display for TraceKind {
@@ -28,6 +32,8 @@ impl fmt::Display for TraceKind {
             TraceKind::Sent => "sent",
             TraceKind::Delivered => "delivered",
             TraceKind::Dropped => "dropped",
+            TraceKind::TimerSet => "timer-set",
+            TraceKind::TimerFired => "timer-fired",
         };
         f.write_str(s)
     }

@@ -76,6 +76,122 @@ proptest! {
         prop_assert_eq!(net.in_flight(), 0);
     }
 
+    /// Under *any* seed, fault plan (link loss, outage windows, and
+    /// permanent kills), and latency model, every sent message is
+    /// exactly once delivered or dropped — and the trace agrees with
+    /// the counters event for event.
+    #[test]
+    fn conservation_with_trace_agreement(
+        seed in any::<u64>(),
+        sends in prop::collection::vec((0u64..8, 0u64..8), 0..150),
+        drop_p in 0.0f64..1.0,
+        latency_kind in 0u8..3,
+        outages in prop::collection::vec((0u64..8, 0u64..40, 1u64..40), 0..10),
+        kills in prop::collection::vec(0u64..8, 0..3),
+    ) {
+        let latency = match latency_kind {
+            0 => LatencyModel::constant(2),
+            1 => LatencyModel::uniform(1, 9),
+            _ => LatencyModel::pareto(1, 1.5, 50),
+        };
+        let mut net: Network<usize> = Network::new(latency, seed);
+        let eps = net.add_endpoints(8);
+        net.enable_tracing(4096);
+        net.faults_mut().set_drop_probability(drop_p);
+        for (ep, from, len) in &outages {
+            net.faults_mut().outage(
+                eps[*ep as usize],
+                SimTime::from_ticks(*from),
+                SimTime::from_ticks(from + len),
+            );
+        }
+        for ep in &kills {
+            net.faults_mut().kill(eps[*ep as usize]);
+        }
+        for (i, (from, to)) in sends.iter().enumerate() {
+            net.send(eps[*from as usize], eps[*to as usize], i);
+        }
+        let delivered = net.run_to_quiescence(|_, _, _| {});
+        let m = *net.metrics();
+        prop_assert_eq!(m.messages_sent.get(), sends.len() as u64);
+        prop_assert_eq!(m.messages_delivered.get(), delivered);
+        prop_assert_eq!(
+            m.messages_delivered.get() + m.messages_dropped.get(),
+            m.messages_sent.get()
+        );
+        prop_assert_eq!(net.in_flight(), 0);
+        // Trace agreement: the buffer is large enough to hold every
+        // event (≤ 3 per send), so per-kind counts must equal counters.
+        let trace = net.trace();
+        prop_assert_eq!(
+            trace.of_kind(hyperdex_simnet::trace::TraceKind::Sent).count() as u64,
+            m.messages_sent.get()
+        );
+        prop_assert_eq!(
+            trace.of_kind(hyperdex_simnet::trace::TraceKind::Delivered).count() as u64,
+            m.messages_delivered.get()
+        );
+        prop_assert_eq!(
+            trace.of_kind(hyperdex_simnet::trace::TraceKind::Dropped).count() as u64,
+            m.messages_dropped.get()
+        );
+    }
+
+    /// Timers never leak: at quiescence every timer set was fired,
+    /// cancelled, or suppressed by a dead owner, and none remain
+    /// pending. Timer activity must not perturb message conservation.
+    #[test]
+    fn timer_accounting(
+        seed in any::<u64>(),
+        timers in prop::collection::vec((0u64..4, 1u64..30), 0..40),
+        cancel_every in 1usize..5,
+        kills in prop::collection::vec(0u64..4, 0..2),
+        sends in prop::collection::vec((0u64..4, 0u64..4), 0..30),
+    ) {
+        let mut net: Network<usize> = Network::new(LatencyModel::uniform(1, 5), seed);
+        let eps = net.add_endpoints(4);
+        for ep in &kills {
+            net.faults_mut().kill(eps[*ep as usize]);
+        }
+        let mut set = 0u64;
+        let mut cancelled = 0u64;
+        for (i, (owner, after)) in timers.iter().enumerate() {
+            let id = net.set_timer(
+                eps[*owner as usize],
+                SimDuration::from_ticks(*after),
+                i as u64,
+            );
+            set += 1;
+            if i % cancel_every == 0 {
+                net.cancel_timer(id);
+                cancelled += 1;
+            }
+        }
+        for (i, (from, to)) in sends.iter().enumerate() {
+            net.send(eps[*from as usize], eps[*to as usize], i);
+        }
+        let mut fired = 0u64;
+        let mut delivered = 0u64;
+        while let Some(ev) = net.step_event() {
+            match ev {
+                hyperdex_simnet::net::NetEvent::Timer(_) => fired += 1,
+                hyperdex_simnet::net::NetEvent::Delivery(_) => delivered += 1,
+            }
+        }
+        let m = net.metrics();
+        prop_assert_eq!(m.timers_set.get(), set);
+        prop_assert_eq!(m.timers_cancelled.get(), cancelled);
+        prop_assert_eq!(m.timers_fired.get(), fired);
+        prop_assert!(fired + cancelled <= set, "rest suppressed by dead owners");
+        prop_assert_eq!(net.pending_timers(), 0);
+        prop_assert_eq!(net.in_flight(), 0);
+        prop_assert_eq!(
+            m.messages_delivered.get() + m.messages_dropped.get(),
+            m.messages_sent.get()
+        );
+        prop_assert_eq!(m.messages_delivered.get(), delivered);
+    }
+
     /// Latency samples respect each model's support.
     #[test]
     fn latency_support(seed in any::<u64>(), lo in 0u64..50, span in 0u64..50) {

@@ -1,0 +1,148 @@
+//! Offline stub of `criterion`.
+//!
+//! Keeps the workspace's `benches/` targets compiling and runnable
+//! without crates.io access. Measurement is deliberately crude — a
+//! fixed-iteration wall-clock average printed per benchmark — with
+//! none of criterion's statistics, warm-up, or HTML reports. The repo's
+//! published numbers come from the `experiments` binary, not from
+//! these micro-benches, so fidelity of the harness matters more than
+//! fidelity of the measurement.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Iterations per benchmark invocation.
+const ITERS: u32 = 100;
+
+/// The top-level benchmark driver handed to each group function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.parameter));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifies a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { parameter: format!("{function_name}/{parameter}") }
+    }
+
+    /// An id from just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { parameter: parameter.to_string() }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    nanos_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            black_box(routine());
+        }
+        self.nanos_per_iter = Some(start.elapsed().as_nanos() as f64 / f64::from(ITERS));
+    }
+
+    fn report(&self, name: &str) {
+        match self.nanos_per_iter {
+            Some(ns) => println!("bench {name}: {ns:.0} ns/iter (stub, {ITERS} iters)"),
+            None => println!("bench {name}: no measurement recorded"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("stub/self_test", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, ITERS);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, n| {
+            b.iter(|| *n * 2)
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 3).parameter, "f/3");
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface the repo actually uses: the two marker
+//! traits and the derive macros (re-exported from the companion
+//! `serde_derive` stub). No serialization format ships with the repo,
+//! so empty marker traits are sufficient — the derives exist so type
+//! definitions keep their `#[derive(Serialize, Deserialize)]` and
+//! `#[serde(...)]` annotations and downstream bounds like
+//! `T: Serialize + for<'de> Deserialize<'de>` stay satisfiable.
+//! Swapping the real serde back in requires only a Cargo.toml change.
+
+#![forbid(unsafe_code)]
+
+/// Marker for types that can be serialized.
+///
+/// The real trait's `serialize` method is omitted: nothing in this
+/// workspace drives an actual serializer.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_primitives {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_primitives!(
+    bool, char, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<T: Serialize + ?Sized> Serialize for &T {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_roundtrippable<T: Serialize + DeserializeOwned>() {}
+
+    #[test]
+    fn primitives_satisfy_bounds() {
+        assert_roundtrippable::<u64>();
+        assert_roundtrippable::<String>();
+        assert_roundtrippable::<Vec<f64>>();
+        assert_roundtrippable::<Option<(u8, String)>>();
+    }
+}

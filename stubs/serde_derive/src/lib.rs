@@ -1,0 +1,63 @@
+//! Offline stub of serde's derive macros.
+//!
+//! Emits empty marker-trait impls (`impl serde::Serialize for T {}`)
+//! for the stub `serde` facade vendored in this workspace. The
+//! `#[serde(...)]` helper attribute is accepted and ignored. Only
+//! non-generic types are supported — every derive site in this repo is
+//! a plain struct, and a loud compile error beats silently wrong
+//! generics handling.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the type name: the identifier following `struct`, `enum`, or
+/// `union`, skipping attributes and visibility.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Whether the definition introduces generic parameters (unsupported).
+fn has_generics(input: &TokenStream, name: &str) -> bool {
+    let mut after_name = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(ref ident) if ident.to_string() == name => after_name = true,
+            TokenTree::Punct(ref p) if after_name => return p.as_char() == '<',
+            TokenTree::Group(_) if after_name => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn derive_impl(input: TokenStream, template: &str) -> TokenStream {
+    let name = type_name(&input).expect("serde_derive stub: no struct/enum/union name found");
+    assert!(
+        !has_generics(&input, &name),
+        "serde_derive stub: generic type `{name}` is unsupported; vendor real serde instead"
+    );
+    template.replace("__NAME__", &name).parse().expect("generated impl parses")
+}
+
+/// Stub `#[derive(Serialize)]`: an empty marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_impl(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Stub `#[derive(Deserialize)]`: an empty marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_impl(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}

@@ -1,6 +1,7 @@
 //! Fault-tolerance integration: churn, crashes, surrogate routing, and
 //! the §3.4 claim that no single failure blocks a keyword's queries.
 
+use hyperdex::core::sim_protocol::{FtConfig, FtSearchOutcome, ProtocolSim, RecoveryStrategy};
 use hyperdex::core::{HypercubeIndex, KeywordSet, ObjectId, SupersetQuery};
 use hyperdex::dht::sim::SimDht;
 use hyperdex::dht::{Dolr, NodeId};
@@ -152,4 +153,154 @@ fn lossy_network_lookups_eventually_succeed() {
         }
     }
     assert!(succeeded, "20 retries at 30% loss should succeed");
+}
+
+// ---------------------------------------------------------------------
+// Message-level fault-tolerant superset search
+// ---------------------------------------------------------------------
+
+/// Unbounded-but-valid threshold (usize::MAX would be fine too; this
+/// mirrors the unit tests).
+const ALL: usize = usize::MAX >> 1;
+
+fn set(s: &str) -> KeywordSet {
+    KeywordSet::parse(s).expect("parses")
+}
+
+/// A populated 8-dimensional protocol simulation: 300 objects sharing
+/// the keyword `common`, spread over the subcube by unique keywords.
+fn protocol_sim(seed: u64) -> ProtocolSim {
+    let mut sim = ProtocolSim::new(8, seed, LatencyModel::constant(1)).expect("valid");
+    for i in 0..300u64 {
+        let k = set(&format!("common unique{i} tag{}", i % 5));
+        sim.insert(ObjectId::from_raw(i), k).expect("non-empty");
+    }
+    sim
+}
+
+fn sorted_ids(out: &FtSearchOutcome) -> Vec<ObjectId> {
+    let mut v: Vec<ObjectId> = out.results.iter().map(|r| r.object).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn lossy_search_with_retry_budget_matches_fault_free_run() {
+    // Fault-free reference: even the naive strategy covers everything.
+    let baseline = protocol_sim(7)
+        .search_fault_tolerant(&set("common"), ALL, FtConfig::new(RecoveryStrategy::Naive))
+        .expect("valid");
+    let baseline_ids = sorted_ids(&baseline);
+    assert!(!baseline_ids.is_empty(), "reference run must find objects");
+
+    // Same index, 20% message loss, generous retry budget.
+    let mut sim = protocol_sim(7);
+    sim.network_mut().faults_mut().set_drop_probability(0.2);
+    let out = sim
+        .search_fault_tolerant(
+            &set("common"),
+            ALL,
+            FtConfig::new(RecoveryStrategy::RetryOnly).max_retries(12),
+        )
+        .expect("valid");
+    assert_eq!(
+        sorted_ids(&out),
+        baseline_ids,
+        "retries must recover the exact fault-free result set"
+    );
+    assert!(out.coverage.retries > 0, "20% loss must trigger retries");
+    assert_eq!(out.coverage.vertices_reached, out.coverage.subcube_vertices);
+    assert!(out.coverage.skipped.is_empty());
+}
+
+#[test]
+fn crashed_subtree_root_is_fully_covered_by_redelegation() {
+    // Kill the root's highest-dimension SBT child: its subtree is half
+    // the query subcube — the worst single crash below the root.
+    let mut sim = protocol_sim(7);
+    let root = sim.query_root(&set("common"));
+    let dead = root.flip(root.zero_positions().next_back().expect("has zeros"));
+    let dead_ep = sim.endpoint_of(dead.bits());
+    sim.network_mut().faults_mut().kill(dead_ep);
+
+    let out = sim
+        .search_fault_tolerant(
+            &set("common"),
+            ALL,
+            FtConfig::new(RecoveryStrategy::Redelegate),
+        )
+        .expect("valid");
+    // Exactly the crashed vertex is lost; every vertex of its subtree
+    // was re-delegated and answered.
+    assert_eq!(out.coverage.skipped, vec![dead.bits()]);
+    assert_eq!(
+        out.coverage.vertices_reached,
+        out.coverage.subcube_vertices - 1
+    );
+    assert!(out.coverage.redelegations >= 1, "subtree must be re-delegated");
+
+    // Contrast: retry-only abandons the whole half-cube.
+    let mut sim = protocol_sim(7);
+    sim.network_mut().faults_mut().kill(dead_ep);
+    let abandoned = sim
+        .search_fault_tolerant(
+            &set("common"),
+            ALL,
+            FtConfig::new(RecoveryStrategy::RetryOnly),
+        )
+        .expect("valid");
+    assert_eq!(
+        abandoned.coverage.vertices_skipped,
+        out.coverage.subcube_vertices / 2,
+        "without re-delegation the dead child's half-cube is lost"
+    );
+}
+
+#[test]
+fn acceptance_crashes_plus_loss_terminate_with_exact_accounting() {
+    // The headline scenario: fixed seed, 20% drop, three crashed
+    // vertices inside the query subcube. The search must terminate,
+    // cover every live vertex, and account exactly for the dead ones —
+    // deterministically.
+    let run = || {
+        let mut sim = protocol_sim(11);
+        let root = sim.query_root(&set("common"));
+        let root_bits = root.bits();
+        // Three proper superset vertices of the root (in its subcube).
+        let crashed: Vec<u64> = (0..256u64)
+            .filter(|&bits| bits != root_bits && bits & root_bits == root_bits)
+            .take(3)
+            .collect();
+        assert_eq!(crashed.len(), 3, "subcube too small for the scenario");
+        for &bits in &crashed {
+            let ep = sim.endpoint_of(bits);
+            sim.network_mut().faults_mut().kill(ep);
+        }
+        sim.network_mut().faults_mut().set_drop_probability(0.2);
+        let out = sim
+            .search_fault_tolerant(
+                &set("common"),
+                ALL,
+                FtConfig::new(RecoveryStrategy::Redelegate).max_retries(10),
+            )
+            .expect("valid");
+
+        // Terminated (we are here) with every live vertex covered:
+        // skipped is exactly the crashed set.
+        let mut expected = crashed.clone();
+        expected.sort_unstable();
+        assert_eq!(out.coverage.skipped, expected);
+        assert_eq!(out.coverage.vertices_skipped, 3);
+        assert_eq!(
+            out.coverage.vertices_reached,
+            out.coverage.subcube_vertices - 3
+        );
+        assert!(out.coverage.timeouts >= 3, "each dead vertex times out");
+        assert!(out.coverage.retries >= out.coverage.timeouts);
+        (sorted_ids(&out), out.coverage)
+    };
+    let (ids_a, cov_a) = run();
+    let (ids_b, cov_b) = run();
+    assert_eq!(ids_a, ids_b, "result set must be reproducible");
+    assert_eq!(cov_a, cov_b, "coverage report must be reproducible");
 }
