@@ -14,8 +14,7 @@ fn build_sim(r: u8) -> ProtocolSim {
     for i in 0..2_000u64 {
         sim.insert(
             ObjectId::from_raw(i),
-            KeywordSet::parse(&format!("shared tag{} group{}", i % 300, i % 11))
-                .expect("valid"),
+            KeywordSet::parse(&format!("shared tag{} group{}", i % 300, i % 11)).expect("valid"),
         )
         .expect("non-empty");
     }

@@ -35,12 +35,10 @@ fn superset_search(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(m), &query, |b, q| {
             let mut idx = index.clone();
             b.iter(|| {
-                idx.superset_search(
-                    &SupersetQuery::new(black_box(q).clone()).use_cache(false),
-                )
-                .expect("valid")
-                .stats
-                .nodes_contacted
+                idx.superset_search(&SupersetQuery::new(black_box(q).clone()).use_cache(false))
+                    .expect("valid")
+                    .stats
+                    .nodes_contacted
             })
         });
     }

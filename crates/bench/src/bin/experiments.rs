@@ -4,18 +4,22 @@
 //! experiments [EXPERIMENT ...] [--scale full|small] [--seed N]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
-//!             availability all
+//!             availability churn all
 //!             (default: all)
+//!
+//! `churn` additionally writes its rows to `BENCH_churn.json` in the
+//! current directory.
 //! ```
 
 use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
-    ablation, availability, eq1, fig5, fig6, fig7, fig8, fig9, table1, xcheck,
+    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, table1, xcheck,
 };
 use hyperdex_bench::{Scale, SharedContext};
 
-const USAGE: &str = "usage: experiments [table1|fig5|...|eq1|ablation|xcheck|availability|all ...] \
+const USAGE: &str = "usage: experiments \
+                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|all ...] \
                      [--scale full|small] [--seed N]";
 
 fn main() -> ExitCode {
@@ -49,11 +53,21 @@ fn main() -> ExitCode {
         }
     }
     if chosen.is_empty() || chosen.iter().any(|c| c == "all") {
-        chosen = ["table1", "fig5", "fig6", "fig7", "fig8", "fig9", "eq1", "ablation",
-            "xcheck", "availability",
+        chosen = [
+            "table1",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "eq1",
+            "ablation",
+            "xcheck",
+            "availability",
+            "churn",
         ]
-            .map(String::from)
-            .to_vec();
+        .map(String::from)
+        .to_vec();
     }
 
     let scale_name = match scale {
@@ -101,6 +115,17 @@ fn main() -> ExitCode {
             "availability" => {
                 availability::run(&ctx);
                 availability::run_protocol(&ctx);
+            }
+            "churn" => {
+                let rows = churn::run(&ctx);
+                let path = std::path::Path::new("BENCH_churn.json");
+                match churn::write_json(&rows, path) {
+                    Ok(()) => println!("\nwrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             other => {
                 eprintln!("unknown experiment `{other}`\n{USAGE}");

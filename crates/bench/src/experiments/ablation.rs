@@ -154,7 +154,11 @@ pub fn run(ctx: &SharedContext) -> AblationSummary {
     let replay: Vec<_> = ctx.queries.iter().take(2_000).collect();
     for q in &replay {
         let out = index
-            .superset_search(&SupersetQuery::new((*q).clone()).threshold(20).use_cache(false))
+            .superset_search(
+                &SupersetQuery::new((*q).clone())
+                    .threshold(20)
+                    .use_cache(false),
+            )
             .expect("valid");
         let sbt = hyperdex_hypercube::Sbt::induced(index.vertex_for(q));
         for (v, _) in sbt.bfs().take(out.stats.nodes_contacted as usize) {

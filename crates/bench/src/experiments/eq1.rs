@@ -52,8 +52,8 @@ pub fn run(ctx: &SharedContext) -> Vec<Eq1Row> {
     ]);
     for m in 1..=12u32 {
         let analytic_mean = analysis::expected_ones(r, m);
-        let empirical_mean = (counts[m as usize] > 0)
-            .then(|| sums[m as usize] as f64 / counts[m as usize] as f64);
+        let empirical_mean =
+            (counts[m as usize] > 0).then(|| sums[m as usize] as f64 / counts[m as usize] as f64);
         let search_fraction_bound = analysis::expected_search_fraction(r, m);
         table.row([
             m.to_string(),
@@ -79,8 +79,8 @@ pub fn run(ctx: &SharedContext) -> Vec<Eq1Row> {
     }
 
     // Verify against a real multi-word set from Table 1's schema.
-    let example = KeywordSet::parse("isp telecommunication network download")
-        .expect("static set parses");
+    let example =
+        KeywordSet::parse("isp telecommunication network download").expect("static set parses");
     println!(
         "\nexample: F_h({example}) has |One| = {} (m = 4, E|One| = {})",
         hasher.vertex_for(&example).one_count(),

@@ -44,11 +44,7 @@ pub fn run(ctx: &SharedContext) -> Vec<LoadSeries> {
             index.insert(id, keywords.clone()).expect("non-empty sets");
         }
         let loads: Vec<usize> = index.node_loads().iter().map(|&(_, l)| l).collect();
-        series.push(make_series(
-            format!("hypercube-{r}"),
-            &loads,
-            1u64 << r,
-        ));
+        series.push(make_series(format!("hypercube-{r}"), &loads, 1u64 << r));
     }
 
     // DHT direct-hash references.
@@ -73,13 +69,7 @@ pub fn run(ctx: &SharedContext) -> Vec<LoadSeries> {
 
     // Print: one row per series, sampled at 10% / 25% / 50% node ranks,
     // plus Gini. (Full curves available programmatically.)
-    let mut table = Table::new([
-        "series",
-        "objects @10% nodes",
-        "@25%",
-        "@50%",
-        "gini",
-    ]);
+    let mut table = Table::new(["series", "objects @10% nodes", "@25%", "@50%", "gini"]);
     for s in &series {
         table.row([
             s.label.clone(),
@@ -158,7 +148,11 @@ mod tests {
         // (3) Every curve is monotone and ends at (1, 1).
         for s in &series {
             let &(x, y) = s.curve.last().unwrap();
-            assert!((x - 1.0).abs() < 1e-9 && (y - 1.0).abs() < 1e-9, "{}", s.label);
+            assert!(
+                (x - 1.0).abs() < 1e-9 && (y - 1.0).abs() < 1e-9,
+                "{}",
+                s.label
+            );
         }
     }
 

@@ -76,11 +76,7 @@ pub fn run(ctx: &SharedContext) -> Vec<Fig7Series> {
     for s in all.iter().filter(|s| [8, 10, 12].contains(&s.r)) {
         println!("\nr = {}: x, node%, object%", s.r);
         for x in 0..=s.r as usize {
-            println!(
-                "  {x:>2}  {:>7}  {:>7}",
-                pct(s.node[x]),
-                pct(s.object[x])
-            );
+            println!("  {x:>2}  {:>7}  {:>7}", pct(s.node[x]), pct(s.object[x]));
         }
     }
 

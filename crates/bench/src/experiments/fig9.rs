@@ -85,9 +85,7 @@ pub fn run(ctx: &SharedContext) -> Vec<Fig9Cell> {
                     }
                     let threshold = ((found as f64 * recall).ceil() as usize).max(1);
                     let out = index
-                        .superset_search(
-                            &SupersetQuery::new((*q).clone()).threshold(threshold),
-                        )
+                        .superset_search(&SupersetQuery::new((*q).clone()).threshold(threshold))
                         .expect("positive threshold");
                     contacted += out.stats.nodes_contacted;
                     hits += u64::from(out.stats.cache_hit);
@@ -135,9 +133,7 @@ mod tests {
             cells
                 .iter()
                 .find(|c| {
-                    c.r == r
-                        && (c.recall - recall).abs() < 1e-9
-                        && (c.alpha - alpha).abs() < 1e-9
+                    c.r == r && (c.recall - recall).abs() < 1e-9 && (c.alpha - alpha).abs() < 1e-9
                 })
                 .copied()
                 .expect("cell present")

@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod availability;
+pub mod churn;
 pub mod eq1;
 pub mod fig5;
 pub mod fig6;

@@ -119,7 +119,8 @@ mod tests {
         assert!(!rows.is_empty());
         for row in &rows {
             assert_eq!(
-                row.matched, row.queries,
+                row.matched,
+                row.queries,
                 "m={}: engines disagreed on {} queries",
                 row.m,
                 row.queries - row.matched

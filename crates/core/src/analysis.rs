@@ -121,10 +121,7 @@ pub fn node_fraction(r: u32, x: u32) -> f64 {
 /// distribution `sizes` (pairs of `(m, weight)`, weights summing to 1):
 /// the probability an object lands on a vertex with `|One| = x`.
 pub fn object_fraction(r: u32, sizes: &[(u32, f64)], x: u32) -> f64 {
-    sizes
-        .iter()
-        .map(|&(m, w)| w * prob_ones(r, m, x))
-        .sum()
+    sizes.iter().map(|&(m, w)| w * prob_ones(r, m, x)).sum()
 }
 
 /// Chooses the dimension `r` in `r_range` whose node distribution is
@@ -135,10 +132,7 @@ pub fn object_fraction(r: u32, sizes: &[(u32, f64)], x: u32) -> f64 {
 /// # Panics
 ///
 /// Panics if `r_range` is empty or contains 0.
-pub fn recommended_dimension(
-    sizes: &[(u32, f64)],
-    r_range: std::ops::RangeInclusive<u32>,
-) -> u32 {
+pub fn recommended_dimension(sizes: &[(u32, f64)], r_range: std::ops::RangeInclusive<u32>) -> u32 {
     let mut best: Option<(f64, u32)> = None;
     for r in r_range {
         let tv: f64 = (0..=r)

@@ -35,6 +35,10 @@ pub struct CachedResults {
     pub results: Vec<RankedObject>,
     /// Whether the producing traversal covered the whole subhypercube.
     pub exhausted: bool,
+    /// The cache generation the entry was produced under. Stale entries
+    /// (generation older than the cache's current one) are dropped on
+    /// lookup — see [`FifoCache::bump_generation`].
+    generation: u64,
 }
 
 impl CachedResults {
@@ -74,6 +78,11 @@ pub struct FifoCache {
     held: usize,
     hits: u64,
     misses: u64,
+    /// Current index generation. Bumped when vertex ownership moves
+    /// (index handoff), invalidating every entry produced before the
+    /// move: results cached from the old owner may not reflect inserts
+    /// and deletes applied at the new one.
+    generation: u64,
 }
 
 impl FifoCache {
@@ -102,15 +111,39 @@ impl FifoCache {
         self.held
     }
 
+    /// The current index generation (see [`FifoCache::bump_generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Advances the index generation, invalidating every cached entry.
+    ///
+    /// Called when vertex ownership moves (index handoff after a join,
+    /// leave, or crash takeover): entries cached against the old owner's
+    /// table would otherwise keep answering even though the new owner's
+    /// table may differ. Invalidation is lazy — stale entries are
+    /// detected and dropped on their next lookup rather than eagerly
+    /// swept, keeping the bump O(1).
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
+    }
+
     /// Looks up a query for a caller wanting up to `threshold` results.
-    /// Counts a hit only when a usable entry exists; an absent or
-    /// non-covering entry counts as a miss.
+    /// Counts a hit only when a usable entry exists; an absent, stale
+    /// (pre-handoff), or non-covering entry counts as a miss.
     pub fn lookup(&mut self, query: &KeywordSet, threshold: usize) -> Option<&CachedResults> {
-        // Split borrow: decide usability before taking the reference.
-        let usable = self
+        // A stale entry must not serve: drop it and take the miss.
+        let stale = self
             .entries
             .get(query)
-            .is_some_and(|e| e.covers(threshold));
+            .is_some_and(|e| e.generation != self.generation);
+        if stale {
+            let old = self.entries.remove(query).expect("checked above");
+            self.held -= old.cost();
+            self.order.retain(|k| k != query);
+        }
+        // Split borrow: decide usability before taking the reference.
+        let usable = self.entries.get(query).is_some_and(|e| e.covers(threshold));
         if usable {
             self.hits += 1;
             self.entries.get(query)
@@ -126,13 +159,19 @@ impl FifoCache {
     /// the existing one is exhaustive and the new one is not (an
     /// exhaustive entry is strictly more useful).
     pub fn put(&mut self, query: KeywordSet, results: Vec<RankedObject>, exhausted: bool) {
-        let entry = CachedResults { results, exhausted };
+        let entry = CachedResults {
+            results,
+            exhausted,
+            generation: self.generation,
+        };
         let cost = entry.cost();
         if self.capacity == 0 || cost > self.capacity {
             return;
         }
         if let Some(existing) = self.entries.get(&query) {
-            if existing.exhausted && !exhausted {
+            // A stale exhaustive entry is worthless; only a *current*
+            // exhaustive entry outranks a fresh partial one.
+            if existing.generation == self.generation && existing.exhausted && !exhausted {
                 return; // keep the better entry
             }
             let old_cost = existing.cost();
@@ -253,7 +292,10 @@ mod tests {
         // slot (see the module docs for the Figure 9 rationale).
         let mut c = FifoCache::new(1);
         c.put(q("big"), results(5_000), true);
-        assert_eq!(c.lookup(&q("big"), 5_000).map(|e| e.results.len()), Some(5_000));
+        assert_eq!(
+            c.lookup(&q("big"), 5_000).map(|e| e.results.len()),
+            Some(5_000)
+        );
         assert_eq!(c.held(), 1);
     }
 
@@ -283,10 +325,7 @@ mod tests {
         c.put(q("a"), results(2), true); // refresh a, now newest
         c.put(q("x"), results(2), true); // must evict b (oldest), not a
         assert!(c.lookup(&q("b"), 1).is_none());
-        assert_eq!(
-            c.lookup(&q("a"), 1).map(|e| e.results.len()),
-            Some(2)
-        );
+        assert_eq!(c.lookup(&q("a"), 1).map(|e| e.results.len()), Some(2));
     }
 
     #[test]
@@ -297,6 +336,58 @@ mod tests {
         // r = 12 → avg ≈ 32; α = 1 → 32.
         let c = FifoCache::with_alpha(1.0, 131_180, 12);
         assert_eq!(c.capacity(), 32);
+    }
+
+    #[test]
+    fn stale_entry_after_handoff_is_a_miss() {
+        // The stale-hit bug this generation counter fixes: a query is
+        // cached while vertex v is owned by node A; v's postings are
+        // then handed off to node B (which may since have absorbed
+        // inserts/deletes the cache never saw). Before the fix, the old
+        // entry kept serving — silently wrong results. After a
+        // generation bump, the entry must read as a miss and be dropped.
+        let mut c = FifoCache::new(10);
+        c.put(q("a"), results(3), true);
+        assert!(c.lookup(&q("a"), 3).is_some(), "fresh entry hits");
+
+        c.bump_generation(); // ownership of the vertex moved
+        assert_eq!(c.generation(), 1);
+        assert!(
+            c.lookup(&q("a"), 3).is_none(),
+            "pre-handoff entry must not serve"
+        );
+        assert_eq!(c.held(), 0, "stale entry dropped on lookup");
+        assert_eq!(c.misses(), 1);
+
+        // Re-caching under the new generation works normally.
+        c.put(q("a"), results(2), true);
+        assert_eq!(c.lookup(&q("a"), 2).map(|e| e.results.len()), Some(2));
+    }
+
+    #[test]
+    fn stale_exhaustive_entry_is_replaced_by_fresh_partial() {
+        // The keep-exhaustive rule must not protect a stale entry: after
+        // a handoff, a fresh partial result beats an outdated exhaustive
+        // one.
+        let mut c = FifoCache::new(10);
+        c.put(q("a"), results(5), true);
+        c.bump_generation();
+        c.put(q("a"), results(2), false);
+        let entry = c.lookup(&q("a"), 2).expect("fresh partial entry");
+        assert_eq!(entry.results.len(), 2);
+        assert!(!entry.exhausted);
+    }
+
+    #[test]
+    fn bump_generation_invalidates_all_entries_lazily() {
+        let mut c = FifoCache::new(10);
+        c.put(q("a"), results(1), true);
+        c.put(q("b"), results(1), true);
+        c.bump_generation();
+        assert_eq!(c.held(), 2, "invalidation is lazy");
+        assert!(c.lookup(&q("a"), 1).is_none());
+        assert!(c.lookup(&q("b"), 1).is_none());
+        assert_eq!(c.held(), 0, "both dropped once touched");
     }
 
     #[test]

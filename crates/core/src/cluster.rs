@@ -230,10 +230,12 @@ impl HypercubeIndex {
     /// configured).
     pub(crate) fn node_mut(&mut self, vertex: Vertex) -> &mut IndexNode {
         let capacity = self.cache_capacity;
-        self.nodes.entry(vertex.bits()).or_insert_with(|| IndexNode {
-            table: IndexTable::new(),
-            cache: (capacity > 0).then(|| FifoCache::new(capacity)),
-        })
+        self.nodes
+            .entry(vertex.bits())
+            .or_insert_with(|| IndexNode {
+                table: IndexTable::new(),
+                cache: (capacity > 0).then(|| FifoCache::new(capacity)),
+            })
     }
 
     /// Mutable cache at `vertex`, if caching is enabled.

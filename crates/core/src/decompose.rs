@@ -68,8 +68,8 @@ impl DecomposedIndex {
     pub fn add_field(&mut self, field: &str, r: u8) -> Result<(), Error> {
         // Derive a per-field seed so equal keywords in different fields
         // hash independently.
-        let field_seed = self.seed
-            ^ hyperdex_dht::keyhash::stable_hash64_seeded(field.as_bytes(), 0x4649_454C);
+        let field_seed =
+            self.seed ^ hyperdex_dht::keyhash::stable_hash64_seeded(field.as_bytes(), 0x4649_454C);
         self.fields
             .insert(field.to_owned(), HypercubeIndex::new(r, field_seed)?);
         Ok(())
@@ -178,9 +178,11 @@ impl DecomposedIndex {
     }
 
     fn field_mut(&mut self, field: &str) -> Result<&mut HypercubeIndex, Error> {
-        self.fields.get_mut(field).ok_or_else(|| Error::UnknownField {
-            field: field.to_owned(),
-        })
+        self.fields
+            .get_mut(field)
+            .ok_or_else(|| Error::UnknownField {
+                field: field.to_owned(),
+            })
     }
 }
 
@@ -251,11 +253,7 @@ mod tests {
         }
         let q = SupersetQuery::new(set("common")).use_cache(false);
         let mono_nodes = mono.superset_search(&q).unwrap().stats.nodes_contacted;
-        let deco_nodes = deco
-            .superset_search("a", &q)
-            .unwrap()
-            .stats
-            .nodes_contacted;
+        let deco_nodes = deco.superset_search("a", &q).unwrap().stats.nodes_contacted;
         assert!(
             deco_nodes < mono_nodes,
             "decomposed {deco_nodes} vs monolithic {mono_nodes}"

@@ -23,6 +23,12 @@ pub enum Error {
     /// A fault-tolerant search was configured with a zero base timeout
     /// (the retry machinery would spin without ever waiting).
     ZeroTimeout,
+    /// A churn configuration was rejected (zero interval, empty
+    /// membership, double enable, …).
+    InvalidChurnConfig {
+        /// Why the configuration was rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -37,6 +43,9 @@ impl fmt::Display for Error {
             }
             Error::ZeroTimeout => {
                 write!(f, "fault-tolerant search requires a positive base timeout")
+            }
+            Error::InvalidChurnConfig { reason } => {
+                write!(f, "invalid churn configuration: {reason}")
             }
         }
     }

@@ -101,16 +101,14 @@ impl QueryExpander {
         sample_size: usize,
         limit: usize,
     ) -> Result<Vec<Expansion>, Error> {
-        let sample = index.superset_search(
-            &SupersetQuery::new(query.clone()).threshold(sample_size.max(1)),
-        )?;
+        let sample = index
+            .superset_search(&SupersetQuery::new(query.clone()).threshold(sample_size.max(1)))?;
         let categories = ranking::sample_categories(&sample.results, query, 1);
         let mut expansions: Vec<Expansion> = categories
             .into_iter()
             .filter(|c| !c.extra.is_empty())
             .map(|c| {
-                let preference_hits =
-                    c.extra.iter().filter(|k| self.preference(k) > 0).count();
+                let preference_hits = c.extra.iter().filter(|k| self.preference(k) > 0).count();
                 Expansion {
                     query: query.union(&c.extra),
                     added: c.extra,

@@ -64,10 +64,7 @@ impl KeywordHasher {
 
     /// `h(w)`: the bit position of a keyword.
     pub fn position(self, keyword: &Keyword) -> u8 {
-        let h = stable_hash64_seeded(
-            keyword.as_bytes(),
-            self.seed ^ KEYWORD_SEED_TAG,
-        );
+        let h = stable_hash64_seeded(keyword.as_bytes(), self.seed ^ KEYWORD_SEED_TAG);
         (h % u64::from(self.shape.r())) as u8
     }
 

@@ -84,8 +84,7 @@ impl IndexTable {
     pub fn superset_entries<'a>(
         &'a self,
         query: &'a KeywordSet,
-    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a
-    {
+    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
         self.entries
             .iter()
             .filter(move |(k, _)| k.is_superset(query))
@@ -113,7 +112,9 @@ impl IndexTable {
     pub fn iter(
         &self,
     ) -> impl Iterator<Item = (&Arc<KeywordSet>, impl Iterator<Item = ObjectId> + '_)> + '_ {
-        self.entries.iter().map(|(k, objs)| (k, objs.iter().copied()))
+        self.entries
+            .iter()
+            .map(|(k, objs)| (k, objs.iter().copied()))
     }
 }
 

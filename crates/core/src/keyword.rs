@@ -25,9 +25,7 @@ use crate::error::Error;
 /// assert!(Keyword::new("   ").is_err());
 /// # Ok::<(), hyperdex_core::Error>(())
 /// ```
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Keyword(String);
 
@@ -94,9 +92,7 @@ impl std::str::FromStr for Keyword {
 /// assert_eq!(k_obj.len(), 4);
 /// # Ok::<(), hyperdex_core::Error>(())
 /// ```
-#[derive(
-    Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct KeywordSet(BTreeSet<Keyword>);
 
@@ -304,7 +300,10 @@ mod tests {
         assert!(KeywordSet::parse("news").unwrap().describes(&k_obj));
         assert!(KeywordSet::parse("tvbs news").unwrap().describes(&k_obj));
         assert!(!KeywordSet::parse("cnn").unwrap().describes(&k_obj));
-        assert!(KeywordSet::new().describes(&k_obj), "empty set describes all");
+        assert!(
+            KeywordSet::new().describes(&k_obj),
+            "empty set describes all"
+        );
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //! * [`mapping`] — the vertex→DHT-node map `g`.
 //! * [`service`] — [`KeywordSearchService`]: the full §3.3 system over a
 //!   Chord-like DHT (publish/withdraw/pin/superset with hop accounting).
+//! * [`sim_protocol`] — the message-level protocol over `hyperdex-simnet`
+//!   (latency, faults, retries; exact coverage accounting).
+//! * [`churn`] — live membership over the message-level protocol:
+//!   join/leave/crash plans, key-range index handoff, anti-entropy
+//!   replica repair.
 //! * [`decompose`] — decomposed (multi-hypercube) indexes (§3.4).
 //! * [`analysis`] — Equation (1) and dimensioning guidance.
 //! * [`baseline`] — distributed inverted index and direct-DHT baselines
@@ -65,6 +70,7 @@
 pub mod analysis;
 pub mod baseline;
 pub mod cache;
+pub mod churn;
 pub mod cluster;
 pub mod decompose;
 pub mod error;
@@ -79,6 +85,7 @@ pub mod search;
 pub mod service;
 pub mod sim_protocol;
 
+pub use churn::{ChurnStats, StabilizationConfig};
 pub use cluster::HypercubeIndex;
 pub use error::Error;
 pub use hashing::KeywordHasher;
@@ -90,3 +97,4 @@ pub use search::{
     PinOutcome, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
 };
 pub use service::KeywordSearchService;
+pub use sim_protocol::{FtConfig, ProtocolSim, RecoveryStrategy};

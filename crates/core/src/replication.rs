@@ -141,18 +141,14 @@ impl ReplicatedIndex {
     /// # Errors
     ///
     /// Returns the underlying search errors.
-    pub fn superset_search(
-        &mut self,
-        query: &SupersetQuery,
-    ) -> Result<SupersetOutcome, Error> {
+    pub fn superset_search(&mut self, query: &SupersetQuery) -> Result<SupersetOutcome, Error> {
         let mut out = self.primary.superset_search(query)?;
         if !self.primary_traversal_compromised(&query.keywords) {
             return Ok(out);
         }
         let secondary_out = self.secondary.superset_search(query)?;
         // Merge, dedup by object id, respect the threshold.
-        let mut seen: HashSet<ObjectId> =
-            out.results.iter().map(|r| r.object).collect();
+        let mut seen: HashSet<ObjectId> = out.results.iter().map(|r| r.object).collect();
         for r in secondary_out.results {
             if seen.insert(r.object) {
                 out.results.push(r);
@@ -238,9 +234,7 @@ mod tests {
 
     #[test]
     fn superset_failover_restores_completeness() {
-        let objects: Vec<(u64, String)> = (0..40)
-            .map(|i| (i, format!("shared tag{i}")))
-            .collect();
+        let objects: Vec<(u64, String)> = (0..40).map(|i| (i, format!("shared tag{i}"))).collect();
         let mut idx = ReplicatedIndex::new(8, 0).unwrap();
         for (id, kws) in &objects {
             idx.insert(oid(*id), set(kws)).unwrap();
@@ -280,10 +274,7 @@ mod tests {
             .unwrap();
         // Single-cube traversal only: nodes contacted equals the
         // subcube size.
-        assert_eq!(
-            baseline.stats.nodes_contacted,
-            1u64 << root.zero_count()
-        );
+        assert_eq!(baseline.stats.nodes_contacted, 1u64 << root.zero_count());
     }
 
     #[test]

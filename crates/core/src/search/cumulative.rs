@@ -209,7 +209,9 @@ mod tests {
         let fresh_nodes = {
             let mut idx2 = index.clone();
             idx2.superset_search(
-                &crate::search::SupersetQuery::new(q).threshold(20).use_cache(false),
+                &crate::search::SupersetQuery::new(q)
+                    .threshold(20)
+                    .use_cache(false),
             )
             .unwrap()
             .stats
@@ -246,8 +248,7 @@ mod tests {
     #[test]
     fn no_matches_finishes_cleanly() {
         let (index, _) = index_with(5);
-        let mut session =
-            CumulativeSearch::new(&index, KeywordSet::parse("absent").unwrap());
+        let mut session = CumulativeSearch::new(&index, KeywordSet::parse("absent").unwrap());
         let batch = session.next_batch(&index, 10).unwrap();
         assert!(batch.results.is_empty());
         assert!(session.is_finished());

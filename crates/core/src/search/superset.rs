@@ -62,7 +62,9 @@ pub(crate) fn run(
     let outcome = match query.mode {
         ExecutionMode::Sequential => match query.order {
             TraversalOrder::TopDown => sequential_top_down(index, query, root, stats),
-            TraversalOrder::BottomUp => by_levels(index, query, root, stats, /*bottom_up=*/ true),
+            TraversalOrder::BottomUp => {
+                by_levels(index, query, root, stats, /*bottom_up=*/ true)
+            }
         },
         ExecutionMode::LevelParallel => match query.order {
             TraversalOrder::TopDown => level_parallel(index, query, root, stats, false),
@@ -257,9 +259,7 @@ fn scan_node(
     }
     match query.order {
         TraversalOrder::TopDown => found.sort_by_key(|r| r.extra_keywords),
-        TraversalOrder::BottomUp => {
-            found.sort_by_key(|r| std::cmp::Reverse(r.extra_keywords))
-        }
+        TraversalOrder::BottomUp => found.sort_by_key(|r| std::cmp::Reverse(r.extra_keywords)),
     }
     if !found.is_empty() {
         stats.result_messages += 1;

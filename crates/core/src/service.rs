@@ -272,10 +272,7 @@ impl KeywordSearchService {
         keywords: &KeywordSet,
     ) -> ServiceSearchOutcome<PinOutcome> {
         let vertex = self.index.vertex_for(keywords);
-        let dht_hops = self
-            .dht
-            .router()
-            .hops(requester, self.map.ring_key(vertex));
+        let dht_hops = self.dht.router().hops(requester, self.map.ring_key(vertex));
         ServiceSearchOutcome {
             outcome: self.index.pin_search(keywords),
             dht_hops,
@@ -294,10 +291,7 @@ impl KeywordSearchService {
         query: &SupersetQuery,
     ) -> Result<ServiceSearchOutcome<SupersetOutcome>, Error> {
         let vertex = self.index.vertex_for(&query.keywords);
-        let route_hops = self
-            .dht
-            .router()
-            .hops(requester, self.map.ring_key(vertex));
+        let route_hops = self.dht.router().hops(requester, self.map.ring_key(vertex));
         let outcome = self.index.superset_search(query)?;
         // Beyond the initial route, each logical query message crosses
         // one physical link (neighbor contacts are cached, §3.4).
@@ -439,7 +433,8 @@ mod tests {
     fn bottom_up_order_prefers_specific() {
         let mut svc = service();
         let publisher = svc.random_node();
-        svc.publish(publisher, ObjectId::from_raw(1), set("q")).unwrap();
+        svc.publish(publisher, ObjectId::from_raw(1), set("q"))
+            .unwrap();
         svc.publish(publisher, ObjectId::from_raw(2), set("q extra1 extra2"))
             .unwrap();
         let requester = svc.random_node();

@@ -82,6 +82,35 @@ pub enum KwMsg {
         /// The matches found at one node.
         objects: Vec<RankedObject>,
     },
+    /// Host → host, churn mode only: one bounded batch of a vertex's
+    /// index entries, streamed during a key-range handoff
+    /// (stop-and-wait; see [`crate::churn`]).
+    HandoffBatch {
+        /// The vertex whose table is being moved.
+        bits: u64,
+        /// Batch sequence number (0-based).
+        seq: u32,
+        /// The entries in this batch.
+        entries: Vec<(KeywordSet, Vec<ObjectId>)>,
+        /// Whether this is the final batch.
+        last: bool,
+    },
+    /// Host → host, churn mode only: acknowledges one handoff batch.
+    HandoffAck {
+        /// The vertex being moved.
+        bits: u64,
+        /// The acknowledged sequence number.
+        seq: u32,
+    },
+    /// Secondary-cube vertex → primary host, churn mode only: replica
+    /// entries re-pushed by anti-entropy repair after a crash lost the
+    /// primary copy.
+    RepairPush {
+        /// The primary vertex being repaired.
+        bits: u64,
+        /// The entries restored by this push.
+        entries: Vec<(KeywordSet, Vec<ObjectId>)>,
+    },
 }
 
 /// How the coordinator reacts to unresponsive vertices (§3.4).
@@ -228,17 +257,23 @@ struct Coordinator {
 /// ```
 #[derive(Debug)]
 pub struct ProtocolSim {
-    net: Network<KwMsg>,
-    shape: Shape,
-    hasher: KeywordHasher,
-    tables: Vec<IndexTable>,
+    pub(crate) net: Network<KwMsg>,
+    pub(crate) shape: Shape,
+    pub(crate) hasher: KeywordHasher,
+    pub(crate) tables: Vec<IndexTable>,
     /// Secondary-cube hasher (different seed, same dimension).
-    hasher2: KeywordHasher,
+    pub(crate) hasher2: KeywordHasher,
     /// Secondary index tables, co-hosted on the same endpoints.
-    tables2: Vec<IndexTable>,
+    pub(crate) tables2: Vec<IndexTable>,
     /// Endpoint of vertex `bits` is `eps[bits]`.
-    eps: Vec<EndpointId>,
-    requester: EndpointId,
+    pub(crate) eps: Vec<EndpointId>,
+    pub(crate) requester: EndpointId,
+    /// The seed this simulation was built with (churn derives its ring
+    /// placement from it).
+    pub(crate) seed: u64,
+    /// Live-membership state, present once [`ProtocolSim::enable_churn`]
+    /// has been called (boxed: it is large and usually absent).
+    pub(crate) churn: Option<Box<crate::churn::ChurnState>>,
 }
 
 impl ProtocolSim {
@@ -272,6 +307,8 @@ impl ProtocolSim {
             tables2: vec![IndexTable::new(); n],
             eps,
             requester,
+            seed,
+            churn: None,
         })
     }
 
@@ -383,8 +420,13 @@ impl ProtocolSim {
                     debug_assert_eq!(to, self.requester);
                     results.extend(objects);
                 }
-                // Fault-tolerant-mode message; never sent by this path.
-                KwMsg::TContFt { .. } => {}
+                // Fault-tolerant-/churn-mode messages; never sent by
+                // this path (churned networks search via
+                // `search_fault_tolerant`).
+                KwMsg::TContFt { .. }
+                | KwMsg::HandoffBatch { .. }
+                | KwMsg::HandoffAck { .. }
+                | KwMsg::RepairPush { .. } => {}
             }
         }
 
@@ -445,7 +487,10 @@ impl ProtocolSim {
                 last_at = d.at;
                 match d.payload {
                     KwMsg::TQuery {
-                        keywords, remaining, requester, ..
+                        keywords,
+                        remaining,
+                        requester,
+                        ..
                     } => {
                         contacted += 1;
                         let vertex = self.vertex_of(d.to);
@@ -455,7 +500,12 @@ impl ProtocolSim {
                         satisfied += objects.len();
                         results.extend(objects);
                     }
-                    KwMsg::TCont { .. } | KwMsg::TStop | KwMsg::TContFt { .. } => {}
+                    KwMsg::TCont { .. }
+                    | KwMsg::TStop
+                    | KwMsg::TContFt { .. }
+                    | KwMsg::HandoffBatch { .. }
+                    | KwMsg::HandoffAck { .. }
+                    | KwMsg::RepairPush { .. } => {}
                 }
             }
             if satisfied >= threshold {
@@ -560,7 +610,11 @@ impl ProtocolSim {
         results: &mut Vec<RankedObject>,
         seen: &mut HashSet<ObjectId>,
     ) -> PassStats {
-        let hasher = if secondary { &self.hasher2 } else { &self.hasher };
+        let hasher = if secondary {
+            &self.hasher2
+        } else {
+            &self.hasher
+        };
         let root_vertex = hasher.vertex_for(keywords);
         let root_ep = self.eps[root_vertex.bits() as usize];
         let use_timers = config.strategy != RecoveryStrategy::Naive;
@@ -579,10 +633,19 @@ impl ProtocolSim {
 
         // Initial query: the requester contacts the root, guarding it
         // with its own timer — the root itself may be dead.
-        self.ft_send_query(self.requester, root_vertex.bits(), None, keywords, remaining, coord);
+        self.ft_send_query(
+            self.requester,
+            root_vertex.bits(),
+            None,
+            keywords,
+            remaining,
+            coord,
+        );
         stats.queries_sent += 1;
-        let timer =
-            use_timers.then(|| self.net.set_timer(self.requester, ft_backoff(base, 0), root_vertex.bits()));
+        let timer = use_timers.then(|| {
+            self.net
+                .set_timer(self.requester, ft_backoff(base, 0), root_vertex.bits())
+        });
         pending.insert(
             root_vertex.bits(),
             Pending {
@@ -594,6 +657,13 @@ impl ProtocolSim {
         );
 
         while let Some(ev) = self.net.step_event() {
+            // Churn traffic (membership timers, handoff batches, repair
+            // pushes) interleaves with the search on the same network;
+            // it is consumed here, before the search's own Timer arm
+            // would discard its tokens as stale.
+            let Some(ev) = self.churn_intercept(ev) else {
+                continue;
+            };
             match ev {
                 NetEvent::Delivery(d) => {
                     let (to, from) = (d.to, d.from);
@@ -606,6 +676,14 @@ impl ProtocolSim {
                             ..
                         } => {
                             let vertex = self.vertex_of(to);
+                            if self.churn_vertex_silent(vertex.bits()) {
+                                // Mid-handoff or crashed-unreassigned:
+                                // the vertex stays silent, so the
+                                // coordinator's timer makes it a
+                                // retriable target — a later retry can
+                                // succeed once the handoff lands.
+                                continue;
+                            }
                             if to == coord && via_dim.is_none() {
                                 // The root doubles as coordinator: it
                                 // scans locally, no self-messages.
@@ -629,8 +707,15 @@ impl ProtocolSim {
                                     let children: Vec<(u64, u8)> =
                                         root_frontier(vertex).into_iter().collect();
                                     self.ft_enqueue_children(
-                                        &children, coord, keywords, remaining, use_timers, base,
-                                        &mut pending, &covered, &stats.skipped,
+                                        &children,
+                                        coord,
+                                        keywords,
+                                        remaining,
+                                        use_timers,
+                                        base,
+                                        &mut pending,
+                                        &covered,
+                                        &stats.skipped,
                                         &mut stats.queries_sent,
                                     );
                                 }
@@ -679,8 +764,15 @@ impl ProtocolSim {
                                 ft_cancel_all(&mut self.net, &mut pending);
                             } else if fresh && !done {
                                 self.ft_enqueue_children(
-                                    &children, coord, keywords, remaining, use_timers, base,
-                                    &mut pending, &covered, &stats.skipped,
+                                    &children,
+                                    coord,
+                                    keywords,
+                                    remaining,
+                                    use_timers,
+                                    base,
+                                    &mut pending,
+                                    &covered,
+                                    &stats.skipped,
                                     &mut stats.queries_sent,
                                 );
                             }
@@ -688,7 +780,14 @@ impl ProtocolSim {
                         // Legacy sequential/parallel variants cannot
                         // appear mid-pass (every search drains the
                         // network first); ignore them defensively.
-                        KwMsg::TCont { .. } | KwMsg::TStop | KwMsg::Results { .. } => {}
+                        // Churn messages were consumed by the intercept
+                        // above.
+                        KwMsg::TCont { .. }
+                        | KwMsg::TStop
+                        | KwMsg::Results { .. }
+                        | KwMsg::HandoffBatch { .. }
+                        | KwMsg::HandoffAck { .. }
+                        | KwMsg::RepairPush { .. } => {}
                     }
                 }
                 NetEvent::Timer(t) => {
@@ -707,7 +806,9 @@ impl ProtocolSim {
                         self.net.metrics_mut().retries.incr();
                         self.ft_send_query(owner, bits, via_dim, keywords, remaining, coord);
                         stats.queries_sent += 1;
-                        let timer = self.net.set_timer(owner, ft_backoff(base, attempts + 1), bits);
+                        let timer = self
+                            .net
+                            .set_timer(owner, ft_backoff(base, attempts + 1), bits);
                         let p = pending.get_mut(&bits).expect("armed implies pending");
                         p.attempts = attempts + 1;
                         p.timer = Some(timer);
@@ -731,8 +832,7 @@ impl ProtocolSim {
                                     }
                                 }
                             }
-                            RecoveryStrategy::Redelegate
-                            | RecoveryStrategy::ReplicatedFailover => {
+                            RecoveryStrategy::Redelegate | RecoveryStrategy::ReplicatedFailover => {
                                 stats.skipped.insert(bits);
                                 if p.via_dim.is_none() {
                                     // The root itself is dead: the
@@ -749,8 +849,15 @@ impl ProtocolSim {
                                     stats.redelegations += 1;
                                     self.net.metrics_mut().redelegations.incr();
                                     self.ft_enqueue_children(
-                                        &children, coord, keywords, remaining, use_timers, base,
-                                        &mut pending, &covered, &stats.skipped,
+                                        &children,
+                                        coord,
+                                        keywords,
+                                        remaining,
+                                        use_timers,
+                                        base,
+                                        &mut pending,
+                                        &covered,
+                                        &stats.skipped,
                                         &mut stats.queries_sent,
                                     );
                                 }
@@ -844,7 +951,11 @@ impl ProtocolSim {
         remaining: usize,
         secondary: bool,
     ) -> Vec<RankedObject> {
-        let tables = if secondary { &self.tables2 } else { &self.tables };
+        let tables = if secondary {
+            &self.tables2
+        } else {
+            &self.tables
+        };
         let table = &tables[vertex.bits() as usize];
         let mut found = Vec::new();
         for (keyword_set, objects) in table.superset_entries(keywords) {
@@ -877,7 +988,8 @@ impl ProtocolSim {
         let count = found.len();
         if count > 0 {
             let from = self.eps[vertex.bits() as usize];
-            self.net.send(from, requester, KwMsg::Results { objects: found });
+            self.net
+                .send(from, requester, KwMsg::Results { objects: found });
         }
         count
     }
@@ -1194,7 +1306,9 @@ mod tests {
         ] {
             let (_, mut sim) = twin(8, CORPUS);
             let seq = sim.search_sequential(&set("a"), BIG).unwrap();
-            let out = sim.search_fault_tolerant(&set("a"), BIG, ft(strategy)).unwrap();
+            let out = sim
+                .search_fault_tolerant(&set("a"), BIG, ft(strategy))
+                .unwrap();
             assert_eq!(ids(&seq.results), ids(&out.results), "{strategy:?}");
             let c = &out.coverage;
             assert_eq!(c.vertices_reached, c.subcube_vertices, "{strategy:?}");
@@ -1208,12 +1322,10 @@ mod tests {
     #[test]
     fn ft_retry_recovers_from_20pct_loss() {
         let (_, mut clean) = twin(8, CORPUS);
-        let want = ids(
-            &clean
-                .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::RetryOnly))
-                .unwrap()
-                .results,
-        );
+        let want = ids(&clean
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::RetryOnly))
+            .unwrap()
+            .results);
         let (_, mut lossy) = twin(8, CORPUS);
         lossy.network_mut().faults_mut().set_drop_probability(0.2);
         let out = lossy
@@ -1222,8 +1334,7 @@ mod tests {
         assert_eq!(want, ids(&out.results), "retries must restore full recall");
         assert!(out.coverage.retries > 0, "20% loss must trigger retries");
         assert_eq!(
-            out.coverage.vertices_reached,
-            out.coverage.subcube_vertices,
+            out.coverage.vertices_reached, out.coverage.subcube_vertices,
             "every vertex is live, so all must eventually answer"
         );
     }
@@ -1232,7 +1343,10 @@ mod tests {
     /// half the subcube.
     fn kill_big_child(sim: &mut ProtocolSim, query: &KeywordSet) -> u64 {
         let root = sim.query_root(query);
-        let top = root.zero_positions().next_back().expect("query has free dims");
+        let top = root
+            .zero_positions()
+            .next_back()
+            .expect("query has free dims");
         let dead = root.flip(top).bits();
         let ep = sim.endpoint_of(dead);
         sim.network_mut().faults_mut().kill(ep);

@@ -231,15 +231,17 @@ fn truncated_results_never_poison_the_cache() {
         }
         // First query truncates to 3 — must not be cached as complete.
         let small = index
-            .superset_search(
-                &SupersetQuery::new(k.clone()).threshold(3).mode(mode),
-            )
+            .superset_search(&SupersetQuery::new(k.clone()).threshold(3).mode(mode))
             .unwrap();
         assert_eq!(small.results.len(), 3);
         // Second query wants everything; a poisoned cache would return 3.
         let full = index
             .superset_search(&SupersetQuery::new(k.clone()).mode(mode))
             .unwrap();
-        assert_eq!(full.results.len(), 10, "mode {mode:?} lost matches via cache");
+        assert_eq!(
+            full.results.len(),
+            10,
+            "mode {mode:?} lost matches via cache"
+        );
     }
 }

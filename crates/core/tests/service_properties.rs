@@ -1,9 +1,7 @@
 //! Property-based tests of the DHT-backed service and the hash-mapping
 //! invariants the scheme's correctness rests on.
 
-use hyperdex_core::{
-    KeywordHasher, KeywordSearchService, KeywordSet, ObjectId, SupersetQuery,
-};
+use hyperdex_core::{KeywordHasher, KeywordSearchService, KeywordSet, ObjectId, SupersetQuery};
 use proptest::prelude::*;
 
 fn keyword_set() -> impl Strategy<Value = KeywordSet> {

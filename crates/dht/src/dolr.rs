@@ -230,7 +230,10 @@ impl Dolr {
         let hops = self.router.hops(publisher, obj.placement());
         let target = self.locate(obj);
         let new_ref = ObjectRef { object: obj, owner };
-        self.store_mut(target).entry(obj).or_default().insert(new_ref);
+        self.store_mut(target)
+            .entry(obj)
+            .or_default()
+            .insert(new_ref);
         let replicas = self.ring.successor_list(target, self.replication);
         for &rep in &replicas {
             self.store_mut(rep).entry(obj).or_default().insert(new_ref);
@@ -428,7 +431,13 @@ mod tests {
         let receipt = d.insert(publisher, obj, publisher);
         assert_eq!(receipt.target, d.locate(obj));
         let read = d.read(publisher, obj).expect("present");
-        assert_eq!(read.refs, vec![ObjectRef { object: obj, owner: publisher }]);
+        assert_eq!(
+            read.refs,
+            vec![ObjectRef {
+                object: obj,
+                owner: publisher
+            }]
+        );
         assert_eq!(read.served_by, receipt.target);
     }
 
@@ -466,7 +475,13 @@ mod tests {
         d.insert(b, obj, b);
         d.delete(a, obj, a);
         let read = d.read(b, obj).expect("b's copy remains");
-        assert_eq!(read.refs, vec![ObjectRef { object: obj, owner: b }]);
+        assert_eq!(
+            read.refs,
+            vec![ObjectRef {
+                object: obj,
+                owner: b
+            }]
+        );
         d.delete(b, obj, b);
         assert!(d.read(b, obj).is_none(), "last copy gone");
     }
@@ -568,10 +583,7 @@ mod tests {
         let obj = ObjectId::from_name("replicated");
         let publisher = d.random_node();
         let receipt = d.insert(publisher, obj, publisher);
-        assert_eq!(
-            receipt.replicas,
-            d.ring().successor_list(receipt.target, 2)
-        );
+        assert_eq!(receipt.replicas, d.ring().successor_list(receipt.target, 2));
     }
 
     #[test]

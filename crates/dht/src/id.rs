@@ -51,8 +51,7 @@ impl NodeId {
             // The interval spans the whole ring.
             true
         } else {
-            from.clockwise_distance(self) <= from.clockwise_distance(to)
-                && self != from
+            from.clockwise_distance(self) <= from.clockwise_distance(to) && self != from
         }
     }
 }

@@ -73,10 +73,7 @@ mod tests {
     #[test]
     fn empty_input_ok() {
         // Different seeds must still differ on empty input.
-        assert_ne!(
-            stable_hash64_seeded(b"", 1),
-            stable_hash64_seeded(b"", 2)
-        );
+        assert_ne!(stable_hash64_seeded(b"", 1), stable_hash64_seeded(b"", 2));
     }
 
     #[test]
@@ -85,7 +82,10 @@ mod tests {
         let a = stable_hash64(b"keyword0");
         let b = stable_hash64(b"keyword1");
         let flipped = (a ^ b).count_ones();
-        assert!((16..=48).contains(&flipped), "weak avalanche: {flipped} bits");
+        assert!(
+            (16..=48).contains(&flipped),
+            "weak avalanche: {flipped} bits"
+        );
     }
 
     #[test]
@@ -98,10 +98,7 @@ mod tests {
             buckets[(h >> 60) as usize] += 1;
         }
         for (i, &count) in buckets.iter().enumerate() {
-            assert!(
-                (450..=800).contains(&count),
-                "bucket {i} has {count} items"
-            );
+            assert!((450..=800).contains(&count), "bucket {i} has {count} items");
         }
     }
 

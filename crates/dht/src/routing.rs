@@ -79,17 +79,12 @@ impl Router {
         let mut path = vec![from];
         let mut cur = from;
         while cur != dest {
-            let succ = self
-                .ring
-                .successor(cur)
-                .expect("members have successors");
+            let succ = self.ring.successor(cur).expect("members have successors");
             let next = if key.in_interval(cur, succ) {
                 // The successor owns the key: final hop.
                 succ
             } else {
-                self.tables[&cur]
-                    .closest_preceding(key)
-                    .unwrap_or(succ)
+                self.tables[&cur].closest_preceding(key).unwrap_or(succ)
             };
             cur = next;
             path.push(cur);

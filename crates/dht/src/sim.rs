@@ -163,6 +163,86 @@ impl SimDht {
         self.net.faults_mut().kill(ep);
     }
 
+    /// Adds a node to the overlay with a message-level handoff: the new
+    /// node's successor streams every reference whose placement now
+    /// falls in the joiner's range via [`DhtMsg::Store`] messages, then
+    /// forgets them. One membership change touches one existing node —
+    /// the paper's one-node insert property at the DHT layer.
+    ///
+    /// Returns `false` (and changes nothing) if `node` is already a
+    /// member.
+    pub fn join(&mut self, node: NodeId) -> bool {
+        if self.ring.contains(node) {
+            return false;
+        }
+        let ep = self.net.add_endpoint();
+        self.node_to_ep.insert(node, ep);
+        self.ep_to_node.insert(ep, node);
+        self.stores.insert(node, HashMap::new());
+        self.ring.join(node);
+        self.router.rebuild(&self.ring);
+
+        // The successor owned the joiner's range until now; migrate the
+        // affected references over the network.
+        if let Some(succ) = self.ring.successor(node) {
+            if succ != node {
+                let succ_ep = self.node_to_ep[&succ];
+                let moving: Vec<ObjectRef> = self.stores[&succ]
+                    .iter()
+                    .filter(|(obj, _)| self.ring.owns(node, obj.placement()))
+                    .flat_map(|(_, refs)| refs.iter().copied())
+                    .collect();
+                for obj_ref in moving {
+                    self.net.send(succ_ep, ep, DhtMsg::Store { obj_ref });
+                    if let Some(store) = self.stores.get_mut(&succ) {
+                        if let Some(refs) = store.get_mut(&obj_ref.object) {
+                            refs.remove(&obj_ref);
+                            if refs.is_empty() {
+                                store.remove(&obj_ref.object);
+                            }
+                        }
+                    }
+                }
+                self.drain();
+            }
+        }
+        true
+    }
+
+    /// Gracefully removes a node: while still a member it computes the
+    /// inheritor of each stored reference ([`Ring::surrogate_excluding`])
+    /// and streams the references there via [`DhtMsg::Store`], then
+    /// departs and is marked dead in the fault plan.
+    ///
+    /// Returns `false` (and changes nothing) if `node` is not a member
+    /// or is the last node — an empty overlay would strand every key.
+    pub fn leave(&mut self, node: NodeId) -> bool {
+        if !self.ring.contains(node) || self.ring.len() <= 1 {
+            return false;
+        }
+        let ep = self.node_to_ep[&node];
+        let outgoing: Vec<(NodeId, ObjectRef)> = self.stores[&node]
+            .iter()
+            .flat_map(|(obj, refs)| {
+                let target = self
+                    .ring
+                    .surrogate_excluding(obj.placement(), node)
+                    .expect("ring has another member");
+                refs.iter().map(move |&r| (target, r))
+            })
+            .collect();
+        for (target, obj_ref) in outgoing {
+            let target_ep = self.node_to_ep[&target];
+            self.net.send(ep, target_ep, DhtMsg::Store { obj_ref });
+        }
+        self.drain();
+        self.ring.leave(node);
+        self.stores.remove(&node);
+        self.net.faults_mut().kill(ep);
+        self.router.rebuild(&self.ring);
+        true
+    }
+
     /// Re-runs stabilization: drops crashed nodes from the ring and
     /// rebuilds finger tables.
     pub fn stabilize(&mut self) {
@@ -210,7 +290,11 @@ impl SimDht {
             },
         );
         let (owner_and_hops, at) = self.drive_until_reply(origin_ep, |msg| match msg {
-            DhtMsg::LookupReply { key: k, owner, hops } if *k == key => Some((*owner, *hops)),
+            DhtMsg::LookupReply {
+                key: k,
+                owner,
+                hops,
+            } if *k == key => Some((*owner, *hops)),
             _ => None,
         })?;
         Some(LookupOutcome {
@@ -250,7 +334,9 @@ impl SimDht {
         let outcome = self.lookup(reader, obj.placement())?;
         let target = outcome.owner;
         if target == reader {
-            return self.stores[&target].get(&obj).map(|r| r.iter().copied().collect());
+            return self.stores[&target]
+                .get(&obj)
+                .map(|r| r.iter().copied().collect());
         }
         let reader_ep = self.node_to_ep[&reader];
         let target_ep = self.node_to_ep[&target];
@@ -414,7 +500,13 @@ mod tests {
         let target = sim.insert(nodes[0], obj, nodes[0]).expect("stored");
         assert_eq!(target, sim.ring().surrogate(obj.placement()).unwrap());
         let refs = sim.read(nodes[1], obj).expect("readable");
-        assert_eq!(refs, vec![ObjectRef { object: obj, owner: nodes[0] }]);
+        assert_eq!(
+            refs,
+            vec![ObjectRef {
+                object: obj,
+                owner: nodes[0]
+            }]
+        );
     }
 
     #[test]
@@ -453,6 +545,59 @@ mod tests {
     }
 
     #[test]
+    fn graceful_leave_hands_off_references() {
+        let mut sim = SimDht::new(16, LatencyModel::constant(1), 23);
+        let nodes = sim.nodes();
+        // Publish a handful of objects, then remove every original owner
+        // one at a time; each object must remain readable throughout.
+        let objects: Vec<ObjectId> = (0..8)
+            .map(|i| ObjectId::from_name(&format!("churn-obj-{i}")))
+            .collect();
+        for &obj in &objects {
+            sim.insert(nodes[0], obj, nodes[0]).expect("stored");
+        }
+        for i in 0..8 {
+            let owner = sim.ring().surrogate(objects[i].placement()).unwrap();
+            assert!(sim.leave(owner), "leave a live owner");
+            let reader = sim.nodes()[0];
+            for &obj in &objects {
+                let refs = sim.read(reader, obj).expect("survives handoff");
+                assert_eq!(refs[0].object, obj);
+            }
+        }
+    }
+
+    #[test]
+    fn join_migrates_range_from_successor() {
+        let mut sim = SimDht::new(8, LatencyModel::constant(1), 29);
+        let nodes = sim.nodes();
+        let obj = ObjectId::from_name("takeover-object");
+        sim.insert(nodes[0], obj, nodes[0]).expect("stored");
+        let old_owner = sim.ring().surrogate(obj.placement()).unwrap();
+        // A joiner whose id equals the placement key becomes the new
+        // owner (surrogate is inclusive).
+        let joiner = obj.placement();
+        assert!(sim.join(joiner));
+        assert_ne!(joiner, old_owner, "placement key not already a node");
+        assert_eq!(sim.ring().surrogate(obj.placement()), Some(joiner));
+        let refs = sim.read(nodes[0], obj).expect("readable after join");
+        assert_eq!(refs[0].object, obj);
+        // The old owner no longer answers for the moved key.
+        assert!(!sim.ring().owns(old_owner, obj.placement()));
+    }
+
+    #[test]
+    fn join_and_leave_edge_cases() {
+        let mut sim = SimDht::new(2, LatencyModel::constant(1), 31);
+        let nodes = sim.nodes();
+        assert!(!sim.join(nodes[0]), "joining a member is a no-op");
+        assert!(sim.leave(nodes[0]));
+        assert!(!sim.leave(nodes[0]), "double leave is a no-op");
+        assert!(!sim.leave(nodes[1]), "last node cannot leave");
+        assert!(!sim.leave(NodeId::from_raw(0xDEAD)), "non-member");
+    }
+
+    #[test]
     fn message_counts_accumulate() {
         let mut sim = SimDht::new(32, LatencyModel::constant(1), 17);
         let nodes = sim.nodes();
@@ -473,10 +618,7 @@ mod tests {
         if outcome.hops > 0 {
             // Request hops + 1 direct reply, each 10 ticks, measured
             // from network epoch (fresh network ⇒ equality).
-            assert_eq!(
-                outcome.completed_at.ticks(),
-                (outcome.hops as u64 + 1) * 10
-            );
+            assert_eq!(outcome.completed_at.ticks(), (outcome.hops as u64 + 1) * 10);
         }
     }
 }

@@ -80,6 +80,57 @@ proptest! {
         }
     }
 
+    /// Arbitrary seeded membership sequences keep the key space an exact
+    /// partition: after every join/leave step, each probed key has
+    /// exactly one live owner, and it is the surrogate.
+    #[test]
+    fn membership_sequences_partition_key_space(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((any::<u64>(), any::<bool>()), 1..40),
+        key in any::<u64>(),
+    ) {
+        let mut ring = Ring::new();
+        for (i, &(raw, join)) in ops.iter().enumerate() {
+            // Hash the raw op id so ids spread over the whole ring.
+            let node = NodeId::from_raw(keyhash::stable_hash_u64(raw, seed));
+            if join {
+                ring.join(node);
+            } else {
+                ring.leave(node);
+            }
+            let probe = NodeId::from_raw(key.wrapping_add(i as u64));
+            let owners: Vec<NodeId> =
+                ring.iter().filter(|&m| ring.owns(m, probe)).collect();
+            if ring.is_empty() {
+                prop_assert!(owners.is_empty());
+                prop_assert_eq!(ring.surrogate(probe), None);
+            } else {
+                prop_assert_eq!(owners.len(), 1, "step {}: owners {:?}", i, owners);
+                prop_assert_eq!(owners[0], ring.surrogate(probe).unwrap());
+            }
+        }
+    }
+
+    /// successor_list never returns duplicates, even when k is at least
+    /// the ring size or the ring has a single node.
+    #[test]
+    fn successor_list_no_duplicates(seed in any::<u64>(), n in 1usize..20, k in 0usize..64) {
+        let ring: Ring = ids(seed, n).into_iter().collect();
+        let size = ring.len();
+        for m in ring.iter() {
+            let list = ring.successor_list(m, k);
+            let mut dedup = list.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            prop_assert_eq!(dedup.len(), list.len(), "duplicates in {:?}", list);
+            prop_assert!(!list.contains(&m), "successor list contains self");
+            prop_assert!(list.len() <= k.min(size.saturating_sub(1)));
+            if size == 1 {
+                prop_assert!(list.is_empty(), "single-node ring has no successors");
+            }
+        }
+    }
+
     /// With replication k, data survives k crashes of arbitrary nodes.
     #[test]
     fn replicated_crash_tolerance(seed in any::<u64>(), n in 6usize..20) {

@@ -107,7 +107,13 @@ mod tests {
         let sbt = Sbt::induced(v(4, 0b0100));
         for round in schedule(&sbt) {
             for t in round {
-                assert_eq!(sbt.parent(t.to), Some(t.from), "edge {} -> {}", t.from, t.to);
+                assert_eq!(
+                    sbt.parent(t.to),
+                    Some(t.from),
+                    "edge {} -> {}",
+                    t.from,
+                    t.to
+                );
                 assert_eq!(sbt.branch_dim(t.to), Some(t.dim));
             }
         }

@@ -190,20 +190,13 @@ impl Sbt {
     }
 
     fn assert_member(self, v: Vertex) {
-        assert!(
-            self.contains(v),
-            "vertex {v} is not a node of {self}"
-        );
+        assert!(self.contains(v), "vertex {v} is not a node of {self}");
     }
 }
 
 impl fmt::Display for Sbt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "SBT({}; free={:#b})",
-            self.root, self.free_mask
-        )
+        write!(f, "SBT({}; free={:#b})", self.root, self.free_mask)
     }
 }
 
@@ -324,10 +317,7 @@ mod tests {
     #[test]
     fn subtree_sizes_sum_to_node_count() {
         let sbt = Sbt::induced(v(5, 0b01000));
-        let root_children_total: u64 = sbt
-            .children(sbt.root())
-            .map(|c| sbt.subtree_size(c))
-            .sum();
+        let root_children_total: u64 = sbt.children(sbt.root()).map(|c| sbt.subtree_size(c)).sum();
         assert_eq!(root_children_total + 1, sbt.node_count());
     }
 
@@ -342,7 +332,10 @@ mod tests {
     fn contains_rejects_outsiders() {
         let sbt = Sbt::induced(v(4, 0b0100));
         assert!(sbt.contains(v(4, 0b1110)));
-        assert!(!sbt.contains(v(4, 0b0010)), "does not contain the root's ones");
+        assert!(
+            !sbt.contains(v(4, 0b0010)),
+            "does not contain the root's ones"
+        );
     }
 
     #[test]

@@ -22,9 +22,7 @@ pub const MAX_DIMENSION: u8 = 63;
 /// assert_eq!(shape.vertex_count(), 1024);
 /// # Ok::<(), hyperdex_hypercube::DimensionError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Shape {
     r: u8,
 }

@@ -122,7 +122,11 @@ impl Subcube {
     ///
     /// Panics if `w` is not a member of the subcube.
     pub fn index_of(self, w: Vertex) -> u64 {
-        assert!(self.contains(w), "vertex {w} not in subcube of {}", self.root);
+        assert!(
+            self.contains(w),
+            "vertex {w} not in subcube of {}",
+            self.root
+        );
         bits::extract(w.bits(), self.free_mask())
     }
 }

@@ -25,9 +25,7 @@ use crate::subcube::Subcube;
 /// assert_eq!(v.zero_positions().collect::<Vec<_>>(), vec![0, 1, 3, 5]);
 /// # Ok::<(), hyperdex_hypercube::DimensionError>(())
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Vertex {
     shape: Shape,
     bits: u64,
@@ -310,7 +308,11 @@ mod tests {
     fn with_without_bit() {
         let vx = v(4, 0b0100);
         assert_eq!(vx.with_bit(0).bits(), 0b0101);
-        assert_eq!(vx.with_bit(2).bits(), 0b0100, "setting a set bit is a no-op");
+        assert_eq!(
+            vx.with_bit(2).bits(),
+            0b0100,
+            "setting a set bit is a no-op"
+        );
         assert_eq!(vx.without_bit(2).bits(), 0b0000);
         assert_eq!(vx.without_bit(0).bits(), 0b0100);
     }

@@ -83,7 +83,9 @@ impl FaultPlan {
         }
         match self.outages.get(&ep) {
             None => true,
-            Some(windows) => !windows.iter().any(|&(from, until)| from <= now && now < until),
+            Some(windows) => !windows
+                .iter()
+                .any(|&(from, until)| from <= now && now < until),
         }
     }
 

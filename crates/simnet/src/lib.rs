@@ -15,6 +15,8 @@
 //! * [`net`] — an in-memory message-passing network between endpoints with
 //!   per-message accounting.
 //! * [`fault`] — crash/recovery schedules and probabilistic message loss.
+//! * [`churn`] — seeded membership-change schedules (joins, graceful
+//!   leaves, crashes) for the index handoff and repair experiments.
 //! * [`metrics`] — counters and histograms used by the experiment harness.
 //!
 //! # Example
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod event;
 pub mod fault;
 pub mod latency;
@@ -43,6 +46,7 @@ pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use churn::{ChurnConfig, ChurnEvent, ChurnKind, ChurnPlan};
 pub use event::EventQueue;
 pub use fault::FaultPlan;
 pub use latency::LatencyModel;

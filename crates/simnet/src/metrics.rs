@@ -78,6 +78,15 @@ pub struct NetMetrics {
     pub redelegations: Counter,
     /// Protocol-level: searches that failed over to a replica index.
     pub failovers: Counter,
+    /// Protocol-level: index-handoff batches delivered and installed.
+    pub handoff_batches: Counter,
+    /// Protocol-level: index entries (keyword-set postings) moved by
+    /// handoff batches.
+    pub handoff_entries: Counter,
+    /// Protocol-level: anti-entropy repair batches delivered.
+    pub repair_batches: Counter,
+    /// Protocol-level: index entries restored by replica repair.
+    pub repair_entries: Counter,
 }
 
 impl NetMetrics {

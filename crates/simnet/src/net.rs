@@ -59,7 +59,11 @@ struct InFlight<M> {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Queued<M> {
     Message(InFlight<M>),
-    Timer { owner: EndpointId, token: u64, id: u64 },
+    Timer {
+        owner: EndpointId,
+        token: u64,
+        id: u64,
+    },
 }
 
 /// Handle to a pending timer, used to cancel it.
@@ -189,6 +193,15 @@ impl<M> Network<M> {
         self.queue.now()
     }
 
+    /// Due time of the next queued event (message or timer), if any.
+    ///
+    /// Lets drivers advance the network only up to a wall-clock
+    /// boundary: process events while `next_due() <= until`, then stop
+    /// with later events still queued.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.queue.peek_due()
+    }
+
     /// Message accounting so far.
     pub fn metrics(&self) -> &NetMetrics {
         &self.metrics
@@ -285,7 +298,8 @@ impl<M> Network<M> {
             from: owner,
             to: owner,
         });
-        self.queue.schedule_after(after, Queued::Timer { owner, token, id });
+        self.queue
+            .schedule_after(after, Queued::Timer { owner, token, id });
         TimerId(id)
     }
 

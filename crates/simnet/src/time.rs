@@ -91,7 +91,11 @@ impl Add for SimDuration {
     type Output = SimDuration;
 
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.checked_add(rhs.0).expect("simulation duration overflow"))
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("simulation duration overflow"),
+        )
     }
 }
 

@@ -54,7 +54,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} {} -> {}", self.at, self.kind, self.from, self.to)
+        write!(
+            f,
+            "[{}] {} {} -> {}",
+            self.at, self.kind, self.from, self.to
+        )
     }
 }
 

@@ -58,8 +58,8 @@ pub fn read_corpus<R: BufRead>(input: R) -> io::Result<Corpus> {
         let id: u64 = fields[0]
             .parse()
             .map_err(|_| bad_line(lineno, "bad record id"))?;
-        let keywords = KeywordSet::parse(fields[5])
-            .map_err(|_| bad_line(lineno, "bad keyword list"))?;
+        let keywords =
+            KeywordSet::parse(fields[5]).map_err(|_| bad_line(lineno, "bad keyword list"))?;
         if keywords.is_empty() {
             return Err(bad_line(lineno, "record without keywords"));
         }
@@ -102,8 +102,7 @@ pub fn read_query_log<R: BufRead>(input: R) -> io::Result<QueryLog> {
         if line.trim().is_empty() {
             continue;
         }
-        let set = KeywordSet::parse(&line)
-            .map_err(|_| bad_line(lineno, "bad query keywords"))?;
+        let set = KeywordSet::parse(&line).map_err(|_| bad_line(lineno, "bad query keywords"))?;
         if set.is_empty() {
             return Err(bad_line(lineno, "empty query"));
         }
@@ -143,11 +142,7 @@ mod tests {
     #[test]
     fn query_log_roundtrip() {
         let corpus = Corpus::generate(&CorpusConfig::small_test(), 3);
-        let log = QueryLog::generate(
-            &QueryLogConfig::small_test().with_queries(500),
-            &corpus,
-            4,
-        );
+        let log = QueryLog::generate(&QueryLogConfig::small_test().with_queries(500), &corpus, 4);
         let mut buf = Vec::new();
         write_query_log(&log, &mut buf).unwrap();
         let loaded = read_query_log(buf.as_slice()).unwrap();
@@ -158,7 +153,10 @@ mod tests {
     #[test]
     fn malformed_corpus_lines_rejected() {
         assert!(read_corpus("not-tsv".as_bytes()).is_err());
-        assert!(read_corpus("x\ta\tb\tc\td\tkw".as_bytes()).is_err(), "bad id");
+        assert!(
+            read_corpus("x\ta\tb\tc\td\tkw".as_bytes()).is_err(),
+            "bad id"
+        );
         assert!(
             read_corpus("1\ta\tb\tc\td\t \n".as_bytes()).is_err(),
             "empty keywords"

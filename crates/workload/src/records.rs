@@ -48,7 +48,11 @@ impl WebsiteRecord {
 
 impl std::fmt::Display for WebsiteRecord {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "#{} {} <{}> {}", self.id, self.title, self.url, self.keywords)
+        write!(
+            f,
+            "#{} {} <{}> {}",
+            self.id, self.title, self.url, self.keywords
+        )
     }
 }
 
@@ -75,7 +79,14 @@ mod tests {
     #[test]
     fn table_row_contains_all_fields() {
         let row = record().table_row();
-        for field in ["11", "Hinet", "hinet.net", "0818013020", "ISP in Taiwan", "isp"] {
+        for field in [
+            "11",
+            "Hinet",
+            "hinet.net",
+            "0818013020",
+            "ISP in Taiwan",
+            "isp",
+        ] {
             assert!(row.contains(field), "missing {field} in {row}");
         }
     }

@@ -34,7 +34,10 @@ impl ZipfSampler {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf domain must be non-empty");
-        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and >= 0");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0f64;
         for k in 1..=n {

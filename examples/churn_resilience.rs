@@ -70,7 +70,10 @@ fn main() {
         let primary = dht.locate(objects[0]);
         dht.crash(primary);
         let reader = dht.random_node();
-        let alive = objects.iter().filter(|&&o| dht.read(reader, o).is_some()).count();
+        let alive = objects
+            .iter()
+            .filter(|&&o| dht.read(reader, o).is_some())
+            .count();
         println!(
             "after crash {round}: {}/{} objects readable ({} nodes left)",
             alive,

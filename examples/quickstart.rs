@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\npin search {{jazz, sax, 1960}} -> {:?} ({} nodes contacted)",
         pin.outcome.results, pin.outcome.stats.nodes_contacted
     );
-    assert_eq!(pin.outcome.results, vec![ObjectId::from_name("giant-steps")]);
+    assert_eq!(
+        pin.outcome.results,
+        vec![ObjectId::from_name("giant-steps")]
+    );
 
     // Superset search: everything describable by {jazz}, most general
     // first; the traversal covers only the induced subhypercube.

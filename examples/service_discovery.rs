@@ -63,8 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Conjunctive multi-field discovery: linux AND arm64 AND http.
     let (hits, stats) = directory.multi_field_search(&[
-        ("os", SupersetQuery::new(KeywordSet::parse("linux")?).use_cache(false)),
-        ("arch", SupersetQuery::new(KeywordSet::parse("arm64")?).use_cache(false)),
+        (
+            "os",
+            SupersetQuery::new(KeywordSet::parse("linux")?).use_cache(false),
+        ),
+        (
+            "arch",
+            SupersetQuery::new(KeywordSet::parse("arm64")?).use_cache(false),
+        ),
         (
             "service",
             SupersetQuery::new(KeywordSet::parse("http")?).use_cache(false),

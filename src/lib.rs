@@ -64,8 +64,8 @@ pub use hyperdex_workload as workload;
 /// ```
 pub mod prelude {
     pub use hyperdex_core::{
-        Error, HypercubeIndex, Keyword, KeywordSearchService, KeywordSet, ObjectId,
-        RankedObject, SupersetQuery, TraversalOrder,
+        Error, HypercubeIndex, Keyword, KeywordSearchService, KeywordSet, ObjectId, RankedObject,
+        SupersetQuery, TraversalOrder,
     };
     pub use hyperdex_dht::{Dolr, NodeId};
     pub use hyperdex_hypercube::{Shape, Vertex};

@@ -33,7 +33,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { _criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -69,12 +72,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id from a function name and a parameter.
     pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
-        BenchmarkId { parameter: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            parameter: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// An id from just the parameter value.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { parameter: parameter.to_string() }
+        BenchmarkId {
+            parameter: parameter.to_string(),
+        }
     }
 }
 
@@ -139,9 +146,7 @@ mod tests {
     fn groups_and_ids() {
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
-        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, n| {
-            b.iter(|| *n * 2)
-        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, n| b.iter(|| *n * 2));
         group.finish();
         assert_eq!(BenchmarkId::new("f", 3).parameter, "f/3");
     }

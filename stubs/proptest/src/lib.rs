@@ -287,14 +287,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end - 1 }
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -316,7 +322,10 @@ pub mod collection {
 
     /// Generates vectors of `element` values with a length in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 

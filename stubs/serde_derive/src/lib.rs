@@ -47,7 +47,10 @@ fn derive_impl(input: TokenStream, template: &str) -> TokenStream {
         !has_generics(&input, &name),
         "serde_derive stub: generic type `{name}` is unsupported; vendor real serde instead"
     );
-    template.replace("__NAME__", &name).parse().expect("generated impl parses")
+    template
+        .replace("__NAME__", &name)
+        .parse()
+        .expect("generated impl parses")
 }
 
 /// Stub `#[derive(Serialize)]`: an empty marker impl.

@@ -35,12 +35,8 @@ fn directory() -> (DecomposedIndex, Vec<Machine>) {
             .expect("field exists");
         idx.insert("arch", id, KeywordSet::parse(&arch).expect("parses"))
             .expect("field exists");
-        idx.insert(
-            "service",
-            id,
-            KeywordSet::from_strs(&svcs).expect("parses"),
-        )
-        .expect("field exists");
+        idx.insert("service", id, KeywordSet::from_strs(&svcs).expect("parses"))
+            .expect("field exists");
         machines.push((id, os, arch, svcs));
     }
     (idx, machines)
@@ -55,7 +51,10 @@ fn single_field_queries_match_ground_truth() {
             &SupersetQuery::new(KeywordSet::parse("linux").expect("parses")).use_cache(false),
         )
         .expect("field exists");
-    let expected = machines.iter().filter(|(_, os, _, _)| os == "linux").count();
+    let expected = machines
+        .iter()
+        .filter(|(_, os, _, _)| os == "linux")
+        .count();
     assert_eq!(out.results.len(), expected);
 }
 

@@ -5,13 +5,8 @@ use hyperdex::core::search::TraversalOrder;
 use hyperdex::core::{KeywordSearchService, KeywordSet, SupersetQuery};
 use hyperdex::workload::{Corpus, CorpusConfig};
 
-fn service_with_corpus(
-    objects: usize,
-) -> (KeywordSearchService, Corpus, hyperdex::dht::NodeId) {
-    let corpus = Corpus::generate(
-        &CorpusConfig::small_test().with_objects(objects),
-        7,
-    );
+fn service_with_corpus(objects: usize) -> (KeywordSearchService, Corpus, hyperdex::dht::NodeId) {
+    let corpus = Corpus::generate(&CorpusConfig::small_test().with_objects(objects), 7);
     let mut svc = KeywordSearchService::builder()
         .nodes(48)
         .dimension(10)
@@ -50,7 +45,10 @@ fn superset_search_finds_all_and_only_matches() {
         let first_kw = record.keywords.iter().next().expect("non-empty").clone();
         let query: KeywordSet = [first_kw].into_iter().collect();
         let out = svc
-            .superset_search(requester, &SupersetQuery::new(query.clone()).use_cache(false))
+            .superset_search(
+                requester,
+                &SupersetQuery::new(query.clone()).use_cache(false),
+            )
             .expect("valid query");
         let expected: std::collections::BTreeSet<_> = corpus
             .records()

@@ -94,8 +94,7 @@ fn keyword_queries_survive_single_index_node_loss() {
         .map(|i| {
             (
                 ObjectId::from_raw(i),
-                KeywordSet::parse(&format!("{common} unique{i} extra{}", i % 7))
-                    .expect("parses"),
+                KeywordSet::parse(&format!("{common} unique{i} extra{}", i % 7)).expect("parses"),
             )
         })
         .collect();
@@ -237,7 +236,10 @@ fn crashed_subtree_root_is_fully_covered_by_redelegation() {
         out.coverage.vertices_reached,
         out.coverage.subcube_vertices - 1
     );
-    assert!(out.coverage.redelegations >= 1, "subtree must be re-delegated");
+    assert!(
+        out.coverage.redelegations >= 1,
+        "subtree must be re-delegated"
+    );
 
     // Contrast: retry-only abandons the whole half-cube.
     let mut sim = protocol_sim(7);

@@ -27,9 +27,7 @@ fn message_protocol_matches_direct_engine_on_corpus() {
         let d = direct
             .superset_search(&SupersetQuery::new(q.clone()).use_cache(false))
             .expect("valid");
-        let s = sim
-            .search_sequential(q, usize::MAX - 1)
-            .expect("valid");
+        let s = sim.search_sequential(q, usize::MAX - 1).expect("valid");
         let mut d_ids: Vec<ObjectId> = d.results.iter().map(|r| r.object).collect();
         let mut s_ids: Vec<ObjectId> = s.results.iter().map(|r| r.object).collect();
         d_ids.sort_unstable();
