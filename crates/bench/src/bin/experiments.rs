@@ -1,26 +1,44 @@
 //! The experiment runner: regenerates every table and figure.
 //!
 //! ```text
-//! experiments [EXPERIMENT ...] [--scale full|small] [--seed N]
+//! experiments [EXPERIMENT ...] [--scale full|small] [--seed N] [--list]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
-//!             availability churn all
+//!             availability churn prune all
 //!             (default: all)
 //!
-//! `churn` additionally writes its rows to `BENCH_churn.json` in the
-//! current directory.
+//! `churn` and `prune` additionally write their rows to
+//! `BENCH_churn.json` / `BENCH_prune.json` in the current directory.
+//! A final table maps each experiment run to the artifact it produced.
 //! ```
 
 use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
-    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, table1, xcheck,
+    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, prune, table1, xcheck,
 };
+use hyperdex_bench::report::Table;
 use hyperdex_bench::{Scale, SharedContext};
 
 const USAGE: &str = "usage: experiments \
-                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|all ...] \
-                     [--scale full|small] [--seed N]";
+                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|all ...] \
+                     [--scale full|small] [--seed N] [--list]";
+
+/// Every experiment name with a one-line description, in run order.
+const EXPERIMENTS: [(&str, &str); 12] = [
+    ("table1", "load distribution across index nodes"),
+    ("fig5", "keyword-set size distribution"),
+    ("fig6", "query popularity distribution"),
+    ("fig7", "index storage per node"),
+    ("fig8", "nodes contacted vs threshold (top-down)"),
+    ("fig9", "nodes contacted vs threshold (bottom-up)"),
+    ("eq1", "analytic node-count formula cross-check"),
+    ("ablation", "design-knob ablation"),
+    ("xcheck", "engine vs message-protocol parity"),
+    ("availability", "recall under static node failures"),
+    ("churn", "recall and repair under live membership churn"),
+    ("prune", "occupancy-guided SBT pruning savings"),
+];
 
 fn main() -> ExitCode {
     let mut scale = Scale::Small;
@@ -45,6 +63,12 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--list" => {
+                for (name, what) in EXPERIMENTS {
+                    println!("{name:<14} {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -53,21 +77,7 @@ fn main() -> ExitCode {
         }
     }
     if chosen.is_empty() || chosen.iter().any(|c| c == "all") {
-        chosen = [
-            "table1",
-            "fig5",
-            "fig6",
-            "fig7",
-            "fig8",
-            "fig9",
-            "eq1",
-            "ablation",
-            "xcheck",
-            "availability",
-            "churn",
-        ]
-        .map(String::from)
-        .to_vec();
+        chosen = EXPERIMENTS.map(|(name, _)| name.to_string()).to_vec();
     }
 
     let scale_name = match scale {
@@ -85,9 +95,14 @@ fn main() -> ExitCode {
         ctx.queries.top_share(10) * 100.0
     );
 
+    // (experiment, artifact) pairs for the final summary table.
+    let mut ran: Vec<(String, String)> = Vec::new();
     for name in &chosen {
+        let mut artifact = "stdout".to_string();
         match name.as_str() {
-            "table1" => table1::run(&ctx, 5),
+            "table1" => {
+                table1::run(&ctx, 5);
+            }
             "fig5" => {
                 fig5::run(&ctx);
             }
@@ -120,7 +135,18 @@ fn main() -> ExitCode {
                 let rows = churn::run(&ctx);
                 let path = std::path::Path::new("BENCH_churn.json");
                 match churn::write_json(&rows, path) {
-                    Ok(()) => println!("\nwrote {}", path.display()),
+                    Ok(()) => artifact = path.display().to_string(),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "prune" => {
+                let rows = prune::run(&ctx);
+                let path = std::path::Path::new("BENCH_prune.json");
+                match prune::write_json(&rows, path) {
+                    Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());
                         return ExitCode::FAILURE;
@@ -132,7 +158,15 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        ran.push((name.clone(), artifact));
     }
+
+    println!("\n## Run summary\n");
+    let mut summary = Table::new(["experiment", "output"]);
+    for (name, artifact) in &ran {
+        summary.row([name.as_str(), artifact.as_str()]);
+    }
+    print!("{}", summary.to_markdown());
     println!("\ndone.");
     ExitCode::SUCCESS
 }

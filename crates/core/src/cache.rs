@@ -24,6 +24,7 @@
 //! (table entries), mirroring how the index itself counts entries.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use crate::keyword::KeywordSet;
 use crate::search::RankedObject;
@@ -31,8 +32,9 @@ use crate::search::RankedObject;
 /// Cached results of one superset query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CachedResults {
-    /// The results, in traversal order.
-    pub results: Vec<RankedObject>,
+    /// The results, in traversal order. Shared with the producing
+    /// search's return value, so caching never deep-copies the list.
+    pub results: Arc<Vec<RankedObject>>,
     /// Whether the producing traversal covered the whole subhypercube.
     pub exhausted: bool,
     /// The cache generation the entry was produced under. Stale entries
@@ -65,7 +67,7 @@ impl CachedResults {
 ///
 /// let mut cache = FifoCache::new(4);
 /// let q = KeywordSet::parse("mp3")?;
-/// cache.put(q.clone(), vec![], true);
+/// cache.put(q.clone(), std::sync::Arc::new(vec![]), true);
 /// assert!(cache.lookup(&q, 10).is_some(), "exhaustive entry serves any t");
 /// # Ok::<(), hyperdex_core::Error>(())
 /// ```
@@ -158,7 +160,7 @@ impl FifoCache {
     /// capacity are not cached. Re-inserting replaces the entry unless
     /// the existing one is exhaustive and the new one is not (an
     /// exhaustive entry is strictly more useful).
-    pub fn put(&mut self, query: KeywordSet, results: Vec<RankedObject>, exhausted: bool) {
+    pub fn put(&mut self, query: KeywordSet, results: Arc<Vec<RankedObject>>, exhausted: bool) {
         let entry = CachedResults {
             results,
             exhausted,
@@ -222,14 +224,16 @@ mod tests {
         KeywordSet::parse(s).unwrap()
     }
 
-    fn results(n: usize) -> Vec<RankedObject> {
-        (0..n)
-            .map(|i| RankedObject {
-                object: ObjectId::from_raw(i as u64),
-                keyword_set: std::sync::Arc::new(KeywordSet::new()),
-                extra_keywords: 0,
-            })
-            .collect()
+    fn results(n: usize) -> Arc<Vec<RankedObject>> {
+        Arc::new(
+            (0..n)
+                .map(|i| RankedObject {
+                    object: ObjectId::from_raw(i as u64),
+                    keyword_set: Arc::new(KeywordSet::new()),
+                    extra_keywords: 0,
+                })
+                .collect(),
+        )
     }
 
     #[test]

@@ -24,10 +24,11 @@
 //!   (the second hash seed of [`crate::replication`]) in
 //!   [`KwMsg::RepairPush`] batches until the diff is empty.
 //!
-//! While a vertex is mid-handoff (or crashed and not yet reassigned) it
-//! answers nothing: a fault-tolerant search treats it as a *retriable
-//! target* — the coordinator's timer fires, the query is retransmitted,
-//! and a retry after the handoff installs succeeds. A vertex that stays
+//! While a vertex is mid-handoff, crashed and not yet reassigned, or
+//! reassigned but still awaiting repair, it answers nothing: a
+//! fault-tolerant search treats it as a *retriable target* — the
+//! coordinator's timer fires, the query is retransmitted, and a retry
+//! after the handoff (or repair) lands succeeds. A vertex that stays
 //! silent past the retry budget is re-delegated or failed over exactly
 //! as in §3.4, so every search still returns an exact
 //! [`CoverageReport`](crate::sim_protocol::CoverageReport).
@@ -70,6 +71,7 @@
 //! ```
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use hyperdex_dht::{keyhash, NodeId, ObjectId, Ring};
 use hyperdex_simnet::churn::{ChurnEvent, ChurnKind, ChurnPlan};
@@ -98,6 +100,10 @@ const KIND_MARKER: u64 = 4 << 40;
 const KIND_MASK: u64 = 0xFF << 40;
 /// Mask extracting the vertex bits from a `KIND_HANDOFF` token.
 const BITS_MASK: u64 = (1 << 40) - 1;
+
+/// Posting-list entries moved by one handoff or repair batch: interned
+/// keyword sets with the objects homed under each.
+type EntryBatch = Vec<(Arc<KeywordSet>, Vec<ObjectId>)>;
 
 /// Seed tweak separating vertex ring keys from node ring ids.
 const VERTEX_KEY_TWEAK: u64 = 0x7E57_ED00_5EED_0001;
@@ -222,8 +228,9 @@ struct Handoff {
     src: u64,
     /// Receiving host (the new owner).
     dst: u64,
-    /// The table, serialized into bounded batches.
-    batches: Vec<Vec<(KeywordSet, Vec<ObjectId>)>>,
+    /// The table, serialized into bounded batches (keyword sets
+    /// interned — retransmits clone pointers, not sets).
+    batches: Vec<Vec<(Arc<KeywordSet>, Vec<ObjectId>)>>,
     /// Batches acknowledged so far (== index of the next batch to send).
     acked: usize,
     /// Batches received in order at the destination.
@@ -364,7 +371,7 @@ impl ChurnState {
 
 /// Payload bytes of one batch: 16 per keyword, 8 per object id, 16 of
 /// framing per entry.
-fn entries_bytes(entries: &[(KeywordSet, Vec<ObjectId>)]) -> u64 {
+fn entries_bytes(entries: &[(Arc<KeywordSet>, Vec<ObjectId>)]) -> u64 {
     entries
         .iter()
         .map(|(k, objs)| 16 + 16 * k.len() as u64 + 8 * objs.len() as u64)
@@ -534,6 +541,21 @@ impl ProtocolSim {
                     self.churn = Some(st);
                     None
                 }
+                KwMsg::TSummary { bits, count } => {
+                    // Full-state refresh: idempotent, so duplicates and
+                    // reordering are harmless. Ignored while a repair is
+                    // pending for the vertex — the count is about to
+                    // rise again, and an interim refresh could unsafely
+                    // shrink the digest below truth.
+                    let pending = self
+                        .churn
+                        .as_deref()
+                        .is_some_and(|c| c.repair_pending.contains_key(&bits));
+                    if !pending {
+                        self.summary.refresh_leaf(bits, count);
+                    }
+                    None
+                }
                 payload => Some(NetEvent::Delivery(hyperdex_simnet::net::Delivery {
                     at: d.at,
                     from: d.from,
@@ -557,12 +579,16 @@ impl ProtocolSim {
         }
     }
 
-    /// Whether vertex `bits` must stay silent (mid-handoff or crashed
-    /// and not yet reassigned).
+    /// Whether vertex `bits` must stay silent: mid-handoff, crashed and
+    /// not yet reassigned, or reassigned but still awaiting anti-entropy
+    /// repair. A mid-repair vertex answering with its partial table
+    /// would silently truncate recall — staying silent instead makes it
+    /// a retriable target, so a search either retries into the repaired
+    /// table or times out and fails over to the replica cube.
     pub(crate) fn churn_vertex_silent(&self, bits: u64) -> bool {
         self.churn
             .as_deref()
-            .is_some_and(|c| c.unavailable.contains(&bits))
+            .is_some_and(|c| c.unavailable.contains(&bits) || c.repair_pending.contains_key(&bits))
     }
 }
 
@@ -665,9 +691,9 @@ fn start_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, src: u64
     }
     st.stats.handoffs_started += 1;
     let table = std::mem::take(&mut sim.tables[bits as usize]);
-    let entries: Vec<(KeywordSet, Vec<ObjectId>)> = table
+    let entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)> = table
         .iter()
-        .map(|(k, objs)| ((**k).clone(), objs.collect()))
+        .map(|(k, objs)| (Arc::clone(k), objs.collect()))
         .collect();
     if entries.is_empty() {
         install_ownership(st, bits, dst);
@@ -677,9 +703,9 @@ fn start_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, src: u64
     }
     st.unavailable.insert(bits);
     let batch_entries = st.cfg.batch_entries;
-    let batches: Vec<Vec<(KeywordSet, Vec<ObjectId>)>> = entries
+    let batches: Vec<Vec<(Arc<KeywordSet>, Vec<ObjectId>)>> = entries
         .chunks(batch_entries)
-        .map(<[(KeywordSet, Vec<ObjectId>)]>::to_vec)
+        .map(<[(Arc<KeywordSet>, Vec<ObjectId>)]>::to_vec)
         .collect();
     st.handoffs.insert(
         bits,
@@ -760,7 +786,7 @@ fn on_handoff_batch(
     from: EndpointId,
     bits: u64,
     seq: u32,
-    entries: Vec<(KeywordSet, Vec<ObjectId>)>,
+    entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)>,
     last: bool,
 ) {
     // Out-of-order batches cannot occur under stop-and-wait; anything
@@ -778,7 +804,7 @@ fn on_handoff_batch(
             let count = entries.len() as u64;
             for (k, objs) in entries {
                 for o in objs {
-                    h.staged.insert(k.clone(), o);
+                    h.staged.insert_arc(Arc::clone(&k), o);
                 }
             }
             h.received += 1;
@@ -798,6 +824,7 @@ fn on_handoff_batch(
             sim.tables[bits as usize] = table;
             install_ownership(st, bits, dst);
             st.stats.handoffs_completed += 1;
+            push_summary_refresh(sim, st, bits);
         }
     }
     sim.net.send(to, from, KwMsg::HandoffAck { bits, seq });
@@ -955,7 +982,7 @@ fn on_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
         }
         // Missing entries, grouped by the secondary vertex that holds
         // the replica (deterministic: tables iterate in BTreeMap order).
-        let mut missing: BTreeMap<u64, Vec<(KeywordSet, Vec<ObjectId>)>> = BTreeMap::new();
+        let mut missing: BTreeMap<u64, EntryBatch> = BTreeMap::new();
         for bits2 in 0..sim.tables2.len() {
             for (k, objs) in sim.tables2[bits2].iter() {
                 if sim.hasher.vertex_for(k).bits() != bits {
@@ -967,7 +994,7 @@ fn on_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
                     missing
                         .entry(bits2 as u64)
                         .or_default()
-                        .push(((**k).clone(), lost));
+                        .push((Arc::clone(k), lost));
                 }
             }
         }
@@ -978,6 +1005,9 @@ fn on_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
             st.stats.repair_lag_max = st.stats.repair_lag_max.max(lag);
             st.repair_pending.remove(&bits);
             st.generations[bits as usize] += 1;
+            // The table is authoritative again: refresh the occupancy
+            // summary and announce the exact count up the anchor chain.
+            push_summary_refresh(sim, st, bits);
             continue;
         }
         let owner_ep = st.hosts[&owner];
@@ -1007,12 +1037,12 @@ fn on_repair_push(
     sim: &mut ProtocolSim,
     st: &mut ChurnState,
     bits: u64,
-    entries: Vec<(KeywordSet, Vec<ObjectId>)>,
+    entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)>,
 ) {
     let mut added = 0u64;
     for (k, objs) in entries {
         for o in objs {
-            if sim.tables[bits as usize].insert(k.clone(), o) {
+            if sim.tables[bits as usize].insert_arc(Arc::clone(&k), o) {
                 added += 1;
             }
         }
@@ -1020,6 +1050,32 @@ fn on_repair_push(
     st.stats.repair_entries += added;
     sim.net.metrics_mut().repair_batches.incr();
     sim.net.metrics_mut().repair_entries.add(added);
+}
+
+/// Refreshes the primary occupancy summary for vertex `bits` from its
+/// now-authoritative table and streams the exact count up the vertex's
+/// prefix anchor chain as [`KwMsg::TSummary`] messages (one per summary
+/// level, to the vertex anchoring each enclosing region).
+///
+/// Skipped while a repair is still pending for the vertex: the table
+/// may yet grow, and publishing an interim (lower) count could let a
+/// search prune a subtree that is about to be repopulated. Deferring
+/// keeps the summary *over*-counting — a stale digest costs an extra
+/// visit, never a missed result. Truth only decreases under churn (no
+/// inserts mid-plan), so last-writer-wins refreshes stay safe.
+fn push_summary_refresh(sim: &mut ProtocolSim, st: &ChurnState, bits: u64) {
+    if st.repair_pending.contains_key(&bits) {
+        return;
+    }
+    let count = sim.tables[bits as usize].object_count() as u64;
+    sim.summary.refresh_leaf(bits, count);
+    let r = sim.shape.r();
+    let from = sim.eps[bits as usize];
+    for (j, prefix) in hyperdex_hypercube::sbt::summary_path(bits, r).skip(1) {
+        let anchor = sim.eps[(prefix << j) as usize];
+        sim.net.send(from, anchor, KwMsg::TSummary { bits, count });
+        sim.net.metrics_mut().summary_deltas.incr();
+    }
 }
 
 #[cfg(test)]
@@ -1245,6 +1301,56 @@ mod tests {
                 *st.stats()
             };
             assert_eq!(run(()), run(()), "seed {seed} not deterministic");
+        }
+    }
+
+    proptest::proptest! {
+        /// Occupancy-guided pruning stays recall-safe across arbitrary
+        /// generated churn plans: at every probe instant — mid-plan and
+        /// at quiescence — a pruned fault-tolerant search returns the
+        /// full static result set. Crashes leave summaries stale
+        /// (over-counting), which may cost extra visits but must never
+        /// hide a result.
+        #[test]
+        fn pruned_search_keeps_full_recall_across_churn_plans(seed in 0u64..24) {
+            let members: Vec<u64> = (1..=6).collect();
+            let cfg = ChurnConfig {
+                horizon: SimTime::from_ticks(400),
+                events_per_kilotick: 15.0,
+                join_fraction: 0.3,
+                graceful_fraction: 0.4,
+            };
+            let plan = ChurnPlan::generate(&cfg, &members, seed);
+            let mut sim = sim_with_corpus(5, seed);
+            sim.enable_churn(&plan, StabilizationConfig::default(), &members)
+                .unwrap();
+            for probe in [150u64, 400] {
+                sim.run_churn_to(SimTime::from_ticks(probe));
+                for (query, want) in [
+                    ("a", vec![1u64, 2, 3, 4, 6, 8]),
+                    ("b", vec![2, 3, 5, 8]),
+                    ("x", vec![7]),
+                ] {
+                    let out = sim
+                        .search_fault_tolerant(
+                            &set(query),
+                            usize::MAX - 1,
+                            FtConfig::new(RecoveryStrategy::ReplicatedFailover).prune(true),
+                        )
+                        .unwrap();
+                    let mut ids: Vec<u64> =
+                        out.results.iter().map(|r| r.object.raw()).collect();
+                    ids.sort_unstable();
+                    ids.dedup();
+                    proptest::prop_assert_eq!(
+                        ids, want,
+                        "seed {} probe {} query {}: pruning lost recall",
+                        seed, probe, query
+                    );
+                }
+            }
+            sim.run_churn_to_quiescence();
+            proptest::prop_assert!(sim.churn().unwrap().converged());
         }
     }
 

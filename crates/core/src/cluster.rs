@@ -22,6 +22,7 @@ use crate::hashing::KeywordHasher;
 use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::search::{superset, PinOutcome, SearchStats, SupersetOutcome, SupersetQuery};
+use crate::summary::OccupancySummary;
 
 /// One logical index node: its table plus an optional result cache.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +40,9 @@ pub struct HypercubeIndex {
     nodes: HashMap<u64, IndexNode>,
     object_count: usize,
     cache_capacity: usize,
+    // Occupancy digests over prefix regions, kept exact on every
+    // insert/remove so searches can prune provably-empty SBT subtrees.
+    summary: OccupancySummary,
 }
 
 impl HypercubeIndex {
@@ -54,6 +58,7 @@ impl HypercubeIndex {
             nodes: HashMap::new(),
             object_count: 0,
             cache_capacity: 0,
+            summary: OccupancySummary::new(r),
         })
     }
 
@@ -112,6 +117,7 @@ impl HypercubeIndex {
         let node = self.node_mut(vertex);
         if node.table.insert(keywords, object) {
             self.object_count += 1;
+            self.summary.record_insert(vertex.bits());
         }
         Ok(vertex)
     }
@@ -127,6 +133,7 @@ impl HypercubeIndex {
         let removed = node.table.remove(keywords, object);
         if removed {
             self.object_count -= 1;
+            self.summary.record_remove(vertex.bits());
         }
         removed
     }
@@ -214,9 +221,16 @@ impl HypercubeIndex {
             Some(node) => {
                 let lost = node.table.object_count();
                 self.object_count -= lost;
+                self.summary.refresh_leaf(vertex.bits(), 0);
                 lost
             }
         }
+    }
+
+    /// The occupancy summary over the cube's prefix regions — what the
+    /// search variants consult to prune empty SBT subtrees.
+    pub fn summary(&self) -> &OccupancySummary {
+        &self.summary
     }
 
     // ---- crate-internal accessors used by the search engine ----
@@ -340,6 +354,21 @@ mod tests {
         assert!(idx.cache_mut(v).is_some());
         idx.set_cache_capacity(0);
         assert!(idx.cache_mut(v).is_none());
+    }
+
+    #[test]
+    fn summary_tracks_inserts_removes_and_drops() {
+        let mut idx = HypercubeIndex::new(10, 0).unwrap();
+        idx.insert(oid(1), set("a b")).unwrap();
+        idx.insert(oid(2), set("a b")).unwrap();
+        let v = idx.insert(oid(3), set("c d e")).unwrap();
+        assert_eq!(idx.summary().total_objects(), 3);
+        assert_eq!(idx.summary().leaf_count(v.bits()), 1);
+        idx.remove(oid(1), &set("a b"));
+        assert_eq!(idx.summary().total_objects(), 2);
+        idx.drop_node(v);
+        assert_eq!(idx.summary().total_objects(), 1);
+        assert_eq!(idx.summary().leaf_count(v.bits()), 0);
     }
 
     #[test]

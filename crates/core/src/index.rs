@@ -44,10 +44,15 @@ impl IndexTable {
     /// Adds the entry `⟨keywords, object⟩`. Returns `false` if it was
     /// already present.
     pub fn insert(&mut self, keywords: KeywordSet, object: ObjectId) -> bool {
-        self.entries
-            .entry(Arc::new(keywords))
-            .or_default()
-            .insert(object)
+        self.insert_arc(Arc::new(keywords), object)
+    }
+
+    /// [`IndexTable::insert`] for an already-interned keyword set; the
+    /// message-level protocol and churn paths share one `Arc` per set
+    /// across tables, replicas, and in-flight batches instead of
+    /// deep-cloning the strings.
+    pub fn insert_arc(&mut self, keywords: Arc<KeywordSet>, object: ObjectId) -> bool {
+        self.entries.entry(keywords).or_default().insert(object)
     }
 
     /// Removes the entry `⟨keywords, object⟩`. Returns `false` if it was

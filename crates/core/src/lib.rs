@@ -38,6 +38,9 @@
 //! * [`churn`] — live membership over the message-level protocol:
 //!   join/leave/crash plans, key-range index handoff, anti-entropy
 //!   replica repair.
+//! * [`summary`] — occupancy digests over prefix regions of the cube,
+//!   letting every search variant prune provably-empty SBT subtrees
+//!   while staying recall-safe (DESIGN.md §10).
 //! * [`decompose`] — decomposed (multi-hypercube) indexes (§3.4).
 //! * [`analysis`] — Equation (1) and dimensioning guidance.
 //! * [`baseline`] — distributed inverted index and direct-DHT baselines
@@ -84,6 +87,7 @@ pub mod replication;
 pub mod search;
 pub mod service;
 pub mod sim_protocol;
+pub mod summary;
 
 pub use churn::{ChurnStats, StabilizationConfig};
 pub use cluster::HypercubeIndex;
@@ -98,3 +102,4 @@ pub use search::{
 };
 pub use service::KeywordSearchService;
 pub use sim_protocol::{FtConfig, ProtocolSim, RecoveryStrategy};
+pub use summary::{OccupancySummary, SubtreeDigest};

@@ -70,11 +70,14 @@ pub struct SupersetQuery {
     pub mode: ExecutionMode,
     /// Whether per-node result caches may serve or store this query.
     pub use_cache: bool,
+    /// Whether occupancy summaries may prune provably-empty SBT
+    /// subtrees (recall-safe; see [`crate::summary`]).
+    pub prune: bool,
 }
 
 impl SupersetQuery {
     /// Creates a query returning *all* matches (threshold `usize::MAX`),
-    /// top-down, sequential, cache enabled.
+    /// top-down, sequential, cache enabled, pruning disabled.
     pub fn new(keywords: KeywordSet) -> Self {
         SupersetQuery {
             keywords,
@@ -82,6 +85,7 @@ impl SupersetQuery {
             order: TraversalOrder::TopDown,
             mode: ExecutionMode::Sequential,
             use_cache: true,
+            prune: false,
         }
     }
 
@@ -106,6 +110,12 @@ impl SupersetQuery {
     /// Enables or disables cache participation.
     pub fn use_cache(mut self, on: bool) -> Self {
         self.use_cache = on;
+        self
+    }
+
+    /// Enables or disables occupancy-guided subtree pruning.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
         self
     }
 
@@ -141,6 +151,9 @@ pub struct SearchStats {
     pub cache_hit: bool,
     /// Parallel rounds used (level-parallel mode only; 0 otherwise).
     pub rounds: u32,
+    /// SBT subtrees skipped because an occupancy summary disproved
+    /// them (pruning mode only; 0 otherwise).
+    pub pruned_subtrees: u64,
 }
 
 impl SearchStats {
@@ -197,7 +210,9 @@ mod tests {
         assert_eq!(q.order, TraversalOrder::TopDown);
         assert_eq!(q.mode, ExecutionMode::Sequential);
         assert!(q.use_cache);
+        assert!(!q.prune, "pruning is opt-in");
         assert!(q.validate().is_ok());
+        assert!(q.prune(true).prune);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! per round, time `r − |One(F_h(K))|` instead of `2^{r−|One|}`).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use hyperdex_hypercube::Vertex;
 
@@ -22,6 +23,7 @@ use crate::keyword::KeywordSet;
 use crate::search::{
     ExecutionMode, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
 };
+use crate::summary::pruned_levels;
 
 /// Runs a superset search against a logical hypercube index.
 pub(crate) fn run(
@@ -59,7 +61,7 @@ pub(crate) fn run(
         }
     }
 
-    let outcome = match query.mode {
+    let mut outcome = match query.mode {
         ExecutionMode::Sequential => match query.order {
             TraversalOrder::TopDown => sequential_top_down(index, query, root, stats),
             TraversalOrder::BottomUp => {
@@ -73,14 +75,21 @@ pub(crate) fn run(
     };
 
     // Cache the traversal's results; the exhausted flag records whether
-    // they can serve any threshold or only covered ones.
+    // they can serve any threshold or only covered ones. The result vec
+    // moves into the cache instead of being deep-copied: the caller's
+    // copy is rebuilt (bounded by the threshold — traversals truncate)
+    // only when the cache actually kept the entry, and moves back for
+    // free when it declined.
     if query.use_cache {
         if let Some(cache) = index.cache_mut(root) {
+            let shared = Arc::new(std::mem::take(&mut outcome.results));
             cache.put(
                 query.keywords.clone(),
-                outcome.results.clone(),
+                Arc::clone(&shared),
                 outcome.exhausted,
             );
+            outcome.results = Arc::try_unwrap(shared)
+                .unwrap_or_else(|kept| kept.iter().take(query.threshold).cloned().collect());
         }
     }
     Ok(outcome)
@@ -112,11 +121,19 @@ fn sequential_top_down(
 
     // Frontier queue U, initialized with the root's neighbors across
     // every free dimension (descending, matching Sbt::children order).
-    let mut frontier: VecDeque<(Vertex, u8)> = root
-        .zero_positions()
-        .rev()
-        .map(|i| (root.flip(i), i))
-        .collect();
+    // With pruning on, children whose occupancy digest disproves any
+    // match (empty region, or keyword-position mask not covering
+    // One(F_h(K))) never enter the frontier.
+    let required = root.bits();
+    let mut frontier: VecDeque<(Vertex, u8)> = VecDeque::new();
+    for i in root.zero_positions().rev() {
+        let child = root.flip(i);
+        if query.prune && index.summary().can_prune(child.bits(), i, required) {
+            stats.pruned_subtrees += 1;
+        } else {
+            frontier.push_back((child, i));
+        }
+    }
 
     let mut stopped_early = false;
     while let Some((w, d)) = frontier.pop_front() {
@@ -133,7 +150,12 @@ fn sequential_top_down(
         stats.control_messages += 1;
         for i in (0..d).rev() {
             if !w.bit(i) {
-                frontier.push_back((w.flip(i), i));
+                let child = w.flip(i);
+                if query.prune && index.summary().can_prune(child.bits(), i, required) {
+                    stats.pruned_subtrees += 1;
+                } else {
+                    frontier.push_back((child, i));
+                }
             }
         }
     }
@@ -142,6 +164,24 @@ fn sequential_top_down(
         results,
         stats,
         exhausted: !stopped_early,
+    }
+}
+
+/// The per-depth node lists the level traversals visit: the full SBT
+/// levels, or the summary-pruned levels when the query opts in.
+fn collect_levels(
+    index: &HypercubeIndex,
+    query: &SupersetQuery,
+    root: Vertex,
+    stats: &mut SearchStats,
+) -> Vec<Vec<Vertex>> {
+    if query.prune {
+        let (levels, pruned) = pruned_levels(index.summary(), root);
+        stats.pruned_subtrees += pruned;
+        levels
+    } else {
+        let sbt = hyperdex_hypercube::Sbt::induced(root);
+        (0..=sbt.height()).map(|d| sbt.level(d).collect()).collect()
     }
 }
 
@@ -154,16 +194,16 @@ fn by_levels(
     mut stats: SearchStats,
     bottom_up: bool,
 ) -> SupersetOutcome {
-    let sbt = hyperdex_hypercube::Sbt::induced(root);
+    let levels = collect_levels(index, query, root, &mut stats);
     let mut results = Vec::new();
     let mut stopped_early = false;
-    let depth_order: Vec<u32> = if bottom_up {
-        (0..=sbt.height()).rev().collect()
+    let depth_order: Vec<usize> = if bottom_up {
+        (0..levels.len()).rev().collect()
     } else {
-        (0..=sbt.height()).collect()
+        (0..levels.len()).collect()
     };
     'outer: for d in depth_order {
-        for w in sbt.level(d) {
+        for &w in &levels[d] {
             // The root was already charged for receiving the query.
             if w != root {
                 stats.query_messages += 1;
@@ -196,20 +236,20 @@ fn level_parallel(
     mut stats: SearchStats,
     bottom_up: bool,
 ) -> SupersetOutcome {
-    let sbt = hyperdex_hypercube::Sbt::induced(root);
+    let levels = collect_levels(index, query, root, &mut stats);
     let mut results = Vec::new();
     let mut stopped_early = false;
-    let depth_order: Vec<u32> = if bottom_up {
-        (0..=sbt.height()).rev().collect()
+    let depth_order: Vec<usize> = if bottom_up {
+        (0..levels.len()).rev().collect()
     } else {
-        (0..=sbt.height()).collect()
+        (0..levels.len()).collect()
     };
     let last_depth = *depth_order.last().expect("at least one level");
     for d in depth_order {
         stats.rounds += 1;
         // All level-d nodes are queried simultaneously; results within a
         // round may overshoot the threshold and are truncated afterwards.
-        for w in sbt.level(d) {
+        for &w in &levels[d] {
             if w != root {
                 stats.query_messages += 1;
                 stats.nodes_contacted += 1;

@@ -26,6 +26,7 @@
 //! skipped vertices, retries, timeouts, and messages by kind.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::sync::Arc;
 
 use hyperdex_simnet::latency::LatencyModel;
 use hyperdex_simnet::net::{EndpointId, NetEvent, Network, TimerId};
@@ -39,6 +40,7 @@ use crate::hashing::KeywordHasher;
 use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::search::RankedObject;
+use crate::summary::{pruned_levels, OccupancySummary};
 
 /// Protocol messages (§3.3's `T_QUERY`, `T_CONT`, `T_STOP`, plus the
 /// direct result deliveries to the requester).
@@ -46,8 +48,9 @@ use crate::search::RankedObject;
 pub enum KwMsg {
     /// Query forwarded to one tree node.
     TQuery {
-        /// The queried keyword set `K`.
-        keywords: KeywordSet,
+        /// The queried keyword set `K` (interned: every hop shares one
+        /// allocation instead of deep-cloning the set per message).
+        keywords: Arc<KeywordSet>,
         /// Objects still wanted (`c` in the paper).
         remaining: usize,
         /// Endpoint collecting results (`u`).
@@ -90,8 +93,9 @@ pub enum KwMsg {
         bits: u64,
         /// Batch sequence number (0-based).
         seq: u32,
-        /// The entries in this batch.
-        entries: Vec<(KeywordSet, Vec<ObjectId>)>,
+        /// The entries in this batch (keyword sets interned — the batch
+        /// shares the sender's allocations).
+        entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)>,
         /// Whether this is the final batch.
         last: bool,
     },
@@ -108,8 +112,21 @@ pub enum KwMsg {
     RepairPush {
         /// The primary vertex being repaired.
         bits: u64,
-        /// The entries restored by this push.
-        entries: Vec<(KeywordSet, Vec<ObjectId>)>,
+        /// The entries restored by this push (keyword sets interned).
+        entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)>,
+    },
+    /// Vertex → prefix-anchor, churn mode only: a full-state occupancy
+    /// refresh for one summary leaf, sent up the anchor chain after a
+    /// repair completes or a handoff installs. Carries the leaf's exact
+    /// object count; receivers apply it idempotently
+    /// ([`crate::summary::OccupancySummary::refresh_leaf`]), so loss or
+    /// reordering only prolongs safe over-counting — a stale summary
+    /// costs an extra visit, never a missed result.
+    TSummary {
+        /// The vertex whose occupancy changed.
+        bits: u64,
+        /// Its exact object count after the change.
+        count: u64,
     },
 }
 
@@ -142,16 +159,21 @@ pub struct FtConfig {
     /// Timeout for the first attempt; doubles per retry (capped at
     /// `base_timeout × 64`).
     pub base_timeout: SimDuration,
+    /// Whether occupancy summaries may prune provably-empty SBT
+    /// subtrees before enqueuing them (recall-safe; see
+    /// [`crate::summary`]). Off by default.
+    pub prune: bool,
 }
 
 impl FtConfig {
     /// A sensible default for the given strategy: 4 retries, 16-tick
-    /// base timeout.
+    /// base timeout, pruning off.
     pub fn new(strategy: RecoveryStrategy) -> Self {
         FtConfig {
             strategy,
             max_retries: 4,
             base_timeout: SimDuration::from_ticks(16),
+            prune: false,
         }
     }
 
@@ -164,6 +186,12 @@ impl FtConfig {
     /// Overrides the base timeout.
     pub fn base_timeout(mut self, d: SimDuration) -> Self {
         self.base_timeout = d;
+        self
+    }
+
+    /// Enables or disables occupancy-guided subtree pruning.
+    pub fn prune(mut self, on: bool) -> Self {
+        self.prune = on;
         self
     }
 }
@@ -198,6 +226,12 @@ pub struct CoverageReport {
     pub timeouts: u64,
     /// Dead children whose subtrees were re-delegated.
     pub redelegations: u64,
+    /// SBT subtrees never enqueued because an occupancy summary
+    /// disproved them (pruning mode only; 0 otherwise).
+    pub pruned_subtrees: u64,
+    /// Total vertices inside those pruned subtrees (each counts
+    /// `2^{free dims below the arrival dimension}`).
+    pub vertices_pruned: u64,
     /// Whether the secondary hypercube was swept.
     pub failed_over: bool,
     /// Vertices reached in the secondary sweep (0 without failover).
@@ -228,16 +262,21 @@ pub struct SimSearchOutcome {
     pub messages: u64,
     /// Virtual time from first send to last delivery.
     pub elapsed: hyperdex_simnet::time::SimDuration,
+    /// SBT subtrees skipped by occupancy-guided pruning (0 unless
+    /// [`ProtocolSim::set_pruning`] enabled it).
+    pub pruned_subtrees: u64,
 }
 
 /// Root-side coordinator state for one sequential search.
 #[derive(Debug)]
 struct Coordinator {
-    keywords: KeywordSet,
+    keywords: Arc<KeywordSet>,
     remaining: usize,
     requester: EndpointId,
     frontier: VecDeque<(u64, u8)>,
     done: bool,
+    /// Subtrees the coordinator pruned instead of querying.
+    pruned: u64,
 }
 
 /// A logical hypercube whose nodes exchange real protocol messages.
@@ -271,6 +310,13 @@ pub struct ProtocolSim {
     /// The seed this simulation was built with (churn derives its ring
     /// placement from it).
     pub(crate) seed: u64,
+    /// Occupancy summary of the primary cube (maintained at inserts;
+    /// refreshed by `T_SUMMARY` deltas under churn).
+    pub(crate) summary: OccupancySummary,
+    /// Occupancy summary of the secondary cube.
+    pub(crate) summary2: OccupancySummary,
+    /// Whether sequential/parallel searches consult the summaries.
+    pub(crate) prune: bool,
     /// Live-membership state, present once [`ProtocolSim::enable_churn`]
     /// has been called (boxed: it is large and usually absent).
     pub(crate) churn: Option<Box<crate::churn::ChurnState>>,
@@ -308,8 +354,25 @@ impl ProtocolSim {
             eps,
             requester,
             seed,
+            summary: OccupancySummary::new(r),
+            summary2: OccupancySummary::new(r),
+            prune: false,
             churn: None,
         })
+    }
+
+    /// Enables or disables occupancy-guided pruning for
+    /// [`ProtocolSim::search_sequential`] and
+    /// [`ProtocolSim::search_parallel`] (fault-tolerant searches opt in
+    /// per call via [`FtConfig::prune`]). Off by default; pruning is
+    /// recall-safe.
+    pub fn set_pruning(&mut self, on: bool) {
+        self.prune = on;
+    }
+
+    /// The primary cube's occupancy summary.
+    pub fn summary(&self) -> &OccupancySummary {
+        &self.summary
     }
 
     /// The hypercube shape.
@@ -327,10 +390,15 @@ impl ProtocolSim {
         if keywords.is_empty() {
             return Err(Error::EmptyKeywordSet);
         }
+        let keywords = Arc::new(keywords);
         let vertex = self.hasher.vertex_for(&keywords);
         let vertex2 = self.hasher2.vertex_for(&keywords);
-        self.tables[vertex.bits() as usize].insert(keywords.clone(), object);
-        self.tables2[vertex2.bits() as usize].insert(keywords, object);
+        if self.tables[vertex.bits() as usize].insert_arc(Arc::clone(&keywords), object) {
+            self.summary.record_insert(vertex.bits());
+        }
+        if self.tables2[vertex2.bits() as usize].insert_arc(keywords, object) {
+            self.summary2.record_insert(vertex2.bits());
+        }
         Ok(())
     }
 
@@ -356,7 +424,8 @@ impl ProtocolSim {
             self.requester,
             root_ep,
             KwMsg::TQuery {
-                keywords: keywords.clone(),
+                // One deep copy per search; every later hop shares it.
+                keywords: Arc::new(keywords.clone()),
                 remaining: threshold,
                 requester: self.requester,
                 via_dim: None,
@@ -391,6 +460,7 @@ impl ProtocolSim {
                             requester,
                             frontier: root_frontier(vertex),
                             done: false,
+                            pruned: 0,
                         };
                         self.advance(&mut coord, root);
                         coordinator = Some(coord);
@@ -426,7 +496,8 @@ impl ProtocolSim {
                 KwMsg::TContFt { .. }
                 | KwMsg::HandoffBatch { .. }
                 | KwMsg::HandoffAck { .. }
-                | KwMsg::RepairPush { .. } => {}
+                | KwMsg::RepairPush { .. }
+                | KwMsg::TSummary { .. } => {}
             }
         }
 
@@ -436,6 +507,7 @@ impl ProtocolSim {
             nodes_contacted: contacted,
             messages: self.net.metrics().messages_sent.get() - sent_before,
             elapsed: last_at.saturating_since(start),
+            pruned_subtrees: coordinator.map_or(0, |c| c.pruned),
         })
     }
 
@@ -455,26 +527,37 @@ impl ProtocolSim {
         }
         let root_vertex = self.hasher.vertex_for(keywords);
         let root_ep = self.eps[root_vertex.bits() as usize];
-        let sbt = Sbt::induced(root_vertex);
         let start = self.net.now();
         let sent_before = self.net.metrics().messages_sent.get();
+
+        // One deep copy per search; every per-node query shares it.
+        let shared_kw = Arc::new(keywords.clone());
+        // With pruning on, whole levels shrink to the vertices whose
+        // subtree the occupancy summary cannot disprove.
+        let (levels, pruned_count) = if self.prune {
+            pruned_levels(&self.summary, root_vertex)
+        } else {
+            let sbt = Sbt::induced(root_vertex);
+            let full: Vec<Vec<Vertex>> =
+                (0..=sbt.height()).map(|d| sbt.level(d).collect()).collect();
+            (full, 0)
+        };
 
         let mut results = Vec::new();
         let mut contacted = 0u64;
         let mut last_at = start;
         let mut satisfied = 0usize;
 
-        'levels: for depth in 0..=sbt.height() {
+        'levels: for (depth, level) in levels.iter().enumerate() {
             // The root addresses every level-d node directly (any node
             // is reachable through the underlying DHT).
-            let level: Vec<Vertex> = sbt.level(depth).collect();
-            for w in &level {
+            for w in level {
                 let from = if depth == 0 { self.requester } else { root_ep };
                 self.net.send(
                     from,
                     self.eps[w.bits() as usize],
                     KwMsg::TQuery {
-                        keywords: keywords.clone(),
+                        keywords: Arc::clone(&shared_kw),
                         remaining: threshold - satisfied.min(threshold),
                         requester: self.requester,
                         via_dim: None,
@@ -505,7 +588,8 @@ impl ProtocolSim {
                     | KwMsg::TContFt { .. }
                     | KwMsg::HandoffBatch { .. }
                     | KwMsg::HandoffAck { .. }
-                    | KwMsg::RepairPush { .. } => {}
+                    | KwMsg::RepairPush { .. }
+                    | KwMsg::TSummary { .. } => {}
                 }
             }
             if satisfied >= threshold {
@@ -519,6 +603,7 @@ impl ProtocolSim {
             nodes_contacted: contacted,
             messages: self.net.metrics().messages_sent.get() - sent_before,
             elapsed: last_at.saturating_since(start),
+            pruned_subtrees: pruned_count,
         })
     }
 
@@ -566,6 +651,8 @@ impl ProtocolSim {
             retries: primary.retries,
             timeouts: primary.timeouts,
             redelegations: primary.redelegations,
+            pruned_subtrees: primary.pruned_subtrees,
+            vertices_pruned: primary.vertices_pruned,
             failed_over: false,
             secondary_reached: 0,
             secondary_skipped: 0,
@@ -591,6 +678,8 @@ impl ProtocolSim {
             report.retries += sec.retries;
             report.timeouts += sec.timeouts;
             report.redelegations += sec.redelegations;
+            report.pruned_subtrees += sec.pruned_subtrees;
+            report.vertices_pruned += sec.vertices_pruned;
         }
         report.elapsed = self.net.now().saturating_since(start);
         results.truncate(threshold);
@@ -619,6 +708,13 @@ impl ProtocolSim {
         let root_ep = self.eps[root_vertex.bits() as usize];
         let use_timers = config.strategy != RecoveryStrategy::Naive;
         let base = config.base_timeout;
+        // One deep copy per pass; every (re)transmission shares it.
+        let kw = Arc::new(keywords.clone());
+        let prune = config.prune.then(|| FtPrune {
+            required: root_vertex.bits(),
+            zero_mask: root_vertex.zero_positions().fold(0u64, |m, i| m | 1 << i),
+            secondary,
+        });
 
         let mut stats = PassStats {
             subcube_vertices: 1u64 << root_vertex.zero_positions().count(),
@@ -637,7 +733,7 @@ impl ProtocolSim {
             self.requester,
             root_vertex.bits(),
             None,
-            keywords,
+            &kw,
             remaining,
             coord,
         );
@@ -709,14 +805,14 @@ impl ProtocolSim {
                                     self.ft_enqueue_children(
                                         &children,
                                         coord,
-                                        keywords,
+                                        &kw,
                                         remaining,
                                         use_timers,
                                         base,
+                                        prune,
                                         &mut pending,
                                         &covered,
-                                        &stats.skipped,
-                                        &mut stats.queries_sent,
+                                        &mut stats,
                                     );
                                 }
                             } else {
@@ -766,14 +862,14 @@ impl ProtocolSim {
                                 self.ft_enqueue_children(
                                     &children,
                                     coord,
-                                    keywords,
+                                    &kw,
                                     remaining,
                                     use_timers,
                                     base,
+                                    prune,
                                     &mut pending,
                                     &covered,
-                                    &stats.skipped,
-                                    &mut stats.queries_sent,
+                                    &mut stats,
                                 );
                             }
                         }
@@ -787,7 +883,8 @@ impl ProtocolSim {
                         | KwMsg::Results { .. }
                         | KwMsg::HandoffBatch { .. }
                         | KwMsg::HandoffAck { .. }
-                        | KwMsg::RepairPush { .. } => {}
+                        | KwMsg::RepairPush { .. }
+                        | KwMsg::TSummary { .. } => {}
                     }
                 }
                 NetEvent::Timer(t) => {
@@ -804,7 +901,7 @@ impl ProtocolSim {
                         // Retransmit with doubled timeout.
                         stats.retries += 1;
                         self.net.metrics_mut().retries.incr();
-                        self.ft_send_query(owner, bits, via_dim, keywords, remaining, coord);
+                        self.ft_send_query(owner, bits, via_dim, &kw, remaining, coord);
                         stats.queries_sent += 1;
                         let timer = self
                             .net
@@ -851,14 +948,14 @@ impl ProtocolSim {
                                     self.ft_enqueue_children(
                                         &children,
                                         coord,
-                                        keywords,
+                                        &kw,
                                         remaining,
                                         use_timers,
                                         base,
+                                        prune,
                                         &mut pending,
                                         &covered,
-                                        &stats.skipped,
-                                        &mut stats.queries_sent,
+                                        &mut stats,
                                     );
                                 }
                             }
@@ -891,7 +988,7 @@ impl ProtocolSim {
         from: EndpointId,
         bits: u64,
         via_dim: Option<u8>,
-        keywords: &KeywordSet,
+        keywords: &Arc<KeywordSet>,
         remaining: usize,
         coord: EndpointId,
     ) {
@@ -899,7 +996,7 @@ impl ProtocolSim {
             from,
             self.eps[bits as usize],
             KwMsg::TQuery {
-                keywords: keywords.clone(),
+                keywords: Arc::clone(keywords),
                 remaining,
                 requester: self.requester,
                 via_dim,
@@ -908,27 +1005,49 @@ impl ProtocolSim {
         );
     }
 
-    /// Queries every not-yet-tracked child and arms its timer.
+    /// Queries every not-yet-tracked child and arms its timer. With
+    /// pruning on, children whose occupancy digest disproves any match
+    /// never enter `pending` — neither queried nor retried nor
+    /// re-delegated; their whole subtree is accounted in
+    /// `stats.vertices_pruned`.
     #[allow(clippy::too_many_arguments)]
     fn ft_enqueue_children(
         &mut self,
         children: &[(u64, u8)],
         coord: EndpointId,
-        keywords: &KeywordSet,
+        keywords: &Arc<KeywordSet>,
         remaining: usize,
         use_timers: bool,
         base: SimDuration,
+        prune: Option<FtPrune>,
         pending: &mut BTreeMap<u64, Pending>,
         covered: &HashSet<u64>,
-        skipped: &BTreeSet<u64>,
-        queries_sent: &mut u64,
+        stats: &mut PassStats,
     ) {
         for &(bits, dim) in children {
-            if covered.contains(&bits) || skipped.contains(&bits) || pending.contains_key(&bits) {
+            if covered.contains(&bits)
+                || stats.skipped.contains(&bits)
+                || pending.contains_key(&bits)
+            {
                 continue;
             }
+            if let Some(p) = prune {
+                let summary = if p.secondary {
+                    &self.summary2
+                } else {
+                    &self.summary
+                };
+                if summary.can_prune(bits, dim, p.required) {
+                    stats.pruned_subtrees += 1;
+                    // The child's subtree spans the free dims strictly
+                    // below its arrival dimension.
+                    let free_below = (p.zero_mask & ((1u64 << dim) - 1)).count_ones();
+                    stats.vertices_pruned += 1u64 << free_below;
+                    continue;
+                }
+            }
             self.ft_send_query(coord, bits, Some(dim), keywords, remaining, coord);
-            *queries_sent += 1;
+            stats.queries_sent += 1;
             let timer = use_timers.then(|| self.net.set_timer(coord, ft_backoff(base, 0), bits));
             pending.insert(
                 bits,
@@ -1001,22 +1120,28 @@ impl ProtocolSim {
             coord.done = true;
             return;
         }
-        match coord.frontier.pop_front() {
-            None => coord.done = true,
-            Some((bits, dim)) => {
-                self.net.send(
-                    root_ep,
-                    self.eps[bits as usize],
-                    KwMsg::TQuery {
-                        keywords: coord.keywords.clone(),
-                        remaining: coord.remaining,
-                        requester: coord.requester,
-                        via_dim: Some(dim),
-                        root: root_ep,
-                    },
-                );
+        // With pruning on, provably-empty frontier entries are consumed
+        // (and counted) without sending anything; the root endpoint's
+        // raw id is the root vertex's bits, i.e. `One(F_h(K))`.
+        while let Some((bits, dim)) = coord.frontier.pop_front() {
+            if self.prune && self.summary.can_prune(bits, dim, root_ep.raw()) {
+                coord.pruned += 1;
+                continue;
             }
+            self.net.send(
+                root_ep,
+                self.eps[bits as usize],
+                KwMsg::TQuery {
+                    keywords: Arc::clone(&coord.keywords),
+                    remaining: coord.remaining,
+                    requester: coord.requester,
+                    via_dim: Some(dim),
+                    root: root_ep,
+                },
+            );
+            return;
         }
+        coord.done = true;
     }
 
     /// `advance` through the `Option` wrapper (borrow-checker helper).
@@ -1081,6 +1206,19 @@ struct PassStats {
     retries: u64,
     timeouts: u64,
     redelegations: u64,
+    pruned_subtrees: u64,
+    vertices_pruned: u64,
+}
+
+/// Pass-constant pruning context for the fault-tolerant traversal.
+#[derive(Debug, Clone, Copy)]
+struct FtPrune {
+    /// `One(F_h(K))`: the keyword positions every match must cover.
+    required: u64,
+    /// Mask of the query root's free dimensions (subtree sizing).
+    zero_mask: u64,
+    /// Whether this pass sweeps the secondary cube.
+    secondary: bool,
 }
 
 /// Dedups `objects` into `results` by object id, returning how many
@@ -1471,6 +1609,107 @@ mod tests {
             (ids(&out.results), out.coverage)
         };
         assert_eq!(run(), run());
+    }
+
+    // ------------------------------------------------------------------
+    // Occupancy-guided pruning
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn pruned_sequential_matches_unpruned_and_contacts_fewer_nodes() {
+        let (_, mut plain) = twin(10, CORPUS);
+        let (_, mut pruned) = twin(10, CORPUS);
+        pruned.set_pruning(true);
+        for query in ["a", "a b", "b", "x", "zzz"] {
+            let p = plain.search_sequential(&set(query), BIG).unwrap();
+            let q = pruned.search_sequential(&set(query), BIG).unwrap();
+            assert_eq!(ids(&p.results), ids(&q.results), "query {query}");
+            assert!(
+                q.nodes_contacted <= p.nodes_contacted,
+                "query {query}: pruning contacted more nodes"
+            );
+        }
+        // On this sparse corpus the one-keyword query must show real
+        // savings, not just parity.
+        let p = plain.search_sequential(&set("a"), BIG).unwrap();
+        let q = pruned.search_sequential(&set("a"), BIG).unwrap();
+        assert!(
+            q.nodes_contacted < p.nodes_contacted,
+            "pruned {} vs unpruned {}",
+            q.nodes_contacted,
+            p.nodes_contacted
+        );
+        assert!(q.pruned_subtrees > 0);
+        assert_eq!(p.pruned_subtrees, 0, "pruning is opt-in");
+    }
+
+    #[test]
+    fn pruned_parallel_matches_unpruned_and_contacts_fewer_nodes() {
+        let (_, mut plain) = twin(10, CORPUS);
+        let (_, mut pruned) = twin(10, CORPUS);
+        pruned.set_pruning(true);
+        let p = plain.search_parallel(&set("a"), BIG).unwrap();
+        let q = pruned.search_parallel(&set("a"), BIG).unwrap();
+        assert_eq!(ids(&p.results), ids(&q.results));
+        assert!(
+            q.nodes_contacted < p.nodes_contacted,
+            "pruned {} vs unpruned {}",
+            q.nodes_contacted,
+            p.nodes_contacted
+        );
+        assert!(q.pruned_subtrees > 0);
+    }
+
+    #[test]
+    fn pruned_ft_matches_unpruned_with_exact_accounting() {
+        let (_, mut plain) = twin(10, CORPUS);
+        let (_, mut pruned) = twin(10, CORPUS);
+        let a = plain
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate))
+            .unwrap();
+        let b = pruned
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate).prune(true))
+            .unwrap();
+        assert_eq!(ids(&a.results), ids(&b.results));
+        let c = &b.coverage;
+        assert!(c.pruned_subtrees > 0);
+        assert!(c.vertices_reached < a.coverage.vertices_reached);
+        assert_eq!(
+            c.vertices_reached + c.vertices_skipped + c.vertices_pruned,
+            c.subcube_vertices,
+            "every subcube vertex is reached, skipped, or pruned"
+        );
+        assert_eq!(a.coverage.pruned_subtrees, 0, "pruning is opt-in");
+    }
+
+    #[test]
+    fn pruning_never_contacts_a_dead_empty_subtree() {
+        // Kill a root child whose region the summary disproves: the
+        // pruned traversal must never query it, so no timeouts fire.
+        let (_, mut sim) = twin(10, CORPUS);
+        let root = sim.query_root(&set("a"));
+        let required = root.bits();
+        let (dead_bits, _) = root
+            .zero_positions()
+            .rev()
+            .map(|i| (root.flip(i).bits(), i))
+            .find(|&(bits, dim)| sim.summary().can_prune(bits, dim, required))
+            .expect("a sparse corpus leaves some root child provably empty");
+        let ep = sim.endpoint_of(dead_bits);
+        sim.network_mut().faults_mut().kill(ep);
+        let out = sim
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate).prune(true))
+            .unwrap();
+        assert_eq!(
+            out.coverage.timeouts, 0,
+            "the dead vertex was never contacted"
+        );
+        assert!(out.coverage.pruned_subtrees > 0);
+        let (_, mut clean) = twin(10, CORPUS);
+        let want = clean
+            .search_fault_tolerant(&set("a"), BIG, ft(RecoveryStrategy::Redelegate))
+            .unwrap();
+        assert_eq!(ids(&want.results), ids(&out.results), "recall intact");
     }
 
     #[test]

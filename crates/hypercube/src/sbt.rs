@@ -200,6 +200,31 @@ impl fmt::Display for Sbt {
     }
 }
 
+/// The prefix region `(level, prefix)` that contains the whole SBT
+/// subtree of a node reached across dimension `via_dim` — for **any**
+/// root.
+///
+/// A subtree member differs from the subtree's root only in free
+/// dimensions strictly below `via_dim` (the tree wiring above), so every
+/// member shares the subtree root's bits from `via_dim` upward. The
+/// region `{x : x >> via_dim == prefix}` therefore covers the subtree;
+/// it may also contain vertices outside the subtree, which makes
+/// region-keyed occupancy digests a *recall-safe over-approximation*
+/// for pruning: an empty region implies an empty subtree.
+pub fn subtree_region(child_bits: u64, via_dim: u8) -> (u8, u64) {
+    (via_dim, child_bits >> via_dim)
+}
+
+/// The ancestor chain of prefix regions containing vertex `bits`, from
+/// the leaf region `(0, bits)` up to the whole cube `(r, 0)`.
+///
+/// These are the `r + 1` region digests an insert or delete at `bits`
+/// must touch — the O(r) "bubble up" path of an occupancy-summary
+/// update.
+pub fn summary_path(bits: u64, r: u8) -> impl DoubleEndedIterator<Item = (u8, u64)> + Clone {
+    (0..=r).map(move |j| (j, bits >> j))
+}
+
 /// Breadth-first iterator over an [`Sbt`].
 #[derive(Debug, Clone)]
 pub struct Bfs {
@@ -357,5 +382,45 @@ mod tests {
         let sbt = Sbt::spanning(v(4, 0b0000));
         let dims: Vec<u64> = sbt.children(sbt.root()).map(|c| c.bits()).collect();
         assert_eq!(dims, vec![0b1000, 0b0100, 0b0010, 0b0001]);
+    }
+
+    /// Every descendant of a child reached via dimension `j` stays inside
+    /// the prefix region `(j, child >> j)`, for spanning and induced
+    /// trees alike.
+    #[test]
+    fn subtree_region_contains_whole_subtree() {
+        for root_bits in [0b000000u64, 0b010010, 0b001001, 0b111000] {
+            let root = v(6, root_bits);
+            for sbt in [Sbt::induced(root), Sbt::spanning(root)] {
+                for (node, _) in sbt.bfs() {
+                    let Some(via) = sbt.branch_dim(node) else {
+                        continue;
+                    };
+                    let (level, prefix) = subtree_region(node.bits(), via);
+                    // Collect the actual subtree below `node` by walking
+                    // children recursively via BFS from `node`.
+                    let mut queue = vec![node];
+                    while let Some(w) = queue.pop() {
+                        assert_eq!(
+                            w.bits() >> level,
+                            prefix,
+                            "descendant {w} of {node} (via {via}) left its region"
+                        );
+                        queue.extend(sbt.children(w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn summary_path_walks_leaf_to_cube() {
+        let path: Vec<(u8, u64)> = summary_path(0b1011, 4).collect();
+        assert_eq!(
+            path,
+            vec![(0, 0b1011), (1, 0b101), (2, 0b10), (3, 0b1), (4, 0)]
+        );
+        // Region at each level halves in specificity; last covers all.
+        assert_eq!(summary_path(0, 63).count(), 64);
     }
 }

@@ -87,6 +87,10 @@ pub struct NetMetrics {
     pub repair_batches: Counter,
     /// Protocol-level: index entries restored by replica repair.
     pub repair_entries: Counter,
+    /// Protocol-level: `T_SUMMARY` occupancy-digest refreshes sent up a
+    /// vertex's prefix anchor chain (after repair completion or a
+    /// handoff install). Loss only prolongs safe over-counting.
+    pub summary_deltas: Counter,
 }
 
 impl NetMetrics {

@@ -1,0 +1,122 @@
+//! Occupancy-guided SBT pruning, end to end: the pruned traversal
+//! returns bit-for-bit the unpruned result set while contacting
+//! strictly fewer nodes on a realistic corpus, the summaries track
+//! ground-truth occupancy through inserts and deletes, and the direct
+//! engine and the message-level protocol prune identically.
+
+use std::collections::BTreeMap;
+
+use hyperdex::core::search::ExecutionMode;
+use hyperdex::core::sim_protocol::ProtocolSim;
+use hyperdex::core::{HypercubeIndex, SupersetQuery};
+use hyperdex::simnet::latency::LatencyModel;
+use hyperdex::workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};
+
+fn corpus() -> Corpus {
+    Corpus::generate(&CorpusConfig::small_test().with_objects(1_500), 33)
+}
+
+#[test]
+fn pruned_search_is_lossless_and_strictly_cheaper_on_a_corpus() {
+    let corpus = corpus();
+    let log = QueryLog::generate(&QueryLogConfig::small_test(), &corpus, 34);
+    let mut index = HypercubeIndex::new(10, 7).expect("valid");
+    for (id, k) in corpus.indexable() {
+        index.insert(id, k.clone()).expect("non-empty");
+    }
+
+    let mut plain_nodes = 0u64;
+    let mut pruned_nodes = 0u64;
+    let mut subtrees_cut = 0u64;
+    for (qi, q) in log.pool().iter().take(30).enumerate() {
+        for mode in [ExecutionMode::Sequential, ExecutionMode::LevelParallel] {
+            let base = SupersetQuery::new(q.clone()).use_cache(false).mode(mode);
+            let plain = index.superset_search(&base.clone()).expect("valid");
+            let pruned = index.superset_search(&base.prune(true)).expect("valid");
+
+            let mut want: Vec<_> = plain.results.iter().map(|r| r.object).collect();
+            let mut got: Vec<_> = pruned.results.iter().map(|r| r.object).collect();
+            want.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(want, got, "query {qi} ({q}) lost or gained results");
+            assert!(
+                pruned.stats.nodes_contacted <= plain.stats.nodes_contacted,
+                "query {qi} ({q}) got more expensive"
+            );
+            plain_nodes += plain.stats.nodes_contacted;
+            pruned_nodes += pruned.stats.nodes_contacted;
+            subtrees_cut += pruned.stats.pruned_subtrees;
+        }
+    }
+    // 1024 vertices, ≤1500 objects: real queries must leave empty
+    // subtrees behind, and the digests must actually cut them.
+    assert!(
+        pruned_nodes < plain_nodes,
+        "pruning saved nothing ({pruned_nodes} vs {plain_nodes})"
+    );
+    assert!(subtrees_cut > 0, "no subtree was ever pruned");
+}
+
+#[test]
+fn summaries_track_ground_truth_occupancy_through_deletes() {
+    let corpus = corpus();
+    let mut index = HypercubeIndex::new(10, 7).expect("valid");
+    let mut inserted = Vec::new();
+    for (id, k) in corpus.indexable() {
+        index.insert(id, k.clone()).expect("non-empty");
+        inserted.push((id, k.clone()));
+    }
+    // Delete every third object again.
+    let mut live: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, (id, k)) in inserted.iter().enumerate() {
+        if i % 3 == 0 {
+            assert!(index.remove(*id, k), "inserted object must be removable");
+        } else {
+            *live.entry(index.vertex_for(k).bits()).or_insert(0) += 1;
+        }
+    }
+
+    let summary = index.summary();
+    let total: u64 = live.values().sum();
+    assert_eq!(summary.total_objects(), total, "total drifted");
+    for (&bits, &count) in &live {
+        assert_eq!(
+            summary.leaf_count(bits),
+            count,
+            "leaf {bits:#b} drifted from ground truth"
+        );
+    }
+    // Every region the summary still holds is non-empty (deletes must
+    // not leave zero-count tombstones that would never prune).
+    assert!(summary.region_count() > 0);
+}
+
+#[test]
+fn message_protocol_prunes_to_the_same_results_as_the_direct_engine() {
+    let corpus = corpus();
+    let log = QueryLog::generate(&QueryLogConfig::small_test(), &corpus, 34);
+    let mut index = HypercubeIndex::new(9, 3).expect("valid");
+    let mut sim = ProtocolSim::new(9, 3, LatencyModel::constant(1)).expect("valid");
+    for (id, k) in corpus.indexable() {
+        index.insert(id, k.clone()).expect("non-empty");
+        sim.insert(id, k.clone()).expect("non-empty");
+    }
+    sim.set_pruning(true);
+
+    for q in log.pool().iter().take(20) {
+        let direct = index
+            .superset_search(&SupersetQuery::new(q.clone()).use_cache(false).prune(true))
+            .expect("valid");
+        let wire = sim.search_sequential(q, usize::MAX - 1).expect("valid");
+
+        let mut want: Vec<_> = direct.results.iter().map(|r| r.object).collect();
+        let mut got: Vec<_> = wire.results.iter().map(|r| r.object).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got, "layers disagree on {q}");
+        assert_eq!(
+            direct.stats.pruned_subtrees, wire.pruned_subtrees,
+            "layers pruned different subtrees on {q}"
+        );
+    }
+}
