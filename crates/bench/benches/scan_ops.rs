@@ -1,0 +1,112 @@
+//! Micro-benchmarks for the per-node scan hot path: the signature
+//! prefilter against the unfiltered string-compare scan it
+//! short-circuits, pin lookups through the table-wide digest, and
+//! interned vs. fresh-allocation inserts.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperdex_core::{IndexTable, KeywordInterner, KeywordSet, ObjectId};
+
+/// Deterministic keyword pool; 200 words over 64 signature bits, so
+/// the prefilter sees real collisions.
+fn pool() -> Vec<String> {
+    (0..200).map(|i| format!("kw{i}")).collect()
+}
+
+/// A table of `n` objects, each under a 2–4 keyword set drawn from the
+/// pool by a SplitMix64 walk.
+fn populated_table(n: u64) -> IndexTable {
+    let pool = pool();
+    let mut table = IndexTable::new();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut step = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for id in 0..n {
+        let len = 2 + (step() % 3) as usize;
+        let words: Vec<&str> = (0..len)
+            .map(|_| pool[(step() % pool.len() as u64) as usize].as_str())
+            .collect();
+        let k = KeywordSet::parse(&words.join(" ")).expect("valid");
+        table.insert(k, ObjectId::from_raw(id));
+    }
+    table
+}
+
+fn superset_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan/superset");
+    for n in [256u64, 2_048] {
+        let table = populated_table(n);
+        // A query matching a small fraction of entries: the prefilter's
+        // best case is rejecting the rest without string compares.
+        let query = KeywordSet::parse("kw3 kw7").expect("valid");
+        group.bench_with_input(BenchmarkId::new("unfiltered", n), &table, |b, table| {
+            b.iter(|| {
+                table
+                    .superset_entries_unfiltered(black_box(&query))
+                    .map(|(_, objs)| objs.count())
+                    .sum::<usize>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("masked", n), &table, |b, table| {
+            b.iter(|| {
+                table
+                    .superset_entries(black_box(&query))
+                    .map(|(_, objs)| objs.count())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn pin_lookup(c: &mut Criterion) {
+    let table = populated_table(2_048);
+    let hit = table
+        .iter()
+        .map(|(k, _)| KeywordSet::clone(k))
+        .next()
+        .expect("non-empty");
+    let miss = KeywordSet::parse("kw1 kw2 absent").expect("valid");
+
+    c.bench_function("scan/pin_hit", |b| {
+        b.iter(|| table.objects_with(black_box(&hit)).count())
+    });
+    // The miss carries a signature bit no entry has: the table-wide
+    // digest rejects it before the tree walk.
+    c.bench_function("scan/pin_miss_digest_rejected", |b| {
+        b.iter(|| table.objects_with(black_box(&miss)).count())
+    });
+}
+
+fn interned_insert(c: &mut Criterion) {
+    let k = KeywordSet::parse("alpha beta gamma delta").expect("valid");
+
+    c.bench_function("scan/insert_fresh_alloc", |b| {
+        let mut table = IndexTable::new();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            table.insert(black_box(k.clone()), ObjectId::from_raw(id))
+        })
+    });
+    c.bench_function("scan/insert_interned_arc", |b| {
+        let mut interner = KeywordInterner::new();
+        let shared = interner.intern(k.clone());
+        let mut table = IndexTable::new();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            table.insert_arc(black_box(Arc::clone(&shared)), ObjectId::from_raw(id))
+        })
+    });
+}
+
+criterion_group!(benches, superset_scan, pin_lookup, interned_insert);
+criterion_main!(benches);

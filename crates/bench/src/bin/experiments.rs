@@ -4,28 +4,30 @@
 //! experiments [EXPERIMENT ...] [--scale full|small] [--seed N] [--list]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
-//!             availability churn prune all
+//!             availability churn prune throughput all
 //!             (default: all)
 //!
-//! `churn` and `prune` additionally write their rows to
-//! `BENCH_churn.json` / `BENCH_prune.json` in the current directory.
+//! `churn`, `prune`, and `throughput` additionally write their rows to
+//! `BENCH_churn.json` / `BENCH_prune.json` / `BENCH_throughput.json`
+//! in the current directory.
 //! A final table maps each experiment run to the artifact it produced.
 //! ```
 
 use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
-    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, prune, table1, xcheck,
+    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, prune, table1, throughput,
+    xcheck,
 };
 use hyperdex_bench::report::Table;
 use hyperdex_bench::{Scale, SharedContext};
 
 const USAGE: &str = "usage: experiments \
-                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|all ...] \
-                     [--scale full|small] [--seed N] [--list]";
+                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|throughput|all \
+                     ...] [--scale full|small] [--seed N] [--list]";
 
 /// Every experiment name with a one-line description, in run order.
-const EXPERIMENTS: [(&str, &str); 12] = [
+const EXPERIMENTS: [(&str, &str); 13] = [
     ("table1", "load distribution across index nodes"),
     ("fig5", "keyword-set size distribution"),
     ("fig6", "query popularity distribution"),
@@ -38,6 +40,10 @@ const EXPERIMENTS: [(&str, &str); 12] = [
     ("availability", "recall under static node failures"),
     ("churn", "recall and repair under live membership churn"),
     ("prune", "occupancy-guided SBT pruning savings"),
+    (
+        "throughput",
+        "insert/pin/superset rates, mask prefilter on/off",
+    ),
 ];
 
 fn main() -> ExitCode {
@@ -146,6 +152,17 @@ fn main() -> ExitCode {
                 let rows = prune::run(&ctx);
                 let path = std::path::Path::new("BENCH_prune.json");
                 match prune::write_json(&rows, path) {
+                    Ok(()) => artifact = path.display().to_string(),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "throughput" => {
+                let rows = throughput::run(&ctx);
+                let path = std::path::Path::new("BENCH_throughput.json");
+                match throughput::write_json(&rows, path) {
                     Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());

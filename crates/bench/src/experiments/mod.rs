@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod prune;
 pub mod table1;
+pub mod throughput;
 pub mod xcheck;
 
 use hyperdex_workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};

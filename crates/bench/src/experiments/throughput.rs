@@ -1,0 +1,385 @@
+//! End-to-end throughput: inserts, pin lookups, and superset queries
+//! per second, with the keyword-signature prefilter on and off.
+//!
+//! The hot-path overhaul (interned keyword sets, per-entry signature
+//! masks, table-wide digests, reused traversal buffers) claims the
+//! same results for less work. This sweep measures the claim end to
+//! end across **cube dimension** (how thinly the corpus spreads),
+//! **corpus size**, and the **Zipf exponent** of keyword popularity,
+//! reporting per cell:
+//!
+//! * inserts/second into a fresh index;
+//! * pin lookups/second over every indexed keyword set;
+//! * superset queries/second three ways — the pre-optimization
+//!   unfiltered string-compare scan (`mask(false)`), the
+//!   mask-prefiltered scan, and the prefiltered scan with occupancy
+//!   pruning on top.
+//!
+//! Before anything is timed, every query is run with the prefilter on
+//! and off and the two [`hyperdex_core::search::SupersetOutcome`]s are
+//! asserted **fully equal** (results, stats, exhaustion) — the mask
+//! must be invisible except in the clock; the pruned run must return
+//! the identical id set. Wall-clock rates are reported, never
+//! asserted: CI boxes are noisy, so the speedup claim is carried by
+//! the checked-in `BENCH_throughput.json` artifact instead.
+
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+use hyperdex_core::{HypercubeIndex, KeywordSet, ObjectId, SupersetQuery};
+use hyperdex_workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};
+
+use crate::report::{f, json_series, section, Table};
+use crate::{Scale, SharedContext};
+
+/// Cube dimensions swept at full scale.
+pub const DIMENSIONS_FULL: [u8; 2] = [10, 12];
+/// Cube dimensions swept at small scale (CI smoke): smaller cubes pack
+/// more entries per vertex, the regime where scan cost dominates.
+pub const DIMENSIONS_SMALL: [u8; 2] = [8, 10];
+/// Corpus sizes swept at full scale.
+pub const CORPUS_SIZES_FULL: [usize; 2] = [4_000, 16_000];
+/// Corpus sizes swept at small scale.
+pub const CORPUS_SIZES_SMALL: [usize; 2] = [1_000, 4_000];
+/// Zipf exponents of keyword popularity.
+pub const ZIPF_EXPONENTS: [f64; 2] = [0.8, 1.2];
+
+/// Superset queries per sweep cell (half `|K| = 1`, half `|K| = 2`).
+const QUERIES_PER_CELL: usize = 8;
+
+/// One measured cell of the throughput sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputRow {
+    /// Cube dimension `r`.
+    pub r: u8,
+    /// Objects indexed.
+    pub corpus_size: usize,
+    /// Zipf exponent of keyword popularity.
+    pub zipf: f64,
+    /// Superset queries evaluated per mode.
+    pub queries: usize,
+    /// Index inserts per second.
+    pub insert_rate: f64,
+    /// Pin lookups per second (one per indexed keyword set entry).
+    pub pin_rate: f64,
+    /// Superset queries/second, unfiltered string-compare scan.
+    pub qps_unfiltered: f64,
+    /// Superset queries/second, signature-prefiltered scan.
+    pub qps_masked: f64,
+    /// Superset queries/second, prefiltered + occupancy pruning.
+    pub qps_masked_pruned: f64,
+    /// Index entries scanned by the query batch (identical across the
+    /// unpruned modes by the parity assert; deterministic).
+    pub entries_scanned: u64,
+    /// Nodes contacted by the unpruned batch (deterministic).
+    pub nodes_unpruned: u64,
+    /// Nodes contacted by the pruned batch (deterministic).
+    pub nodes_pruned: u64,
+}
+
+impl ThroughputRow {
+    /// Masked-over-unfiltered queries/second ratio (> 1 ⇒ the
+    /// prefilter pays for itself).
+    pub fn masked_speedup(&self) -> f64 {
+        if self.qps_unfiltered == 0.0 {
+            0.0
+        } else {
+            self.qps_masked / self.qps_unfiltered
+        }
+    }
+
+    /// The deterministic (seed-reproducible) projection of the row —
+    /// everything except the wall-clock rates.
+    pub fn deterministic_key(&self) -> (u8, usize, u64, usize, u64, u64, u64) {
+        (
+            self.r,
+            self.corpus_size,
+            self.zipf.to_bits(),
+            self.queries,
+            self.entries_scanned,
+            self.nodes_unpruned,
+            self.nodes_pruned,
+        )
+    }
+}
+
+/// Times `op` over `count` iterations and returns ops/second.
+fn rate(count: usize, op: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    op();
+    let secs = t0.elapsed().as_secs_f64();
+    if secs == 0.0 {
+        f64::INFINITY
+    } else {
+        count as f64 / secs
+    }
+}
+
+/// Runs the throughput sweep, prints the markdown table and JSON
+/// series, and returns the rows.
+///
+/// # Panics
+///
+/// Panics if, for any query, the prefiltered outcome differs from the
+/// unfiltered one in any field, or the pruned run returns a different
+/// id set — the parity invariants CI runs as a smoke check.
+pub fn run(ctx: &SharedContext) -> Vec<ThroughputRow> {
+    section("Throughput — inserts, pin lookups, and superset scans per second");
+    let (dimensions, corpus_sizes) = match ctx.scale {
+        Scale::Full => (DIMENSIONS_FULL, CORPUS_SIZES_FULL),
+        Scale::Small => (DIMENSIONS_SMALL, CORPUS_SIZES_SMALL),
+    };
+
+    let mut rows = Vec::new();
+    for &r in &dimensions {
+        for &n in &corpus_sizes {
+            for &zipf in &ZIPF_EXPONENTS {
+                let cfg = CorpusConfig {
+                    zipf_exponent: zipf,
+                    ..CorpusConfig::pchome().with_objects(n)
+                };
+                let cell_seed = ctx.seed ^ (u64::from(r) << 32) ^ (n as u64) ^ zipf.to_bits();
+                let corpus = Corpus::generate(&cfg, cell_seed);
+                let queries = QueryLog::generate(
+                    &QueryLogConfig::pchome_day().with_queries(4_000),
+                    &corpus,
+                    cell_seed ^ 0xF00D,
+                );
+                let mut batch: Vec<KeywordSet> = queries.popular_of_size(1, QUERIES_PER_CELL / 2);
+                batch.extend(queries.popular_of_size(2, QUERIES_PER_CELL / 2));
+
+                // Inserts/second into a fresh index.
+                let mut index = HypercubeIndex::new(r, ctx.seed).expect("valid");
+                let pairs: Vec<(ObjectId, KeywordSet)> =
+                    corpus.indexable().map(|(id, k)| (id, k.clone())).collect();
+                let insert_rate = rate(pairs.len(), || {
+                    for (id, k) in pairs {
+                        index.insert(id, k).expect("non-empty");
+                    }
+                });
+
+                // Parity first, untimed: the mask must be invisible in
+                // every outcome field, pruning in the id set.
+                let mut entries_scanned = 0u64;
+                let mut nodes_unpruned = 0u64;
+                let mut nodes_pruned = 0u64;
+                for q in &batch {
+                    let base = SupersetQuery::new(q.clone()).use_cache(false);
+                    let plain = index
+                        .superset_search(&base.clone().mask(false))
+                        .expect("valid");
+                    let masked = index.superset_search(&base.clone()).expect("valid");
+                    assert_eq!(
+                        masked, plain,
+                        "prefilter changed the outcome for {q} (r={r}, n={n}, zipf={zipf})"
+                    );
+                    let pruned = index.superset_search(&base.prune(true)).expect("valid");
+                    let mut ids: Vec<_> = plain.results.iter().map(|o| o.object).collect();
+                    let mut pruned_ids: Vec<_> = pruned.results.iter().map(|o| o.object).collect();
+                    ids.sort_unstable();
+                    pruned_ids.sort_unstable();
+                    assert_eq!(
+                        ids, pruned_ids,
+                        "pruning changed the result set for {q} (r={r}, n={n}, zipf={zipf})"
+                    );
+                    entries_scanned += plain.stats.entries_scanned;
+                    nodes_unpruned += plain.stats.nodes_contacted;
+                    nodes_pruned += pruned.stats.nodes_contacted;
+                }
+
+                // Pin lookups/second: one exact lookup per corpus set.
+                let sets: Vec<&KeywordSet> = corpus.indexable().map(|(_, k)| k).collect();
+                let mut pin_hits = 0usize;
+                let pin_rate = rate(sets.len(), || {
+                    for k in &sets {
+                        pin_hits += index.pin_search(k).results.len();
+                    }
+                });
+                assert!(pin_hits >= sets.len(), "pin search lost an object");
+
+                // Superset queries/second, per mode.
+                let mut timed = |query: &dyn Fn(&KeywordSet) -> SupersetQuery| {
+                    rate(batch.len(), || {
+                        for q in &batch {
+                            let out = index.superset_search(&query(q)).expect("valid");
+                            std::hint::black_box(out.results.len());
+                        }
+                    })
+                };
+                let qps_unfiltered =
+                    timed(&|q| SupersetQuery::new(q.clone()).use_cache(false).mask(false));
+                let qps_masked = timed(&|q| SupersetQuery::new(q.clone()).use_cache(false));
+                let qps_masked_pruned =
+                    timed(&|q| SupersetQuery::new(q.clone()).use_cache(false).prune(true));
+
+                rows.push(ThroughputRow {
+                    r,
+                    corpus_size: n,
+                    zipf,
+                    queries: batch.len(),
+                    insert_rate,
+                    pin_rate,
+                    qps_unfiltered,
+                    qps_masked,
+                    qps_masked_pruned,
+                    entries_scanned,
+                    nodes_unpruned,
+                    nodes_pruned,
+                });
+            }
+        }
+    }
+
+    let mut table = Table::new([
+        "r",
+        "objects",
+        "zipf",
+        "queries",
+        "inserts/s",
+        "pins/s",
+        "qps (plain)",
+        "qps (mask)",
+        "qps (mask+prune)",
+        "mask speedup",
+    ]);
+    for row in &rows {
+        table.row([
+            row.r.to_string(),
+            row.corpus_size.to_string(),
+            f(row.zipf, 1),
+            row.queries.to_string(),
+            f(row.insert_rate, 0),
+            f(row.pin_rate, 0),
+            f(row.qps_unfiltered, 1),
+            f(row.qps_masked, 1),
+            f(row.qps_masked_pruned, 1),
+            f(row.masked_speedup(), 2),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+
+    let wins = rows.iter().filter(|r| r.masked_speedup() > 1.0).count();
+    println!(
+        "\nmask-prefiltered scan beat the unfiltered baseline in {wins}/{} cells",
+        rows.len()
+    );
+
+    println!("\n### JSON series (vs corpus size)\n");
+    for &r in &dimensions {
+        for &zipf in &ZIPF_EXPONENTS {
+            let points: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|row| row.r == r && row.zipf == zipf)
+                .map(|row| (row.corpus_size as f64, row.masked_speedup()))
+                .collect();
+            println!(
+                "{}",
+                json_series(
+                    "throughput_mask_speedup",
+                    &[("r", r.to_string()), ("zipf", f(zipf, 1))],
+                    "corpus_size",
+                    "masked / unfiltered qps",
+                    &points,
+                )
+            );
+        }
+    }
+    rows
+}
+
+/// Writes the sweep as a JSON array of row objects (the
+/// `BENCH_throughput.json` artifact).
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing `path`.
+pub fn write_json(rows: &[ThroughputRow], path: &Path) -> std::io::Result<()> {
+    let mut out = std::fs::File::create(path)?;
+    writeln!(out, "[")?;
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(
+            out,
+            "  {{\"r\":{},\"corpus_size\":{},\"zipf\":{:.2},\"queries\":{},\
+             \"insert_rate\":{:.1},\"pin_rate\":{:.1},\
+             \"qps_unfiltered\":{:.2},\"qps_masked\":{:.2},\
+             \"qps_masked_pruned\":{:.2},\"masked_speedup\":{:.4},\
+             \"entries_scanned\":{},\"nodes_unpruned\":{},\
+             \"nodes_pruned\":{}}}{sep}",
+            r.r,
+            r.corpus_size,
+            r.zipf,
+            r.queries,
+            r.insert_rate,
+            r.pin_rate,
+            r.qps_unfiltered,
+            r.qps_masked,
+            r.qps_masked_pruned,
+            r.masked_speedup(),
+            r.entries_scanned,
+            r.nodes_unpruned,
+            r.nodes_pruned,
+        )?;
+    }
+    writeln!(out, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_holds_invariants_and_counts_are_deterministic() {
+        let ctx = SharedContext::new(Scale::Small, 1);
+        let rows = run(&ctx);
+        assert_eq!(
+            rows.len(),
+            DIMENSIONS_SMALL.len() * CORPUS_SIZES_SMALL.len() * ZIPF_EXPONENTS.len()
+        );
+        for row in &rows {
+            assert!(row.queries > 0, "empty query batch in {row:?}");
+            assert!(row.insert_rate > 0.0, "{row:?}");
+            assert!(row.pin_rate > 0.0, "{row:?}");
+            assert!(row.qps_unfiltered > 0.0, "{row:?}");
+            assert!(row.qps_masked > 0.0, "{row:?}");
+            assert!(row.qps_masked_pruned > 0.0, "{row:?}");
+            assert!(row.entries_scanned > 0, "{row:?}");
+            assert!(row.nodes_pruned <= row.nodes_unpruned, "{row:?}");
+        }
+        // Wall-clock rates vary run to run; the counted work must not.
+        let again = run(&ctx);
+        let keys: Vec<_> = rows.iter().map(ThroughputRow::deterministic_key).collect();
+        let again_keys: Vec<_> = again.iter().map(ThroughputRow::deterministic_key).collect();
+        assert_eq!(keys, again_keys, "counts are not deterministic");
+    }
+
+    #[test]
+    fn json_artifact_shape() {
+        let row = ThroughputRow {
+            r: 10,
+            corpus_size: 1_000,
+            zipf: 0.8,
+            queries: 8,
+            insert_rate: 50_000.0,
+            pin_rate: 200_000.0,
+            qps_unfiltered: 100.0,
+            qps_masked: 150.0,
+            qps_masked_pruned: 400.0,
+            entries_scanned: 12_345,
+            nodes_unpruned: 1_024,
+            nodes_pruned: 96,
+        };
+        let dir = std::env::temp_dir().join("hyperdex_throughput_json_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("BENCH_throughput.json");
+        write_json(&[row], &path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("[\n"));
+        assert!(text.contains("\"qps_masked\":150.00"));
+        assert!(text.contains("\"masked_speedup\":1.5000"));
+        assert!(text.contains("\"entries_scanned\":12345"));
+        assert!(text.trim_end().ends_with(']'));
+    }
+}

@@ -263,14 +263,20 @@ pub struct ChurnState {
     hosts: BTreeMap<u64, EndpointId>,
     /// Currently live host ids.
     live: HashSet<u64>,
-    /// Believed owner of each vertex (`None` after a crash, until the
-    /// next stabilization round reassigns it).
-    view: Vec<Option<u64>>,
+    /// Believed owner of each vertex, keyed by vertex bits (absent
+    /// after a crash, until the next stabilization round reassigns it).
+    /// Sparse like the sim's vertex maps — though churn itself caps `r`
+    /// at 16 because ownership reconciliation walks all `2^r` vertices.
+    view: BTreeMap<u64, u64>,
+    /// Number of logical vertices (`2^r`), cached for the full-cube
+    /// reconciliation sweeps.
+    vertex_count: u64,
     /// Vertices that answer nothing (mid-handoff or crashed-unassigned).
     unavailable: HashSet<u64>,
     /// Per-vertex handoff generation (bumped whenever ownership or
     /// repaired content changes; cache invalidation keys off it).
-    generations: Vec<u64>,
+    /// Absent means still at generation zero.
+    generations: BTreeMap<u64, u64>,
     /// Active transfers by vertex bits.
     handoffs: BTreeMap<u64, Handoff>,
     /// Vertices whose primary postings were lost, with the loss instant.
@@ -306,8 +312,8 @@ impl ChurnState {
 
     /// Vertices whose believed owner differs from the ideal surrogate.
     fn divergence(&self) -> usize {
-        (0..self.view.len() as u64)
-            .filter(|&bits| self.view[bits as usize] != self.ideal_owner(bits))
+        (0..self.vertex_count)
+            .filter(|&bits| self.view.get(&bits).copied() != self.ideal_owner(bits))
             .count()
     }
 
@@ -320,15 +326,14 @@ impl ChurnState {
     /// *and* that are currently answering queries — the probability a
     /// uniformly random lookup is served by the true owner.
     pub fn consistency(&self) -> f64 {
-        let n = self.view.len();
-        let good = (0..n as u64)
+        let good = (0..self.vertex_count)
             .filter(|&bits| {
                 !self.unavailable.contains(&bits)
-                    && self.view[bits as usize].is_some()
-                    && self.view[bits as usize] == self.ideal_owner(bits)
+                    && self.view.contains_key(&bits)
+                    && self.view.get(&bits).copied() == self.ideal_owner(bits)
             })
             .count();
-        good as f64 / n as f64
+        good as f64 / self.vertex_count as f64
     }
 
     /// Whether the system is fully settled: every plan event applied, no
@@ -349,13 +354,13 @@ impl ChurnState {
 
     /// The believed owner (host id) of vertex `bits`.
     pub fn view_owner(&self, bits: u64) -> Option<u64> {
-        self.view[bits as usize]
+        self.view.get(&bits).copied()
     }
 
     /// The handoff generation of vertex `bits` (bumped on every
     /// ownership change or repair completion).
     pub fn generation(&self, bits: u64) -> u64 {
-        self.generations[bits as usize]
+        self.generations.get(&bits).copied().unwrap_or(0)
     }
 
     /// Number of currently live hosts.
@@ -390,7 +395,10 @@ impl ProtocolSim {
     /// # Errors
     ///
     /// Returns [`Error::InvalidChurnConfig`] if churn is already
-    /// enabled, `cfg` fails validation, or `initial_members` is empty.
+    /// enabled, `cfg` fails validation, `initial_members` is empty, or
+    /// the cube dimension exceeds 16 — unlike search (sparse, fine at
+    /// `r = 48`), ownership reconciliation sweeps all `2^r` vertices
+    /// every stabilization round, so churn keeps the old dense bound.
     pub fn enable_churn(
         &mut self,
         plan: &ChurnPlan,
@@ -402,13 +410,18 @@ impl ProtocolSim {
                 reason: "churn is already enabled on this simulation",
             });
         }
+        if self.shape.r() > 16 {
+            return Err(Error::InvalidChurnConfig {
+                reason: "churn requires r <= 16: stabilization reconciles all 2^r vertices",
+            });
+        }
         cfg.validate()?;
         if initial_members.is_empty() {
             return Err(Error::InvalidChurnConfig {
                 reason: "at least one initial member is required",
             });
         }
-        let n = self.shape.vertex_count() as usize;
+        let n = self.shape.vertex_count();
         let mut st = ChurnState {
             cfg,
             plan: plan.events().to_vec(),
@@ -418,9 +431,10 @@ impl ProtocolSim {
             node_of: BTreeMap::new(),
             hosts: BTreeMap::new(),
             live: HashSet::new(),
-            view: vec![None; n],
+            view: BTreeMap::new(),
+            vertex_count: n,
             unavailable: HashSet::new(),
-            generations: vec![0; n],
+            generations: BTreeMap::new(),
             handoffs: BTreeMap::new(),
             repair_pending: BTreeMap::new(),
             departing: BTreeMap::new(),
@@ -434,8 +448,10 @@ impl ProtocolSim {
         for &m in &members {
             add_host(self, &mut st, m);
         }
-        for bits in 0..n as u64 {
-            st.view[bits as usize] = st.ideal_owner(bits);
+        for bits in 0..n {
+            if let Some(owner) = st.ideal_owner(bits) {
+                st.view.insert(bits, owner);
+            }
         }
         self.churn = Some(Box::new(st));
         Ok(())
@@ -629,8 +645,11 @@ fn dispatch_membership(sim: &mut ProtocolSim, st: &mut ChurnState, ev: ChurnEven
             st.ring.leave(key);
             st.node_of.remove(&key);
             st.stats.leaves += 1;
-            let owned: Vec<u64> = (0..st.view.len() as u64)
-                .filter(|&bits| st.view[bits as usize] == Some(ev.node))
+            let owned: Vec<u64> = st
+                .view
+                .iter()
+                .filter(|&(_, &owner)| owner == ev.node)
+                .map(|(&bits, _)| bits)
                 .collect();
             if owned.is_empty() {
                 let ep = st.hosts[&ev.node];
@@ -668,13 +687,17 @@ fn dispatch_membership(sim: &mut ProtocolSim, st: &mut ChurnState, ev: ChurnEven
                 abort_handoff(sim, st, bits, now);
             }
             // Its primary tables vanish with it.
-            for bits in 0..st.view.len() as u64 {
-                if st.view[bits as usize] == Some(ev.node) {
-                    sim.tables[bits as usize] = IndexTable::new();
-                    st.view[bits as usize] = None;
-                    st.unavailable.insert(bits);
-                    st.repair_pending.insert(bits, now);
-                }
+            let orphaned: Vec<u64> = st
+                .view
+                .iter()
+                .filter(|&(_, &owner)| owner == ev.node)
+                .map(|(&bits, _)| bits)
+                .collect();
+            for bits in orphaned {
+                sim.tables.remove(&bits);
+                st.view.remove(&bits);
+                st.unavailable.insert(bits);
+                st.repair_pending.insert(bits, now);
             }
             arm_stabilize(sim, st);
             arm_repair(sim, st);
@@ -690,7 +713,7 @@ fn start_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, src: u64
         return;
     }
     st.stats.handoffs_started += 1;
-    let table = std::mem::take(&mut sim.tables[bits as usize]);
+    let table = sim.tables.remove(&bits).unwrap_or_default();
     let entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)> = table
         .iter()
         .map(|(k, objs)| (Arc::clone(k), objs.collect()))
@@ -727,9 +750,9 @@ fn start_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, src: u64
 /// Flips vertex `bits` to owner `dst`: available again, generation
 /// bumped so stale cache entries die.
 fn install_ownership(st: &mut ChurnState, bits: u64, dst: u64) {
-    st.view[bits as usize] = Some(dst);
+    st.view.insert(bits, dst);
     st.unavailable.remove(&bits);
-    st.generations[bits as usize] += 1;
+    *st.generations.entry(bits).or_insert(0) += 1;
 }
 
 /// (Re)transmits the current unacknowledged batch and arms its timer.
@@ -821,7 +844,7 @@ fn on_handoff_batch(
         sim.net.metrics_mut().handoff_batches.incr();
         sim.net.metrics_mut().handoff_entries.add(count);
         if let Some((table, dst)) = installed {
-            sim.tables[bits as usize] = table;
+            sim.tables.insert(bits, table);
             install_ownership(st, bits, dst);
             st.stats.handoffs_completed += 1;
             push_summary_refresh(sim, st, bits);
@@ -890,7 +913,7 @@ fn abort_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, now: Sim
         return;
     }
     st.stats.handoffs_aborted += 1;
-    st.view[bits as usize] = None;
+    st.view.remove(&bits);
     st.unavailable.insert(bits);
     st.repair_pending.insert(bits, now);
     handoff_done_for_src(sim, st, h.src);
@@ -941,14 +964,14 @@ fn arm_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
 fn on_stabilize(sim: &mut ProtocolSim, st: &mut ChurnState) {
     st.stab_armed = false;
     st.stats.stabilization_rounds += 1;
-    for bits in 0..st.view.len() as u64 {
+    for bits in 0..st.vertex_count {
         if st.handoffs.contains_key(&bits) {
             continue; // transfer already in flight
         }
         let Some(ideal) = st.ideal_owner(bits) else {
             continue;
         };
-        match st.view[bits as usize] {
+        match st.view.get(&bits).copied() {
             Some(v) if v == ideal => {}
             Some(v) => start_handoff(sim, st, bits, v, ideal),
             None => {
@@ -974,25 +997,31 @@ fn on_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
     st.repair_armed = false;
     let pending: Vec<(u64, SimTime)> = st.repair_pending.iter().map(|(&b, &t)| (b, t)).collect();
     for (bits, lost_at) in pending {
-        let Some(owner) = st.view[bits as usize] else {
+        let Some(owner) = st.view.get(&bits).copied() else {
             continue; // awaiting takeover by a stabilization round
         };
         if !st.live.contains(&owner) {
             continue;
         }
         // Missing entries, grouped by the secondary vertex that holds
-        // the replica (deterministic: tables iterate in BTreeMap order).
+        // the replica. Only *occupied* secondary vertices are visited —
+        // the sweep is proportional to the corpus footprint, not 2^r —
+        // and BTreeMap order keeps it deterministic.
         let mut missing: BTreeMap<u64, EntryBatch> = BTreeMap::new();
-        for bits2 in 0..sim.tables2.len() {
-            for (k, objs) in sim.tables2[bits2].iter() {
+        for (&bits2, table2) in sim.tables2.iter() {
+            for (k, objs) in table2.iter() {
                 if sim.hasher.vertex_for(k).bits() != bits {
                     continue;
                 }
-                let have: Vec<ObjectId> = sim.tables[bits as usize].objects_with(k).collect();
+                let have: Vec<ObjectId> = sim
+                    .tables
+                    .get(&bits)
+                    .map(|t| t.objects_with(k).collect())
+                    .unwrap_or_default();
                 let lost: Vec<ObjectId> = objs.filter(|o| !have.contains(o)).collect();
                 if !lost.is_empty() {
                     missing
-                        .entry(bits2 as u64)
+                        .entry(bits2)
                         .or_default()
                         .push((Arc::clone(k), lost));
                 }
@@ -1004,7 +1033,7 @@ fn on_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
             st.stats.repair_lag_total += lag;
             st.stats.repair_lag_max = st.stats.repair_lag_max.max(lag);
             st.repair_pending.remove(&bits);
-            st.generations[bits as usize] += 1;
+            *st.generations.entry(bits).or_insert(0) += 1;
             // The table is authoritative again: refresh the occupancy
             // summary and announce the exact count up the anchor chain.
             push_summary_refresh(sim, st, bits);
@@ -1012,10 +1041,11 @@ fn on_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
         }
         let owner_ep = st.hosts[&owner];
         for (bits2, entries) in missing {
+            let from = sim.endpoint_of(bits2);
             for chunk in entries.chunks(st.cfg.batch_entries) {
                 let bytes = entries_bytes(chunk);
                 sim.net.send_sized(
-                    sim.eps[bits2 as usize],
+                    from,
                     owner_ep,
                     KwMsg::RepairPush {
                         bits,
@@ -1040,9 +1070,10 @@ fn on_repair_push(
     entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)>,
 ) {
     let mut added = 0u64;
+    let table = sim.tables.entry(bits).or_default();
     for (k, objs) in entries {
         for o in objs {
-            if sim.tables[bits as usize].insert_arc(Arc::clone(&k), o) {
+            if table.insert_arc(Arc::clone(&k), o) {
                 added += 1;
             }
         }
@@ -1067,12 +1098,12 @@ fn push_summary_refresh(sim: &mut ProtocolSim, st: &ChurnState, bits: u64) {
     if st.repair_pending.contains_key(&bits) {
         return;
     }
-    let count = sim.tables[bits as usize].object_count() as u64;
+    let count = sim.tables.get(&bits).map_or(0, IndexTable::object_count) as u64;
     sim.summary.refresh_leaf(bits, count);
     let r = sim.shape.r();
-    let from = sim.eps[bits as usize];
+    let from = sim.endpoint_of(bits);
     for (j, prefix) in hyperdex_hypercube::sbt::summary_path(bits, r).skip(1) {
-        let anchor = sim.eps[(prefix << j) as usize];
+        let anchor = sim.endpoint_of(prefix << j);
         sim.net.send(from, anchor, KwMsg::TSummary { bits, count });
         sim.net.metrics_mut().summary_deltas.incr();
     }

@@ -11,7 +11,8 @@
 //! memory only for vertices that actually index objects (or hold a
 //! cache).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use hyperdex_dht::ObjectId;
 use hyperdex_hypercube::{Shape, Vertex};
@@ -21,7 +22,9 @@ use crate::error::Error;
 use crate::hashing::KeywordHasher;
 use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
-use crate::search::{superset, PinOutcome, SearchStats, SupersetOutcome, SupersetQuery};
+use crate::search::{
+    superset, PinOutcome, RankedObject, SearchStats, SupersetOutcome, SupersetQuery,
+};
 use crate::summary::OccupancySummary;
 
 /// One logical index node: its table plus an optional result cache.
@@ -29,6 +32,18 @@ use crate::summary::OccupancySummary;
 pub(crate) struct IndexNode {
     pub(crate) table: IndexTable,
     pub(crate) cache: Option<FifoCache>,
+}
+
+/// Reusable traversal buffers, owned by the index and lent to the
+/// search engine for the duration of one query — superset searches
+/// stop allocating a fresh frontier queue and per-node result buffer
+/// per call.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SearchScratch {
+    /// The sequential protocol's frontier queue `U`.
+    pub(crate) frontier: VecDeque<(Vertex, u8)>,
+    /// Per-node found buffer (sorted locally, then drained).
+    pub(crate) found: Vec<RankedObject>,
 }
 
 /// The hypercube keyword index over a logical `r`-dimensional hypercube.
@@ -43,6 +58,8 @@ pub struct HypercubeIndex {
     // Occupancy digests over prefix regions, kept exact on every
     // insert/remove so searches can prune provably-empty SBT subtrees.
     summary: OccupancySummary,
+    // Reused traversal buffers (see SearchScratch).
+    scratch: SearchScratch,
 }
 
 impl HypercubeIndex {
@@ -59,6 +76,7 @@ impl HypercubeIndex {
             object_count: 0,
             cache_capacity: 0,
             summary: OccupancySummary::new(r),
+            scratch: SearchScratch::default(),
         })
     }
 
@@ -116,6 +134,30 @@ impl HypercubeIndex {
         let vertex = self.vertex_for(&keywords);
         let node = self.node_mut(vertex);
         if node.table.insert(keywords, object) {
+            self.object_count += 1;
+            self.summary.record_insert(vertex.bits());
+        }
+        Ok(vertex)
+    }
+
+    /// [`HypercubeIndex::insert`] for an already-interned keyword set —
+    /// replication layers intern once through a [`KeywordInterner`] and
+    /// index the same `Arc` into every replica cube.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeywordSet`] for an empty keyword set.
+    pub fn insert_arc(
+        &mut self,
+        object: ObjectId,
+        keywords: Arc<KeywordSet>,
+    ) -> Result<Vertex, Error> {
+        if keywords.is_empty() {
+            return Err(Error::EmptyKeywordSet);
+        }
+        let vertex = self.vertex_for(&keywords);
+        let node = self.node_mut(vertex);
+        if node.table.insert_arc(keywords, object) {
             self.object_count += 1;
             self.summary.record_insert(vertex.bits());
         }
@@ -259,11 +301,24 @@ impl HypercubeIndex {
         }
         self.node_mut(vertex).cache.as_mut()
     }
+
+    /// Moves the reusable traversal buffers out (the search engine
+    /// borrows the index immutably while traversing).
+    pub(crate) fn take_scratch(&mut self) -> SearchScratch {
+        std::mem::take(&mut self.scratch)
+    }
+
+    /// Returns the traversal buffers after a search, keeping their
+    /// capacity for the next query.
+    pub(crate) fn put_scratch(&mut self, scratch: SearchScratch) {
+        self.scratch = scratch;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::KeywordInterner;
 
     fn set(s: &str) -> KeywordSet {
         KeywordSet::parse(s).unwrap()
@@ -369,6 +424,23 @@ mod tests {
         idx.drop_node(v);
         assert_eq!(idx.summary().total_objects(), 1);
         assert_eq!(idx.summary().leaf_count(v.bits()), 0);
+    }
+
+    #[test]
+    fn insert_arc_matches_insert() {
+        let mut a = HypercubeIndex::new(10, 0).unwrap();
+        let mut b = HypercubeIndex::new(10, 0).unwrap();
+        let mut pool = KeywordInterner::new();
+        a.insert(oid(1), set("a b")).unwrap();
+        b.insert_arc(oid(1), pool.intern(set("a b"))).unwrap();
+        assert_eq!(
+            a.pin_search(&set("a b")).results,
+            b.pin_search(&set("a b")).results
+        );
+        assert_eq!(
+            b.insert_arc(oid(2), pool.intern(KeywordSet::new())),
+            Err(Error::EmptyKeywordSet)
+        );
     }
 
     #[test]

@@ -5,13 +5,33 @@
 //! combined into `⟨K, {σ₁…σₙ}⟩`. A node may be responsible for several
 //! distinct keyword sets (hash collisions in `F_h`), so the table is
 //! keyed by the full keyword set, not the vertex.
+//!
+//! Every posting list carries its keyword set's 64-bit
+//! [`KeywordSet::signature`], computed once when the set first enters
+//! the table. Superset scans test `qsig & sig == qsig` (an O(1) word
+//! op) before the `BTreeSet` string comparison, and the table-wide OR
+//! of all signatures short-circuits pin lookups and whole-table scans
+//! that cannot possibly match. Signatures over-match on bit
+//! collisions, so a passing prefilter is always confirmed by
+//! [`KeywordSet::is_superset`] — results are byte-identical to the
+//! unfiltered scan.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{btree_map, BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use hyperdex_dht::ObjectId;
 
 use crate::keyword::KeywordSet;
+
+/// A posting list: the objects indexed under one keyword set, plus the
+/// set's signature cached at insert time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Postings {
+    /// [`KeywordSet::signature`] of the key, computed once on intern.
+    sig: u64,
+    /// The objects carrying exactly this keyword set.
+    objects: BTreeSet<ObjectId>,
+}
 
 /// The index table `Tbl_u` of one hypercube node.
 ///
@@ -32,7 +52,10 @@ pub struct IndexTable {
     // Keyword sets are interned behind `Arc` so search results can
     // reference them without deep-cloning string sets — result lists
     // for popular queries reach tens of thousands of entries.
-    entries: BTreeMap<Arc<KeywordSet>, BTreeSet<ObjectId>>,
+    entries: BTreeMap<Arc<KeywordSet>, Postings>,
+    // OR of every entry's signature; kept exact (recomputed when a set
+    // leaves the table) so the derived `PartialEq` stays structural.
+    union_sig: u64,
 }
 
 impl IndexTable {
@@ -43,7 +66,13 @@ impl IndexTable {
 
     /// Adds the entry `⟨keywords, object⟩`. Returns `false` if it was
     /// already present.
+    ///
+    /// If an equal keyword set is already interned in the table, the
+    /// object joins its posting list without allocating a new `Arc`.
     pub fn insert(&mut self, keywords: KeywordSet, object: ObjectId) -> bool {
+        if let Some(postings) = self.entries.get_mut(&keywords) {
+            return postings.objects.insert(object);
+        }
         self.insert_arc(Arc::new(keywords), object)
     }
 
@@ -52,7 +81,18 @@ impl IndexTable {
     /// across tables, replicas, and in-flight batches instead of
     /// deep-cloning the strings.
     pub fn insert_arc(&mut self, keywords: Arc<KeywordSet>, object: ObjectId) -> bool {
-        self.entries.entry(keywords).or_default().insert(object)
+        match self.entries.entry(keywords) {
+            btree_map::Entry::Occupied(e) => e.into_mut().objects.insert(object),
+            btree_map::Entry::Vacant(e) => {
+                let sig = e.key().signature();
+                self.union_sig |= sig;
+                e.insert(Postings {
+                    sig,
+                    objects: BTreeSet::from([object]),
+                });
+                true
+            }
+        }
     }
 
     /// Removes the entry `⟨keywords, object⟩`. Returns `false` if it was
@@ -60,10 +100,12 @@ impl IndexTable {
     pub fn remove(&mut self, keywords: &KeywordSet, object: ObjectId) -> bool {
         match self.entries.get_mut(keywords) {
             None => false,
-            Some(objs) => {
-                let removed = objs.remove(&object);
-                if objs.is_empty() {
+            Some(postings) => {
+                let removed = postings.objects.remove(&object);
+                if postings.objects.is_empty() {
                     self.entries.remove(keywords);
+                    // Other entries may still cover the departed bits.
+                    self.union_sig = self.entries.values().fold(0, |m, p| m | p.sig);
                 }
                 removed
             }
@@ -71,18 +113,26 @@ impl IndexTable {
     }
 
     /// The objects indexed under exactly `keywords` (pin-search source).
+    ///
+    /// Short-circuits on the table-wide signature: if the union of all
+    /// entry signatures cannot cover the query's, no entry can equal
+    /// it and the `BTreeMap` lookup is skipped entirely.
     pub fn objects_with<'a>(
         &'a self,
         keywords: &KeywordSet,
     ) -> impl Iterator<Item = ObjectId> + 'a {
-        self.entries
-            .get(keywords)
-            .into_iter()
-            .flat_map(|objs| objs.iter().copied())
+        let qsig = keywords.signature();
+        let hit = if qsig & self.union_sig == qsig {
+            self.entries.get(keywords)
+        } else {
+            None
+        };
+        hit.into_iter().flat_map(|p| p.objects.iter().copied())
     }
 
     /// All entries `⟨K', O⟩` with `K' ⊇ query` — the per-node scan of
-    /// the superset-search protocol (§3.3, step 2).
+    /// the superset-search protocol (§3.3, step 2), with the signature
+    /// prefilter on.
     ///
     /// Keyword sets come back as `&Arc<KeywordSet>` so callers building
     /// result lists can reference them at pointer cost.
@@ -90,10 +140,48 @@ impl IndexTable {
         &'a self,
         query: &'a KeywordSet,
     ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
+        self.superset_entries_sig(query, query.signature())
+    }
+
+    /// [`IndexTable::superset_entries`] with the query signature
+    /// precomputed by the caller (traversals compute it once per query,
+    /// not once per node).
+    ///
+    /// Passing `qsig = 0` disables the prefilter — `0 & sig == 0` for
+    /// every entry — yielding exactly the pre-optimization unfiltered
+    /// `is_superset` scan. [`IndexTable::superset_entries_unfiltered`]
+    /// is that spelling.
+    pub fn superset_entries_sig<'a>(
+        &'a self,
+        query: &'a KeywordSet,
+        qsig: u64,
+    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
+        // Whole-table short-circuit: if even the union of all entry
+        // signatures misses a query bit, nothing inside can match.
+        let live = qsig & self.union_sig == qsig;
         self.entries
             .iter()
+            .take(if live { usize::MAX } else { 0 })
+            .filter(move |(_, p)| p.sig & qsig == qsig)
             .filter(move |(k, _)| k.is_superset(query))
-            .map(|(k, objs)| (k, objs.iter().copied()))
+            .map(|(k, p)| (k, p.objects.iter().copied()))
+    }
+
+    /// The baseline scan with no signature prefilter — every entry pays
+    /// the full `is_superset` string comparison. Kept as the parity
+    /// reference for the mask-prefiltered path (the `throughput`
+    /// experiment asserts identical results).
+    pub fn superset_entries_unfiltered<'a>(
+        &'a self,
+        query: &'a KeywordSet,
+    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
+        self.superset_entries_sig(query, 0)
+    }
+
+    /// OR of every entry's [`KeywordSet::signature`] — the table-wide
+    /// digest the short-circuits test against.
+    pub fn union_signature(&self) -> u64 {
+        self.union_sig
     }
 
     /// Number of distinct keyword sets in the table.
@@ -104,7 +192,7 @@ impl IndexTable {
     /// Total number of indexed objects (the node's storage load — what
     /// Figure 6 ranks).
     pub fn object_count(&self) -> usize {
-        self.entries.values().map(BTreeSet::len).sum()
+        self.entries.values().map(|p| p.objects.len()).sum()
     }
 
     /// Whether the table holds no entries.
@@ -119,7 +207,7 @@ impl IndexTable {
     ) -> impl Iterator<Item = (&Arc<KeywordSet>, impl Iterator<Item = ObjectId> + '_)> + '_ {
         self.entries
             .iter()
-            .map(|(k, objs)| (k, objs.iter().copied()))
+            .map(|(k, p)| (k, p.objects.iter().copied()))
     }
 }
 
@@ -153,6 +241,7 @@ mod tests {
         assert!(!tbl.remove(&set("a"), oid(1)));
         assert!(tbl.is_empty());
         assert_eq!(tbl.keyword_set_count(), 0);
+        assert_eq!(tbl.union_signature(), 0, "digest follows removals");
     }
 
     #[test]
@@ -190,6 +279,51 @@ mod tests {
             3,
             "empty query matches everything"
         );
+    }
+
+    #[test]
+    fn masked_scan_matches_unfiltered_scan() {
+        let mut tbl = IndexTable::new();
+        for i in 0..50 {
+            tbl.insert(set(&format!("kw{i} kw{}", i + 1)), oid(i));
+        }
+        for q in ["kw3", "kw10 kw11", "kw49 kw50", "absent"] {
+            let query = set(q);
+            let masked: Vec<_> = tbl
+                .superset_entries(&query)
+                .map(|(k, o)| (Arc::clone(k), o.collect::<Vec<_>>()))
+                .collect();
+            let plain: Vec<_> = tbl
+                .superset_entries_unfiltered(&query)
+                .map(|(k, o)| (Arc::clone(k), o.collect::<Vec<_>>()))
+                .collect();
+            assert_eq!(masked, plain, "prefilter changed results for {q}");
+        }
+    }
+
+    #[test]
+    fn union_signature_short_circuits_but_never_lies() {
+        let mut tbl = IndexTable::new();
+        tbl.insert(set("jazz piano"), oid(1));
+        assert_eq!(
+            tbl.union_signature(),
+            set("jazz piano").signature(),
+            "digest is the OR of entry signatures"
+        );
+        // A lookup for a set the digest cannot cover returns nothing
+        // (and skips the tree walk — observable only as correctness).
+        assert_eq!(tbl.objects_with(&set("jazz piano absent")).count(), 0);
+        assert_eq!(tbl.objects_with(&set("jazz piano")).count(), 1);
+    }
+
+    #[test]
+    fn insert_reuses_interned_arc() {
+        let mut tbl = IndexTable::new();
+        tbl.insert(set("a b"), oid(1));
+        let before = tbl.iter().map(|(k, _)| Arc::as_ptr(k)).next().unwrap();
+        tbl.insert(set("a b"), oid(2));
+        let after = tbl.iter().map(|(k, _)| Arc::as_ptr(k)).next().unwrap();
+        assert_eq!(before, after, "second insert minted a new Arc");
     }
 
     #[test]

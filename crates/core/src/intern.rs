@@ -1,0 +1,88 @@
+//! Keyword-set interning.
+//!
+//! Insert-heavy workloads present the same popular keyword sets over
+//! and over (Zipf skew — the paper's PCHome trace has a handful of
+//! sets covering most of the log). Before interning, every insert
+//! minted a fresh `Arc<KeywordSet>` even when the identical set was
+//! already indexed somewhere; with two hash cubes (primary +
+//! secondary) and replication that multiplied into one string-set
+//! allocation per table per call. [`KeywordInterner`] keeps one
+//! canonical `Arc` per distinct set, so repeated inserts and
+//! cross-replica indexing share a single allocation.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::keyword::KeywordSet;
+
+/// A pool of canonical `Arc<KeywordSet>`s, one per distinct set.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use hyperdex_core::{KeywordInterner, KeywordSet};
+///
+/// let mut interner = KeywordInterner::new();
+/// let a = interner.intern(KeywordSet::parse("tvbs news")?);
+/// let b = interner.intern(KeywordSet::parse("news tvbs")?);
+/// assert!(Arc::ptr_eq(&a, &b), "equal sets share one allocation");
+/// assert_eq!(interner.len(), 1);
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeywordInterner {
+    sets: HashSet<Arc<KeywordSet>>,
+}
+
+impl KeywordInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The canonical `Arc` for `set`: a clone of the pooled one if the
+    /// set is known, otherwise a fresh allocation that joins the pool.
+    pub fn intern(&mut self, set: KeywordSet) -> Arc<KeywordSet> {
+        // `Arc<T>: Borrow<T>` lets the probe run without allocating.
+        if let Some(existing) = self.sets.get(&set) {
+            return Arc::clone(existing);
+        }
+        let arc = Arc::new(set);
+        self.sets.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of distinct sets pooled.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_by_value() {
+        let mut pool = KeywordInterner::new();
+        let a = pool.intern(KeywordSet::parse("a b").unwrap());
+        let b = pool.intern(KeywordSet::parse("b a").unwrap());
+        let c = pool.intern(KeywordSet::parse("c").unwrap());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn empty_pool_reports_empty() {
+        let pool = KeywordInterner::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.len(), 0);
+    }
+}

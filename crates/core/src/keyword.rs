@@ -54,6 +54,28 @@ impl Keyword {
     pub fn as_bytes(&self) -> &[u8] {
         self.0.as_bytes()
     }
+
+    /// The keyword's bit in the 64-bit [`KeywordSet::signature`]: a
+    /// single set bit chosen by FNV-1a over the normalized text.
+    ///
+    /// Unlike the `r`-bit vertex position (which depends on the cube
+    /// dimension and hash seed), the signature bit is a pure function
+    /// of the keyword itself, so signatures computed by any node — at
+    /// any `r`, under any seed — agree.
+    pub fn signature_bit(&self) -> u64 {
+        1 << (fnv1a64(self.as_bytes()) % 64)
+    }
+}
+
+/// FNV-1a over `bytes` (64-bit offset basis / prime). Local so the
+/// signature needs no hasher state and no external dependency.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl fmt::Display for Keyword {
@@ -187,6 +209,20 @@ impl KeywordSet {
     /// Iterates over keywords in sorted order.
     pub fn iter(&self) -> Iter<'_> {
         Iter(self.0.iter())
+    }
+
+    /// A 64-bit Bloom-style signature: the OR of every member's
+    /// [`Keyword::signature_bit`].
+    ///
+    /// Subset-preserving: `K ⊆ K'` implies
+    /// `K.signature() & K'.signature() == K.signature()`, so a failed
+    /// mask test proves `K ⊄ K'` and a superset scan may skip the
+    /// string comparison. Distinct keywords can collide on a bit
+    /// (64 positions), so a *passing* test over-matches and must be
+    /// confirmed by [`KeywordSet::is_superset`]. The empty set's
+    /// signature is `0`.
+    pub fn signature(&self) -> u64 {
+        self.0.iter().fold(0, |sig, k| sig | k.signature_bit())
     }
 }
 
@@ -355,5 +391,39 @@ mod tests {
     fn from_strs_propagates_error() {
         assert!(KeywordSet::from_strs(["ok", " "]).is_err());
         assert_eq!(KeywordSet::from_strs(["A", "a"]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn signature_bit_is_one_hot_and_case_insensitive() {
+        let k = Keyword::new("MP3").unwrap();
+        assert_eq!(k.signature_bit().count_ones(), 1);
+        assert_eq!(
+            k.signature_bit(),
+            Keyword::new("mp3").unwrap().signature_bit()
+        );
+        assert_eq!(k.signature_bit(), k.signature_bit(), "deterministic");
+    }
+
+    #[test]
+    fn signature_is_subset_preserving() {
+        let superset = KeywordSet::parse("isp telecommunication network download").unwrap();
+        let subset = KeywordSet::parse("network isp").unwrap();
+        let (s, q) = (superset.signature(), subset.signature());
+        assert_eq!(q & s, q, "subset signature must be covered");
+        assert_eq!(KeywordSet::new().signature(), 0);
+    }
+
+    #[test]
+    fn signature_rejects_disjoint_sets_somewhere() {
+        // With 200 distinct keywords over 64 bits, singleton queries
+        // must find at least one set whose signature rejects them.
+        let sets: Vec<KeywordSet> = (0..200)
+            .map(|i| KeywordSet::from_strs([format!("kw{i}")]).unwrap())
+            .collect();
+        let q = sets[0].signature();
+        assert!(
+            sets.iter().skip(1).any(|s| q & s.signature() != q),
+            "signature never rejected anything"
+        );
     }
 }

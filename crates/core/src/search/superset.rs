@@ -11,13 +11,18 @@
 //! Variants: bottom-up (deepest tree levels first — most-specific
 //! objects first), and level-parallel (§3.5 — whole tree levels queried
 //! per round, time `r − |One(F_h(K))|` instead of `2^{r−|One|}`).
+//!
+//! Hot-path notes: the query's 64-bit keyword signature is computed
+//! once per traversal and passed to every per-node scan (the prefilter
+//! of [`crate::index`]); the frontier queue and per-node found buffer
+//! live in the index's [`SearchScratch`](crate::cluster) and are reused
+//! across queries instead of being reallocated per search.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use hyperdex_hypercube::Vertex;
 
-use crate::cluster::HypercubeIndex;
+use crate::cluster::{HypercubeIndex, SearchScratch};
 use crate::error::Error;
 use crate::keyword::KeywordSet;
 use crate::search::{
@@ -61,18 +66,43 @@ pub(crate) fn run(
         }
     }
 
+    // Query signature, computed once for the whole traversal. `0`
+    // passes every entry through the prefilter — exactly the
+    // pre-optimization unfiltered scan.
+    let qsig = if query.mask {
+        query.keywords.signature()
+    } else {
+        0
+    };
+
+    // Reusable traversal buffers, moved out for the duration of the
+    // search (the traversals borrow the index immutably).
+    let mut scratch = index.take_scratch();
     let mut outcome = match query.mode {
         ExecutionMode::Sequential => match query.order {
-            TraversalOrder::TopDown => sequential_top_down(index, query, root, stats),
-            TraversalOrder::BottomUp => {
-                by_levels(index, query, root, stats, /*bottom_up=*/ true)
+            TraversalOrder::TopDown => {
+                sequential_top_down(index, query, qsig, root, stats, &mut scratch)
             }
+            TraversalOrder::BottomUp => by_levels(
+                index,
+                query,
+                qsig,
+                root,
+                stats,
+                /*bottom_up=*/ true,
+                &mut scratch,
+            ),
         },
         ExecutionMode::LevelParallel => match query.order {
-            TraversalOrder::TopDown => level_parallel(index, query, root, stats, false),
-            TraversalOrder::BottomUp => level_parallel(index, query, root, stats, true),
+            TraversalOrder::TopDown => {
+                level_parallel(index, query, qsig, root, stats, false, &mut scratch)
+            }
+            TraversalOrder::BottomUp => {
+                level_parallel(index, query, qsig, root, stats, true, &mut scratch)
+            }
         },
     };
+    index.put_scratch(scratch);
 
     // Cache the traversal's results; the exhausted flag records whether
     // they can serve any threshold or only covered ones. The result vec
@@ -99,13 +129,15 @@ pub(crate) fn run(
 fn sequential_top_down(
     index: &HypercubeIndex,
     query: &SupersetQuery,
+    qsig: u64,
     root: Vertex,
     mut stats: SearchStats,
+    scratch: &mut SearchScratch,
 ) -> SupersetOutcome {
     let mut results = Vec::new();
 
     // Root scans its own table first.
-    scan_node(index, root, query, &mut results, &mut stats);
+    scan_node(index, root, query, qsig, &mut results, &mut stats, scratch);
     if results.len() >= query.threshold {
         // Exhausted only if the root is the whole subcube AND nothing
         // was truncated away — a truncated result set must never be
@@ -119,13 +151,15 @@ fn sequential_top_down(
         };
     }
 
-    // Frontier queue U, initialized with the root's neighbors across
-    // every free dimension (descending, matching Sbt::children order).
-    // With pruning on, children whose occupancy digest disproves any
-    // match (empty region, or keyword-position mask not covering
-    // One(F_h(K))) never enter the frontier.
+    // Frontier queue U (reused across searches), initialized with the
+    // root's neighbors across every free dimension (descending,
+    // matching Sbt::children order). With pruning on, children whose
+    // occupancy digest disproves any match (empty region, or
+    // keyword-position mask not covering One(F_h(K))) never enter the
+    // frontier.
     let required = root.bits();
-    let mut frontier: VecDeque<(Vertex, u8)> = VecDeque::new();
+    let frontier = &mut scratch.frontier;
+    frontier.clear();
     for i in root.zero_positions().rev() {
         let child = root.flip(i);
         if query.prune && index.summary().can_prune(child.bits(), i, required) {
@@ -136,10 +170,10 @@ fn sequential_top_down(
     }
 
     let mut stopped_early = false;
-    while let Some((w, d)) = frontier.pop_front() {
+    while let Some((w, d)) = scratch.frontier.pop_front() {
         stats.query_messages += 1;
         stats.nodes_contacted += 1;
-        scan_node(index, w, query, &mut results, &mut stats);
+        scan_node(index, w, query, qsig, &mut results, &mut stats, scratch);
         if results.len() >= query.threshold {
             results.truncate(query.threshold);
             stats.control_messages += 1; // T_STOP
@@ -154,7 +188,7 @@ fn sequential_top_down(
                 if query.prune && index.summary().can_prune(child.bits(), i, required) {
                     stats.pruned_subtrees += 1;
                 } else {
-                    frontier.push_back((child, i));
+                    scratch.frontier.push_back((child, i));
                 }
             }
         }
@@ -187,12 +221,15 @@ fn collect_levels(
 
 /// Sequential traversal by whole tree levels; `bottom_up` visits the
 /// deepest level first (most-specific objects first).
+#[allow(clippy::too_many_arguments)]
 fn by_levels(
     index: &HypercubeIndex,
     query: &SupersetQuery,
+    qsig: u64,
     root: Vertex,
     mut stats: SearchStats,
     bottom_up: bool,
+    scratch: &mut SearchScratch,
 ) -> SupersetOutcome {
     let levels = collect_levels(index, query, root, &mut stats);
     let mut results = Vec::new();
@@ -209,7 +246,7 @@ fn by_levels(
                 stats.query_messages += 1;
                 stats.nodes_contacted += 1;
             }
-            scan_node(index, w, query, &mut results, &mut stats);
+            scan_node(index, w, query, qsig, &mut results, &mut stats, scratch);
             if w != root {
                 stats.control_messages += 1; // T_CONT / T_STOP ack
             }
@@ -229,12 +266,15 @@ fn by_levels(
 
 /// §3.5's parallel execution: tree levels are queried in rounds; the
 /// search stops after the first round that satisfies the threshold.
+#[allow(clippy::too_many_arguments)]
 fn level_parallel(
     index: &HypercubeIndex,
     query: &SupersetQuery,
+    qsig: u64,
     root: Vertex,
     mut stats: SearchStats,
     bottom_up: bool,
+    scratch: &mut SearchScratch,
 ) -> SupersetOutcome {
     let levels = collect_levels(index, query, root, &mut stats);
     let mut results = Vec::new();
@@ -254,7 +294,7 @@ fn level_parallel(
                 stats.query_messages += 1;
                 stats.nodes_contacted += 1;
             }
-            scan_node(index, w, query, &mut results, &mut stats);
+            scan_node(index, w, query, qsig, &mut results, &mut stats, scratch);
         }
         if results.len() >= query.threshold {
             // Exhausted only when every level was visited AND nothing
@@ -272,22 +312,26 @@ fn level_parallel(
     }
 }
 
-/// One node's table scan: find entries `K' ⊇ K`, rank them locally by
+/// One node's table scan: find entries `K' ⊇ K` (signature prefilter
+/// first, string comparison second), rank them locally by
 /// extra-keyword count (ascending for top-down preference, descending
 /// for bottom-up), and append.
 fn scan_node(
     index: &HypercubeIndex,
     vertex: Vertex,
     query: &SupersetQuery,
+    qsig: u64,
     results: &mut Vec<RankedObject>,
     stats: &mut SearchStats,
+    scratch: &mut SearchScratch,
 ) {
     let Some(table) = index.table_at(vertex) else {
         return; // logically contacted, but holds nothing
     };
     stats.entries_scanned += table.keyword_set_count() as u64;
-    let mut found: Vec<RankedObject> = Vec::new();
-    for (keyword_set, objects) in table.superset_entries(&query.keywords) {
+    let found = &mut scratch.found;
+    found.clear();
+    for (keyword_set, objects) in table.superset_entries_sig(&query.keywords, qsig) {
         let extra = (keyword_set.len() - query.keywords.len()) as u32;
         for object in objects {
             found.push(RankedObject {
@@ -304,7 +348,8 @@ fn scan_node(
     if !found.is_empty() {
         stats.result_messages += 1;
     }
-    results.extend(found);
+    // Drains the scratch buffer, keeping its capacity for the next node.
+    results.append(found);
 }
 
 /// Shared helper: the matching entries at one vertex, used by the

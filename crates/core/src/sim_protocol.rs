@@ -25,7 +25,7 @@
 //! returns a [`CoverageReport`] accounting exactly for reached and
 //! skipped vertices, retries, timeouts, and messages by kind.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use hyperdex_simnet::latency::LatencyModel;
@@ -273,6 +273,9 @@ struct Coordinator {
     keywords: Arc<KeywordSet>,
     remaining: usize,
     requester: EndpointId,
+    /// The root vertex's bits — `One(F_h(K))`, the mask pruning tests
+    /// against. (Endpoint ids no longer encode vertex bits.)
+    root_bits: u64,
     frontier: VecDeque<(u64, u8)>,
     done: bool,
     /// Subtrees the coordinator pruned instead of querying.
@@ -299,14 +302,27 @@ pub struct ProtocolSim {
     pub(crate) net: Network<KwMsg>,
     pub(crate) shape: Shape,
     pub(crate) hasher: KeywordHasher,
-    pub(crate) tables: Vec<IndexTable>,
+    /// Primary index tables, keyed by vertex bits. Sparse and
+    /// deterministic: only occupied vertices cost memory, and
+    /// iteration order is ascending bits (churn repair depends on it).
+    pub(crate) tables: BTreeMap<u64, IndexTable>,
     /// Secondary-cube hasher (different seed, same dimension).
     pub(crate) hasher2: KeywordHasher,
     /// Secondary index tables, co-hosted on the same endpoints.
-    pub(crate) tables2: Vec<IndexTable>,
-    /// Endpoint of vertex `bits` is `eps[bits]`.
-    pub(crate) eps: Vec<EndpointId>,
+    pub(crate) tables2: BTreeMap<u64, IndexTable>,
+    /// Endpoint of vertex `bits`, materialized lazily on first
+    /// contact — a cube at `r = 48` costs endpoints only for the
+    /// vertices a workload actually touches.
+    pub(crate) eps: BTreeMap<u64, EndpointId>,
+    /// Reverse map: which vertex an endpoint hosts.
+    pub(crate) ep_vertex: HashMap<EndpointId, u64>,
     pub(crate) requester: EndpointId,
+    /// One canonical `Arc` per distinct keyword set, shared by both
+    /// cubes' tables and by query messages.
+    pub(crate) interner: crate::intern::KeywordInterner,
+    /// Reused traversal buffers (frontiers, child lists, subtree
+    /// enumerations) so searches stop allocating per visit.
+    scratch: TraversalScratch,
     /// The seed this simulation was built with (churn derives its ring
     /// placement from it).
     pub(crate) seed: u64,
@@ -323,36 +339,32 @@ pub struct ProtocolSim {
 }
 
 impl ProtocolSim {
-    /// Creates a hypercube of dimension `r` (one endpoint per vertex,
-    /// plus a requester endpoint).
+    /// Creates a hypercube of dimension `r`. Vertex endpoints and
+    /// index tables are materialized lazily, so construction is O(1)
+    /// and memory stays proportional to the vertices actually touched
+    /// — `r = 48` is as cheap to build as `r = 6`.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 16` (the endpoint
-    /// table is `2^r` entries; larger cubes belong in the direct
-    /// engine).
+    /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 63`.
     pub fn new(r: u8, seed: u64, latency: LatencyModel) -> Result<Self, Error> {
         let hasher = KeywordHasher::new(r, seed)?;
-        if r > 16 {
-            return Err(Error::Dimension(
-                hyperdex_hypercube::DimensionError::InvalidDimension { r },
-            ));
-        }
         let shape = hasher.shape();
         let hasher2 = KeywordHasher::new(r, seed ^ crate::replication::SECONDARY_SEED_OFFSET)?;
         let mut net = Network::new(latency, seed ^ 0x51AE);
-        let n = shape.vertex_count() as usize;
-        let eps = net.add_endpoints(n);
         let requester = net.add_endpoint();
         Ok(ProtocolSim {
             net,
             shape,
             hasher,
-            tables: vec![IndexTable::new(); n],
+            tables: BTreeMap::new(),
             hasher2,
-            tables2: vec![IndexTable::new(); n],
-            eps,
+            tables2: BTreeMap::new(),
+            eps: BTreeMap::new(),
+            ep_vertex: HashMap::new(),
             requester,
+            interner: crate::intern::KeywordInterner::new(),
+            scratch: TraversalScratch::default(),
             seed,
             summary: OccupancySummary::new(r),
             summary2: OccupancySummary::new(r),
@@ -390,13 +402,26 @@ impl ProtocolSim {
         if keywords.is_empty() {
             return Err(Error::EmptyKeywordSet);
         }
-        let keywords = Arc::new(keywords);
+        // Intern: re-inserting a known set (or another object with the
+        // same popular set) reuses one Arc across both cubes instead of
+        // minting a fresh allocation per call.
+        let keywords = self.interner.intern(keywords);
         let vertex = self.hasher.vertex_for(&keywords);
         let vertex2 = self.hasher2.vertex_for(&keywords);
-        if self.tables[vertex.bits() as usize].insert_arc(Arc::clone(&keywords), object) {
+        if self
+            .tables
+            .entry(vertex.bits())
+            .or_default()
+            .insert_arc(Arc::clone(&keywords), object)
+        {
             self.summary.record_insert(vertex.bits());
         }
-        if self.tables2[vertex2.bits() as usize].insert_arc(keywords, object) {
+        if self
+            .tables2
+            .entry(vertex2.bits())
+            .or_default()
+            .insert_arc(keywords, object)
+        {
             self.summary2.record_insert(vertex2.bits());
         }
         Ok(())
@@ -416,16 +441,18 @@ impl ProtocolSim {
             return Err(Error::ZeroThreshold);
         }
         let root_vertex = self.hasher.vertex_for(keywords);
-        let root_ep = self.eps[root_vertex.bits() as usize];
+        let root_ep = self.endpoint_of(root_vertex.bits());
         let start = self.net.now();
         let sent_before = self.net.metrics().messages_sent.get();
 
+        // Interned: repeated queries for the same set share one Arc,
+        // and every later hop of this search shares it too.
+        let shared_kw = self.interner.intern(keywords.clone());
         self.net.send(
             self.requester,
             root_ep,
             KwMsg::TQuery {
-                // One deep copy per search; every later hop shares it.
-                keywords: Arc::new(keywords.clone()),
+                keywords: shared_kw,
                 remaining: threshold,
                 requester: self.requester,
                 via_dim: None,
@@ -453,12 +480,17 @@ impl ProtocolSim {
                     let vertex = self.vertex_of(to);
                     let found = self.scan_and_reply(vertex, &keywords, remaining, requester, false);
                     if to == root {
-                        // The root doubles as coordinator.
+                        // The root doubles as coordinator. Its frontier
+                        // queue is the sim's reused scratch buffer.
+                        let mut frontier = std::mem::take(&mut self.scratch.frontier);
+                        frontier.clear();
+                        extend_root_frontier(vertex, &mut frontier);
                         let mut coord = Coordinator {
                             remaining: remaining.saturating_sub(found),
                             keywords,
                             requester,
-                            frontier: root_frontier(vertex),
+                            root_bits: vertex.bits(),
+                            frontier,
                             done: false,
                             pruned: 0,
                         };
@@ -470,7 +502,8 @@ impl ProtocolSim {
                         if found >= remaining {
                             self.net.send(to, root, KwMsg::TStop);
                         } else {
-                            let children = child_contacts(vertex, dim);
+                            let mut children = Vec::with_capacity(dim as usize);
+                            extend_child_contacts(vertex, dim, &mut children);
                             self.net.send(to, root, KwMsg::TCont { found, children });
                         }
                     }
@@ -501,13 +534,21 @@ impl ProtocolSim {
             }
         }
 
+        // Reclaim the frontier buffer for the next search.
+        let pruned_subtrees = match coordinator {
+            Some(c) => {
+                self.scratch.frontier = c.frontier;
+                c.pruned
+            }
+            None => 0,
+        };
         results.truncate(threshold);
         Ok(SimSearchOutcome {
             results,
             nodes_contacted: contacted,
             messages: self.net.metrics().messages_sent.get() - sent_before,
             elapsed: last_at.saturating_since(start),
-            pruned_subtrees: coordinator.map_or(0, |c| c.pruned),
+            pruned_subtrees,
         })
     }
 
@@ -526,12 +567,13 @@ impl ProtocolSim {
             return Err(Error::ZeroThreshold);
         }
         let root_vertex = self.hasher.vertex_for(keywords);
-        let root_ep = self.eps[root_vertex.bits() as usize];
+        let root_ep = self.endpoint_of(root_vertex.bits());
         let start = self.net.now();
         let sent_before = self.net.metrics().messages_sent.get();
 
-        // One deep copy per search; every per-node query shares it.
-        let shared_kw = Arc::new(keywords.clone());
+        // Interned: every per-node query (and repeat searches for the
+        // same set) share one allocation.
+        let shared_kw = self.interner.intern(keywords.clone());
         // With pruning on, whole levels shrink to the vertices whose
         // subtree the occupancy summary cannot disprove.
         let (levels, pruned_count) = if self.prune {
@@ -553,9 +595,10 @@ impl ProtocolSim {
             // is reachable through the underlying DHT).
             for w in level {
                 let from = if depth == 0 { self.requester } else { root_ep };
+                let to = self.endpoint_of(w.bits());
                 self.net.send(
                     from,
-                    self.eps[w.bits() as usize],
+                    to,
                     KwMsg::TQuery {
                         keywords: Arc::clone(&shared_kw),
                         remaining: threshold - satisfied.min(threshold),
@@ -699,17 +742,15 @@ impl ProtocolSim {
         results: &mut Vec<RankedObject>,
         seen: &mut HashSet<ObjectId>,
     ) -> PassStats {
-        let hasher = if secondary {
-            &self.hasher2
-        } else {
-            &self.hasher
-        };
+        // KeywordHasher is Copy; copying sidesteps a borrow across the
+        // lazy endpoint materialization below.
+        let hasher = if secondary { self.hasher2 } else { self.hasher };
         let root_vertex = hasher.vertex_for(keywords);
-        let root_ep = self.eps[root_vertex.bits() as usize];
+        let root_ep = self.endpoint_of(root_vertex.bits());
         let use_timers = config.strategy != RecoveryStrategy::Naive;
         let base = config.base_timeout;
-        // One deep copy per pass; every (re)transmission shares it.
-        let kw = Arc::new(keywords.clone());
+        // Interned: every (re)transmission of this pass shares it.
+        let kw = self.interner.intern(keywords.clone());
         let prune = config.prune.then(|| FtPrune {
             required: root_vertex.bits(),
             zero_mask: root_vertex.zero_positions().fold(0u64, |m, i| m | 1 << i),
@@ -800,8 +841,9 @@ impl ProtocolSim {
                                     done = true;
                                     ft_cancel_all(&mut self.net, &mut pending);
                                 } else if !done {
-                                    let children: Vec<(u64, u8)> =
-                                        root_frontier(vertex).into_iter().collect();
+                                    let mut children = std::mem::take(&mut self.scratch.children);
+                                    children.clear();
+                                    extend_root_frontier(vertex, &mut children);
                                     self.ft_enqueue_children(
                                         &children,
                                         coord,
@@ -814,6 +856,7 @@ impl ProtocolSim {
                                         &covered,
                                         &mut stats,
                                     );
+                                    self.scratch.children = children;
                                 }
                             } else {
                                 // Ordinary node: continuation back to
@@ -821,10 +864,11 @@ impl ProtocolSim {
                                 // results piggybacked so retransmitted
                                 // queries re-deliver them.
                                 let objects = self.scan(vertex, &kw, rem, secondary);
-                                let children: Vec<(u64, u8)> = match via_dim {
-                                    Some(dim) => child_contacts(vertex, dim),
-                                    None => root_frontier(vertex).into_iter().collect(),
-                                };
+                                let mut children = Vec::new();
+                                match via_dim {
+                                    Some(dim) => extend_child_contacts(vertex, dim, &mut children),
+                                    None => extend_root_frontier(vertex, &mut children),
+                                }
                                 if root != to {
                                     self.net
                                         .send(to, root, KwMsg::TContFt { objects, children });
@@ -841,7 +885,7 @@ impl ProtocolSim {
                             }
                             let added = ft_record(objects, results, seen);
                             remaining = remaining.saturating_sub(added);
-                            let bits = from.raw();
+                            let bits = self.vertex_of(from).bits();
                             let fresh = !covered.contains(&bits);
                             if fresh {
                                 // A reply after the timeout budget ran
@@ -921,13 +965,15 @@ impl ProtocolSim {
                             RecoveryStrategy::RetryOnly => {
                                 // The whole subtree behind the dead
                                 // child is unreachable.
-                                let mut subtree = Vec::new();
+                                let mut subtree = std::mem::take(&mut self.scratch.subtree);
+                                subtree.clear();
                                 subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
-                                for w in subtree {
+                                for &w in &subtree {
                                     if !covered.contains(&w) {
                                         stats.skipped.insert(w);
                                     }
                                 }
+                                self.scratch.subtree = subtree;
                             }
                             RecoveryStrategy::Redelegate | RecoveryStrategy::ReplicatedFailover => {
                                 stats.skipped.insert(bits);
@@ -938,10 +984,12 @@ impl ProtocolSim {
                                     // the frontier from bits alone).
                                     coord = self.requester;
                                 }
-                                let children: Vec<(u64, u8)> = match p.via_dim {
-                                    None => root_frontier(vertex).into_iter().collect(),
-                                    Some(dim) => child_contacts(vertex, dim),
-                                };
+                                let mut children = std::mem::take(&mut self.scratch.children);
+                                children.clear();
+                                match p.via_dim {
+                                    None => extend_root_frontier(vertex, &mut children),
+                                    Some(dim) => extend_child_contacts(vertex, dim, &mut children),
+                                }
                                 if !children.is_empty() {
                                     stats.redelegations += 1;
                                     self.net.metrics_mut().redelegations.incr();
@@ -958,6 +1006,7 @@ impl ProtocolSim {
                                         &mut stats,
                                     );
                                 }
+                                self.scratch.children = children;
                             }
                         }
                     }
@@ -968,16 +1017,18 @@ impl ProtocolSim {
         // Quiescence with queries still outstanding: no timers were set
         // (naive), or the coordinator died and its timers were
         // suppressed. Account the unreachable subtrees honestly.
-        for (bits, _p) in std::mem::take(&mut pending) {
+        let mut subtree = std::mem::take(&mut self.scratch.subtree);
+        for (bits, p) in std::mem::take(&mut pending) {
             let vertex = Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
-            let mut subtree = Vec::new();
-            subtree_bits(self.shape, vertex, _p.via_dim, &mut subtree);
-            for w in subtree {
+            subtree.clear();
+            subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
+            for &w in &subtree {
                 if !covered.contains(&w) {
                     stats.skipped.insert(w);
                 }
             }
         }
+        self.scratch.subtree = subtree;
         stats.reached = covered.len() as u64;
         stats
     }
@@ -992,9 +1043,10 @@ impl ProtocolSim {
         remaining: usize,
         coord: EndpointId,
     ) {
+        let to = self.endpoint_of(bits);
         self.net.send(
             from,
-            self.eps[bits as usize],
+            to,
             KwMsg::TQuery {
                 keywords: Arc::clone(keywords),
                 remaining,
@@ -1075,7 +1127,10 @@ impl ProtocolSim {
         } else {
             &self.tables
         };
-        let table = &tables[vertex.bits() as usize];
+        // Unmaterialized vertex: logically contacted, holds nothing.
+        let Some(table) = tables.get(&vertex.bits()) else {
+            return Vec::new();
+        };
         let mut found = Vec::new();
         for (keyword_set, objects) in table.superset_entries(keywords) {
             let extra = (keyword_set.len() - keywords.len()) as u32;
@@ -1106,7 +1161,7 @@ impl ProtocolSim {
         let found = self.scan(vertex, keywords, remaining, secondary);
         let count = found.len();
         if count > 0 {
-            let from = self.eps[vertex.bits() as usize];
+            let from = self.endpoint_of(vertex.bits());
             self.net
                 .send(from, requester, KwMsg::Results { objects: found });
         }
@@ -1121,16 +1176,17 @@ impl ProtocolSim {
             return;
         }
         // With pruning on, provably-empty frontier entries are consumed
-        // (and counted) without sending anything; the root endpoint's
-        // raw id is the root vertex's bits, i.e. `One(F_h(K))`.
+        // (and counted) without sending anything; the coordinator
+        // carries `One(F_h(K))` explicitly.
         while let Some((bits, dim)) = coord.frontier.pop_front() {
-            if self.prune && self.summary.can_prune(bits, dim, root_ep.raw()) {
+            if self.prune && self.summary.can_prune(bits, dim, coord.root_bits) {
                 coord.pruned += 1;
                 continue;
             }
+            let to = self.endpoint_of(bits);
             self.net.send(
                 root_ep,
-                self.eps[bits as usize],
+                to,
                 KwMsg::TQuery {
                     keywords: Arc::clone(&coord.keywords),
                     remaining: coord.remaining,
@@ -1153,7 +1209,11 @@ impl ProtocolSim {
     }
 
     fn vertex_of(&self, ep: EndpointId) -> Vertex {
-        Vertex::from_bits(self.shape, ep.raw()).expect("vertex endpoints precede the requester")
+        let bits = *self
+            .ep_vertex
+            .get(&ep)
+            .expect("queries target vertex endpoints");
+        Vertex::from_bits(self.shape, bits).expect("mapped bits are valid vertices")
     }
 
     /// Read access to the underlying network (metrics, faults).
@@ -1173,14 +1233,49 @@ impl ProtocolSim {
         self.hasher.vertex_for(keywords)
     }
 
-    /// The endpoint hosting vertex `bits`.
+    /// The endpoint hosting vertex `bits`, materializing it lazily on
+    /// first contact.
     ///
     /// # Panics
     ///
     /// Panics if `bits` is outside the cube.
-    pub fn endpoint_of(&self, bits: u64) -> EndpointId {
-        self.eps[bits as usize]
+    pub fn endpoint_of(&mut self, bits: u64) -> EndpointId {
+        assert!(
+            self.shape.check_bits(bits).is_ok(),
+            "vertex {bits:#x} outside H_{}",
+            self.shape.r()
+        );
+        if let Some(&ep) = self.eps.get(&bits) {
+            return ep;
+        }
+        let ep = self.net.add_endpoint();
+        self.eps.insert(bits, ep);
+        self.ep_vertex.insert(ep, bits);
+        ep
     }
+
+    /// How many vertices have materialized state (an endpoint or an
+    /// index table in either cube) — the sparse-storage footprint.
+    pub fn materialized_vertices(&self) -> usize {
+        // Endpoints are a superset of table-bearing vertices only after
+        // they have been contacted; count the union explicitly.
+        let mut bits: BTreeSet<u64> = self.eps.keys().copied().collect();
+        bits.extend(self.tables.keys());
+        bits.extend(self.tables2.keys());
+        bits.len()
+    }
+}
+
+/// Reused traversal buffers; every user clears before filling, so
+/// contents never leak between searches — only capacity does.
+#[derive(Debug, Default)]
+struct TraversalScratch {
+    /// Sequential coordinator's frontier queue `U`.
+    frontier: VecDeque<(u64, u8)>,
+    /// Child-contact list for enqueue/redelegation rounds.
+    children: Vec<(u64, u8)>,
+    /// Subtree enumeration for skipped-vertex accounting.
+    subtree: Vec<u64>,
 }
 
 /// One outstanding fault-tolerant child query.
@@ -1256,34 +1351,41 @@ fn ft_cancel_all(net: &mut Network<KwMsg>, pending: &mut BTreeMap<u64, Pending>)
 /// Collects the bits of every vertex in the SBT subtree rooted at `w`
 /// (reached via `via_dim`; `None` means `w` is the query root). By
 /// Lemma 3.2 the subtree is fully determined by `w` and the arrival
-/// dimension — no state from `w` itself is needed.
+/// dimension — no state from `w` itself is needed. Allocation-free:
+/// children are enumerated directly off the bits, no intermediate
+/// child list per node.
 fn subtree_bits(shape: Shape, w: Vertex, via_dim: Option<u8>, out: &mut Vec<u64>) {
     out.push(w.bits());
-    let children: Vec<(u64, u8)> = match via_dim {
-        None => root_frontier(w).into_iter().collect(),
-        Some(d) => child_contacts(w, d),
-    };
-    for (bits, dim) in children {
-        let child = Vertex::from_bits(shape, bits).expect("children stay inside the cube");
-        subtree_bits(shape, child, Some(dim), out);
+    // The root's children span all free dims; an interior node's span
+    // the free dims strictly below its arrival dimension.
+    let limit = via_dim.unwrap_or(shape.r());
+    for i in (0..limit).rev() {
+        if !w.bit(i) {
+            subtree_bits(shape, w.flip(i), Some(i), out);
+        }
     }
 }
 
-/// The root's initial frontier: its free dimensions, descending.
-fn root_frontier(root: Vertex) -> VecDeque<(u64, u8)> {
-    root.zero_positions()
-        .rev()
-        .map(|i| (root.flip(i).bits(), i))
-        .collect()
+/// Pushes the root's initial frontier — its free dimensions,
+/// descending — into any collection (`Vec` for messages, the reused
+/// `VecDeque` for the coordinator queue).
+fn extend_root_frontier(root: Vertex, out: &mut impl Extend<(u64, u8)>) {
+    out.extend(
+        root.zero_positions()
+            .rev()
+            .map(|i| (root.flip(i).bits(), i)),
+    );
 }
 
-/// A node's child contacts: free dims below its arrival dimension.
-fn child_contacts(w: Vertex, via_dim: u8) -> Vec<(u64, u8)> {
-    (0..via_dim)
-        .rev()
-        .filter(|&i| !w.bit(i))
-        .map(|i| (w.flip(i).bits(), i))
-        .collect()
+/// Pushes a node's child contacts — free dims below its arrival
+/// dimension, descending — into any collection.
+fn extend_child_contacts(w: Vertex, via_dim: u8, out: &mut impl Extend<(u64, u8)>) {
+    out.extend(
+        (0..via_dim)
+            .rev()
+            .filter(|&i| !w.bit(i))
+            .map(|i| (w.flip(i).bits(), i)),
+    );
 }
 
 #[cfg(test)]
@@ -1415,7 +1517,12 @@ mod tests {
 
     #[test]
     fn rejects_oversized_dimension() {
-        assert!(ProtocolSim::new(17, 0, LatencyModel::default()).is_err());
+        // r = 17 used to be rejected because the sim allocated dense
+        // 2^r state; with sparse vertex storage only the hash family's
+        // own 1 ≤ r ≤ 63 bound remains.
+        assert!(ProtocolSim::new(17, 0, LatencyModel::default()).is_ok());
+        assert!(ProtocolSim::new(64, 0, LatencyModel::default()).is_err());
+        assert!(ProtocolSim::new(0, 0, LatencyModel::default()).is_err());
     }
 
     // ------------------------------------------------------------------

@@ -241,8 +241,11 @@ fn crashed_subtree_root_is_fully_covered_by_redelegation() {
         "subtree must be re-delegated"
     );
 
-    // Contrast: retry-only abandons the whole half-cube.
+    // Contrast: retry-only abandons the whole half-cube. Endpoints are
+    // materialized lazily per simulation, so the dead vertex must be
+    // re-resolved in the fresh one.
     let mut sim = protocol_sim(7);
+    let dead_ep = sim.endpoint_of(dead.bits());
     sim.network_mut().faults_mut().kill(dead_ep);
     let abandoned = sim
         .search_fault_tolerant(
