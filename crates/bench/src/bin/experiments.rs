@@ -4,30 +4,31 @@
 //! experiments [EXPERIMENT ...] [--scale full|small] [--seed N] [--list]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
-//!             availability churn prune throughput all
+//!             availability churn prune throughput runtime all
 //!             (default: all)
 //!
-//! `churn`, `prune`, and `throughput` additionally write their rows to
-//! `BENCH_churn.json` / `BENCH_prune.json` / `BENCH_throughput.json`
-//! in the current directory.
+//! `churn`, `prune`, `throughput`, and `runtime` additionally write
+//! their rows to `BENCH_churn.json` / `BENCH_prune.json` /
+//! `BENCH_throughput.json` / `BENCH_runtime.json` in the current
+//! directory, each stamped with the effective seed.
 //! A final table maps each experiment run to the artifact it produced.
 //! ```
 
 use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
-    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, prune, table1, throughput,
-    xcheck,
+    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, prune, runtime, table1,
+    throughput, xcheck,
 };
 use hyperdex_bench::report::Table;
 use hyperdex_bench::{Scale, SharedContext};
 
 const USAGE: &str = "usage: experiments \
-                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|throughput|all \
-                     ...] [--scale full|small] [--seed N] [--list]";
+                     [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|throughput\
+                     |runtime|all ...] [--scale full|small] [--seed N] [--list]";
 
 /// Every experiment name with a one-line description, in run order.
-const EXPERIMENTS: [(&str, &str); 13] = [
+const EXPERIMENTS: [(&str, &str); 14] = [
     ("table1", "load distribution across index nodes"),
     ("fig5", "keyword-set size distribution"),
     ("fig6", "query popularity distribution"),
@@ -43,6 +44,10 @@ const EXPERIMENTS: [(&str, &str); 13] = [
     (
         "throughput",
         "insert/pin/superset rates, mask prefilter on/off",
+    ),
+    (
+        "runtime",
+        "threaded shared-nothing qps/latency vs worker count",
     ),
 ];
 
@@ -140,7 +145,7 @@ fn main() -> ExitCode {
             "churn" => {
                 let rows = churn::run(&ctx);
                 let path = std::path::Path::new("BENCH_churn.json");
-                match churn::write_json(&rows, path) {
+                match churn::write_json(&rows, seed, path) {
                     Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());
@@ -151,7 +156,7 @@ fn main() -> ExitCode {
             "prune" => {
                 let rows = prune::run(&ctx);
                 let path = std::path::Path::new("BENCH_prune.json");
-                match prune::write_json(&rows, path) {
+                match prune::write_json(&rows, seed, path) {
                     Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());
@@ -162,7 +167,18 @@ fn main() -> ExitCode {
             "throughput" => {
                 let rows = throughput::run(&ctx);
                 let path = std::path::Path::new("BENCH_throughput.json");
-                match throughput::write_json(&rows, path) {
+                match throughput::write_json(&rows, seed, path) {
+                    Ok(()) => artifact = path.display().to_string(),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "runtime" => {
+                let rows = runtime::run(&ctx);
+                let path = std::path::Path::new("BENCH_runtime.json");
+                match runtime::write_json(&rows, seed, path) {
                     Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());
@@ -179,9 +195,12 @@ fn main() -> ExitCode {
     }
 
     println!("\n## Run summary\n");
-    let mut summary = Table::new(["experiment", "output"]);
+    // The effective seed rides along on every row so a pasted summary
+    // is reproducible without the preamble.
+    let seed_text = seed.to_string();
+    let mut summary = Table::new(["experiment", "seed", "output"]);
     for (name, artifact) in &ran {
-        summary.row([name.as_str(), artifact.as_str()]);
+        summary.row([name.as_str(), seed_text.as_str(), artifact.as_str()]);
     }
     print!("{}", summary.to_markdown());
     println!("\ndone.");

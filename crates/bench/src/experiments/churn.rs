@@ -25,7 +25,6 @@
 //! consistency, zero handoff traffic — the availability experiment's
 //! fault-free baseline.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use hyperdex_core::churn::StabilizationConfig;
@@ -229,40 +228,38 @@ pub fn run(ctx: &SharedContext) -> Vec<ChurnRow> {
     rows
 }
 
-/// Writes the sweep as a JSON array of row objects (the
-/// `BENCH_churn.json` artifact).
+/// Writes the sweep as a seed-stamped JSON object (the
+/// `BENCH_churn.json` artifact): `{"seed":N,"rows":[…]}`.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing `path`.
-pub fn write_json(rows: &[ChurnRow], path: &Path) -> std::io::Result<()> {
-    let mut out = std::fs::File::create(path)?;
-    writeln!(out, "[")?;
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
-            out,
-            "  {{\"rate\":{},\"stab_interval\":{},\"events\":{},\"recall\":{:.6},\
-             \"consistency\":{:.6},\"settled_consistency\":{:.6},\
-             \"handoff_batches\":{},\"handoff_entries\":{},\"handoff_bytes\":{},\
-             \"repair_lag_mean\":{:.3},\"repair_lag_max\":{},\
-             \"stabilization_rounds\":{}}}{sep}",
-            r.rate,
-            r.stab_interval,
-            r.events,
-            r.recall,
-            r.consistency,
-            r.settled_consistency,
-            r.handoff_batches,
-            r.handoff_entries,
-            r.handoff_bytes,
-            r.repair_lag_mean,
-            r.repair_lag_max,
-            r.stabilization_rounds,
-        )?;
-    }
-    writeln!(out, "]")?;
-    Ok(())
+pub fn write_json(rows: &[ChurnRow], seed: u64, path: &Path) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"rate\":{},\"stab_interval\":{},\"events\":{},\"recall\":{:.6},\
+                 \"consistency\":{:.6},\"settled_consistency\":{:.6},\
+                 \"handoff_batches\":{},\"handoff_entries\":{},\"handoff_bytes\":{},\
+                 \"repair_lag_mean\":{:.3},\"repair_lag_max\":{},\
+                 \"stabilization_rounds\":{}}}",
+                r.rate,
+                r.stab_interval,
+                r.events,
+                r.recall,
+                r.consistency,
+                r.settled_consistency,
+                r.handoff_batches,
+                r.handoff_entries,
+                r.handoff_bytes,
+                r.repair_lag_mean,
+                r.repair_lag_max,
+                r.stabilization_rounds,
+            )
+        })
+        .collect();
+    crate::report::write_json_artifact(path, seed, &rendered)
 }
 
 #[cfg(test)]

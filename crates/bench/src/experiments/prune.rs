@@ -24,7 +24,6 @@
 //! under the CI bench-smoke job) if any query returns different
 //! results or the pruned traversal contacts more nodes.
 
-use std::io::Write as _;
 use std::path::Path;
 
 use hyperdex_core::{HypercubeIndex, SupersetQuery};
@@ -224,37 +223,35 @@ pub fn run(ctx: &SharedContext) -> Vec<PruneRow> {
     rows
 }
 
-/// Writes the sweep as a JSON array of row objects (the
-/// `BENCH_prune.json` artifact).
+/// Writes the sweep as a seed-stamped JSON object (the
+/// `BENCH_prune.json` artifact): `{"seed":N,"rows":[…]}`.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing `path`.
-pub fn write_json(rows: &[PruneRow], path: &Path) -> std::io::Result<()> {
-    let mut out = std::fs::File::create(path)?;
-    writeln!(out, "[")?;
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
-            out,
-            "  {{\"corpus_size\":{},\"zipf\":{:.2},\"query_size\":{},\
-             \"queries\":{},\"nodes_unpruned\":{},\"nodes_pruned\":{},\
-             \"msgs_unpruned\":{},\"msgs_pruned\":{},\
-             \"pruned_subtrees\":{},\"savings\":{:.6}}}{sep}",
-            r.corpus_size,
-            r.zipf,
-            r.query_size,
-            r.queries,
-            r.nodes_unpruned,
-            r.nodes_pruned,
-            r.msgs_unpruned,
-            r.msgs_pruned,
-            r.pruned_subtrees,
-            r.savings(),
-        )?;
-    }
-    writeln!(out, "]")?;
-    Ok(())
+pub fn write_json(rows: &[PruneRow], seed: u64, path: &Path) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"corpus_size\":{},\"zipf\":{:.2},\"query_size\":{},\
+                 \"queries\":{},\"nodes_unpruned\":{},\"nodes_pruned\":{},\
+                 \"msgs_unpruned\":{},\"msgs_pruned\":{},\
+                 \"pruned_subtrees\":{},\"savings\":{:.6}}}",
+                r.corpus_size,
+                r.zipf,
+                r.query_size,
+                r.queries,
+                r.nodes_unpruned,
+                r.nodes_pruned,
+                r.msgs_unpruned,
+                r.msgs_pruned,
+                r.pruned_subtrees,
+                r.savings(),
+            )
+        })
+        .collect();
+    crate::report::write_json_artifact(path, seed, &rendered)
 }
 
 #[cfg(test)]
@@ -308,11 +305,11 @@ mod tests {
         let dir = std::env::temp_dir().join("hyperdex_prune_json_test");
         std::fs::create_dir_all(&dir).expect("tempdir");
         let path = dir.join("BENCH_prune.json");
-        write_json(&[row], &path).expect("write");
+        write_json(&[row], 42, &path).expect("write");
         let text = std::fs::read_to_string(&path).expect("read");
-        assert!(text.starts_with("[\n"));
+        assert!(text.starts_with("{\"seed\":42,\"rows\":[\n"));
         assert!(text.contains("\"nodes_pruned\":10"));
         assert!(text.contains("\"savings\":0.750000"));
-        assert!(text.trim_end().ends_with(']'));
+        assert!(text.trim_end().ends_with("]}"));
     }
 }

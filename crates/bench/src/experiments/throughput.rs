@@ -23,7 +23,6 @@
 //! asserted: CI boxes are noisy, so the speedup claim is carried by
 //! the checked-in `BENCH_throughput.json` artifact instead.
 
-use std::io::Write as _;
 use std::path::Path;
 use std::time::Instant;
 
@@ -288,42 +287,40 @@ pub fn run(ctx: &SharedContext) -> Vec<ThroughputRow> {
     rows
 }
 
-/// Writes the sweep as a JSON array of row objects (the
-/// `BENCH_throughput.json` artifact).
+/// Writes the sweep as a seed-stamped JSON object (the
+/// `BENCH_throughput.json` artifact): `{"seed":N,"rows":[…]}`.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from creating or writing `path`.
-pub fn write_json(rows: &[ThroughputRow], path: &Path) -> std::io::Result<()> {
-    let mut out = std::fs::File::create(path)?;
-    writeln!(out, "[")?;
-    for (i, r) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        writeln!(
-            out,
-            "  {{\"r\":{},\"corpus_size\":{},\"zipf\":{:.2},\"queries\":{},\
-             \"insert_rate\":{:.1},\"pin_rate\":{:.1},\
-             \"qps_unfiltered\":{:.2},\"qps_masked\":{:.2},\
-             \"qps_masked_pruned\":{:.2},\"masked_speedup\":{:.4},\
-             \"entries_scanned\":{},\"nodes_unpruned\":{},\
-             \"nodes_pruned\":{}}}{sep}",
-            r.r,
-            r.corpus_size,
-            r.zipf,
-            r.queries,
-            r.insert_rate,
-            r.pin_rate,
-            r.qps_unfiltered,
-            r.qps_masked,
-            r.qps_masked_pruned,
-            r.masked_speedup(),
-            r.entries_scanned,
-            r.nodes_unpruned,
-            r.nodes_pruned,
-        )?;
-    }
-    writeln!(out, "]")?;
-    Ok(())
+pub fn write_json(rows: &[ThroughputRow], seed: u64, path: &Path) -> std::io::Result<()> {
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"r\":{},\"corpus_size\":{},\"zipf\":{:.2},\"queries\":{},\
+                 \"insert_rate\":{:.1},\"pin_rate\":{:.1},\
+                 \"qps_unfiltered\":{:.2},\"qps_masked\":{:.2},\
+                 \"qps_masked_pruned\":{:.2},\"masked_speedup\":{:.4},\
+                 \"entries_scanned\":{},\"nodes_unpruned\":{},\
+                 \"nodes_pruned\":{}}}",
+                r.r,
+                r.corpus_size,
+                r.zipf,
+                r.queries,
+                r.insert_rate,
+                r.pin_rate,
+                r.qps_unfiltered,
+                r.qps_masked,
+                r.qps_masked_pruned,
+                r.masked_speedup(),
+                r.entries_scanned,
+                r.nodes_unpruned,
+                r.nodes_pruned,
+            )
+        })
+        .collect();
+    crate::report::write_json_artifact(path, seed, &rendered)
 }
 
 #[cfg(test)]
@@ -374,12 +371,12 @@ mod tests {
         let dir = std::env::temp_dir().join("hyperdex_throughput_json_test");
         std::fs::create_dir_all(&dir).expect("tempdir");
         let path = dir.join("BENCH_throughput.json");
-        write_json(&[row], &path).expect("write");
+        write_json(&[row], 7, &path).expect("write");
         let text = std::fs::read_to_string(&path).expect("read");
-        assert!(text.starts_with("[\n"));
+        assert!(text.starts_with("{\"seed\":7,\"rows\":[\n"));
         assert!(text.contains("\"qps_masked\":150.00"));
         assert!(text.contains("\"masked_speedup\":1.5000"));
         assert!(text.contains("\"entries_scanned\":12345"));
-        assert!(text.trim_end().ends_with(']'));
+        assert!(text.trim_end().ends_with("]}"));
     }
 }

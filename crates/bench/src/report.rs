@@ -91,6 +91,30 @@ pub fn csv_series(name: &str, x_label: &str, y_label: &str, points: &[(f64, f64)
     out
 }
 
+/// Writes a `BENCH_*.json` artifact: a seed-stamped object wrapping
+/// pre-rendered row objects, `{"seed":N,"rows":[…]}`. Stamping the
+/// effective seed into every artifact makes any checked-in benchmark
+/// file reproducible without consulting the run log.
+///
+/// # Errors
+///
+/// Propagates I/O errors from creating or writing `path`.
+pub fn write_json_artifact(
+    path: &std::path::Path,
+    seed: u64,
+    rows: &[String],
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut out = std::fs::File::create(path)?;
+    writeln!(out, "{{\"seed\":{seed},\"rows\":[")?;
+    for (i, row) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        writeln!(out, "  {row}{sep}")?;
+    }
+    writeln!(out, "]}}")?;
+    Ok(())
+}
+
 /// Escapes a string for embedding in a JSON document.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -194,6 +218,19 @@ mod tests {
     fn json_series_escapes_strings() {
         let s = json_series("a\"b\\c\n", &[], "x", "y", &[]);
         assert!(s.contains("a\\\"b\\\\c\\n"));
+    }
+
+    #[test]
+    fn json_artifact_is_seed_stamped() {
+        let dir = std::env::temp_dir().join("hyperdex_report_json_test");
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("BENCH_test.json");
+        write_json_artifact(&path, 1234, &["{\"a\":1}".into(), "{\"a\":2}".into()]).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert!(text.starts_with("{\"seed\":1234,\"rows\":[\n"));
+        assert!(text.contains("  {\"a\":1},\n"));
+        assert!(text.contains("  {\"a\":2}\n"));
+        assert!(text.trim_end().ends_with("]}"));
     }
 
     #[test]

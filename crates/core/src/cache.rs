@@ -333,6 +333,33 @@ mod tests {
     }
 
     #[test]
+    fn lookups_do_not_refresh_fifo_position() {
+        // "A simple FIFO scheme": eviction order is insertion order,
+        // not recency — a hit on the oldest entry must not save it.
+        let mut c = FifoCache::new(2);
+        c.put(q("a"), results(1), true);
+        c.put(q("b"), results(1), true);
+        assert!(c.lookup(&q("a"), 1).is_some(), "a is hot");
+        c.put(q("x"), results(1), true); // evicts a (oldest) despite the hit
+        assert!(c.lookup(&q("a"), 1).is_none(), "FIFO ignores recency");
+        assert!(c.lookup(&q("b"), 1).is_some());
+        assert!(c.lookup(&q("x"), 1).is_some());
+    }
+
+    #[test]
+    fn non_covering_miss_keeps_the_entry_and_accounting() {
+        // A partial entry missing on a larger threshold is *kept* (it
+        // still answers smaller thresholds) and the slot accounting must
+        // not drift.
+        let mut c = FifoCache::new(4);
+        c.put(q("a"), results(3), false);
+        assert!(c.lookup(&q("a"), 10).is_none());
+        assert_eq!(c.held(), 1, "non-covering entry stays cached");
+        assert!(c.lookup(&q("a"), 2).is_some(), "still serves covered t");
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
     fn with_alpha_sizing_matches_paper() {
         // r = 10, 131180 objects → avg index ≈ 128; α = 1/6 → 21.
         let c = FifoCache::with_alpha(1.0 / 6.0, 131_180, 10);

@@ -83,6 +83,11 @@ use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::sim_protocol::{KwMsg, ProtocolSim};
 
+/// Largest cube dimension churn supports: ownership reconciliation
+/// sweeps all `2^r` vertices per stabilization round, so the dense cap
+/// stays far below the sparse search layers' limit.
+pub const DENSE_R_CAP: u8 = 16;
+
 /// High-bit namespace separating churn timer tokens from the search
 /// layer's vertex-bits tokens (which are `< 2^16`).
 const CHURN_TOKEN_NS: u64 = 1 << 48;
@@ -395,10 +400,11 @@ impl ProtocolSim {
     /// # Errors
     ///
     /// Returns [`Error::InvalidChurnConfig`] if churn is already
-    /// enabled, `cfg` fails validation, `initial_members` is empty, or
-    /// the cube dimension exceeds 16 — unlike search (sparse, fine at
-    /// `r = 48`), ownership reconciliation sweeps all `2^r` vertices
-    /// every stabilization round, so churn keeps the old dense bound.
+    /// enabled, `cfg` fails validation, or `initial_members` is empty,
+    /// and [`Error::DimensionTooLarge`] if the cube dimension exceeds
+    /// [`DENSE_R_CAP`] — unlike search (sparse, fine at `r = 48`),
+    /// ownership reconciliation sweeps all `2^r` vertices every
+    /// stabilization round, so churn keeps the old dense bound.
     pub fn enable_churn(
         &mut self,
         plan: &ChurnPlan,
@@ -410,9 +416,10 @@ impl ProtocolSim {
                 reason: "churn is already enabled on this simulation",
             });
         }
-        if self.shape.r() > 16 {
-            return Err(Error::InvalidChurnConfig {
-                reason: "churn requires r <= 16: stabilization reconciles all 2^r vertices",
+        if self.shape.r() > DENSE_R_CAP {
+            return Err(Error::DimensionTooLarge {
+                r: self.shape.r(),
+                max: DENSE_R_CAP,
             });
         }
         cfg.validate()?;
@@ -1177,6 +1184,33 @@ mod tests {
             sim.enable_churn(&plan, StabilizationConfig::default(), &[1, 2]),
             Err(Error::InvalidChurnConfig { .. })
         ));
+    }
+
+    #[test]
+    fn dense_cap_is_a_typed_error_with_an_exact_boundary() {
+        // r = DENSE_R_CAP is the last dimension churn accepts…
+        let mut at_cap = ProtocolSim::new(DENSE_R_CAP, 0, LatencyModel::constant(1)).unwrap();
+        at_cap
+            .enable_churn(
+                &ChurnPlan::default(),
+                StabilizationConfig::default(),
+                &[1, 2],
+            )
+            .unwrap();
+        // …and one past it reports the cap in a typed error, not a
+        // generic config string.
+        let mut past_cap = ProtocolSim::new(DENSE_R_CAP + 1, 0, LatencyModel::constant(1)).unwrap();
+        assert_eq!(
+            past_cap.enable_churn(
+                &ChurnPlan::default(),
+                StabilizationConfig::default(),
+                &[1, 2],
+            ),
+            Err(Error::DimensionTooLarge {
+                r: DENSE_R_CAP + 1,
+                max: DENSE_R_CAP,
+            })
+        );
     }
 
     #[test]

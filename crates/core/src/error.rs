@@ -29,6 +29,15 @@ pub enum Error {
         /// Why the configuration was rejected.
         reason: &'static str,
     },
+    /// A dense per-vertex operation was asked for a cube too large to
+    /// sweep: it touches all `2^r` vertices, so `r` is capped well
+    /// below the sparse layers' limit.
+    DimensionTooLarge {
+        /// The requested cube dimension.
+        r: u8,
+        /// The largest dimension the operation supports.
+        max: u8,
+    },
 }
 
 impl fmt::Display for Error {
@@ -46,6 +55,13 @@ impl fmt::Display for Error {
             }
             Error::InvalidChurnConfig { reason } => {
                 write!(f, "invalid churn configuration: {reason}")
+            }
+            Error::DimensionTooLarge { r, max } => {
+                write!(
+                    f,
+                    "cube dimension {r} exceeds the dense-sweep cap {max}: \
+                     the operation touches all 2^r vertices"
+                )
             }
         }
     }
@@ -77,6 +93,9 @@ mod tests {
         assert!(Error::UnknownField { field: "os".into() }
             .to_string()
             .contains("os"));
+        let too_large = Error::DimensionTooLarge { r: 17, max: 16 };
+        assert!(too_large.to_string().contains("17"));
+        assert!(too_large.to_string().contains("16"));
     }
 
     #[test]

@@ -86,6 +86,7 @@ pub mod index;
 pub mod intern;
 pub mod keyword;
 pub mod mapping;
+pub mod protocol;
 pub mod ranking;
 pub mod replication;
 pub mod search;
@@ -102,6 +103,7 @@ pub use index::IndexTable;
 pub use intern::KeywordInterner;
 pub use keyword::{Keyword, KeywordSet};
 pub use mapping::VertexMap;
+pub use protocol::{SupersetCoordinator, VertexStore};
 pub use search::{
     PinOutcome, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
 };

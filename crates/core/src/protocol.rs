@@ -1,0 +1,499 @@
+//! Engine-agnostic core of the superset/pin/insert protocol.
+//!
+//! Three execution substrates run the paper's §3.3 protocol:
+//!
+//! * the **direct engine** ([`crate::cluster::HypercubeIndex`]) — plain
+//!   function calls, exact node/message accounting;
+//! * the **simulator** ([`crate::sim_protocol::ProtocolSim`]) — the
+//!   same traversal as discrete-event messages with latency and faults;
+//! * the **threaded runtime** (`hyperdex-runtime`) — the same traversal
+//!   as wire-encoded frames between OS threads.
+//!
+//! Before this module each substrate re-implemented the coordinator
+//! loop (pop the SBT frontier, query one node, fold its answer back
+//! in), and the three copies had to be kept in lock-step by parity
+//! tests alone. [`SupersetCoordinator`] is the single shared
+//! implementation: a sans-I/O state machine that knows *which vertex to
+//! visit next* and *how an answer changes the frontier*, while the
+//! substrate supplies transport (a call, a simnet message, a wire
+//! frame). The SBT child-derivation helpers (Lemma 3.2: a node's
+//! subtree is computable from its bits and arrival dimension alone)
+//! live here too, as does the per-vertex table scan every substrate
+//! performs on a `T_QUERY`.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use hyperdex_hypercube::{Shape, Vertex};
+
+use crate::index::IndexTable;
+use crate::keyword::KeywordSet;
+use crate::search::RankedObject;
+
+/// What the coordinator wants executed next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Deliver a `T_QUERY` to vertex `bits` (reached via `via_dim`;
+    /// `None` marks the traversal root) and report the answer back via
+    /// [`SupersetCoordinator::record_visit`].
+    Visit {
+        /// The vertex to query.
+        bits: u64,
+        /// The dimension through which the SBT reaches it (`None` for
+        /// the root).
+        via_dim: Option<u8>,
+    },
+    /// The traversal is complete: the threshold was met or the induced
+    /// subcube is exhausted.
+    Finished,
+}
+
+/// The root-side coordinator state machine of one sequential superset
+/// search (§3.3): the frontier queue `U`, the remaining-result budget
+/// `c`, and the termination rule.
+///
+/// The machine is sans-I/O: call [`SupersetCoordinator::next_step`] to
+/// learn the next vertex to query, execute the query however the
+/// substrate likes, then feed the answer to
+/// [`SupersetCoordinator::record_visit`]. A `T_STOP` (the queried node
+/// saw the threshold met) maps to [`SupersetCoordinator::stop`].
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use hyperdex_core::protocol::{SupersetCoordinator, Step};
+/// use hyperdex_core::{KeywordHasher, KeywordSet};
+///
+/// let hasher = KeywordHasher::new(6, 0)?;
+/// let kw = Arc::new(KeywordSet::parse("a")?);
+/// let root = hasher.vertex_for(&kw);
+/// let mut coord = SupersetCoordinator::new(root, kw, 10);
+/// // The first step is always the root itself.
+/// assert_eq!(
+///     coord.next_step(),
+///     Step::Visit { bits: root.bits(), via_dim: None }
+/// );
+/// coord.record_visit(0, SupersetCoordinator::children_of(root, None));
+/// # Ok::<(), hyperdex_core::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct SupersetCoordinator {
+    keywords: Arc<KeywordSet>,
+    remaining: usize,
+    root_bits: u64,
+    frontier: VecDeque<(u64, u8)>,
+    root_issued: bool,
+    done: bool,
+}
+
+impl SupersetCoordinator {
+    /// Starts a traversal rooted at `root` wanting up to `threshold`
+    /// results.
+    pub fn new(root: Vertex, keywords: Arc<KeywordSet>, threshold: usize) -> Self {
+        Self::with_queue(root, keywords, threshold, VecDeque::new())
+    }
+
+    /// [`SupersetCoordinator::new`] reusing an existing frontier buffer
+    /// (cleared first) — hot loops recycle the queue's capacity across
+    /// searches instead of reallocating it.
+    pub fn with_queue(
+        root: Vertex,
+        keywords: Arc<KeywordSet>,
+        threshold: usize,
+        mut frontier: VecDeque<(u64, u8)>,
+    ) -> Self {
+        frontier.clear();
+        SupersetCoordinator {
+            keywords,
+            remaining: threshold,
+            root_bits: root.bits(),
+            frontier,
+            root_issued: false,
+            done: false,
+        }
+    }
+
+    /// The queried keyword set (shared: every hop of the traversal
+    /// holds the same allocation).
+    pub fn keywords(&self) -> &Arc<KeywordSet> {
+        &self.keywords
+    }
+
+    /// Results still wanted (the paper's `c`).
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The traversal root's bits — `One(F_h(K))`, the mask occupancy
+    /// pruning tests against.
+    pub fn root_bits(&self) -> u64 {
+        self.root_bits
+    }
+
+    /// Whether the traversal has terminated.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Marks the traversal complete (threshold met, `T_STOP` received,
+    /// or the substrate aborts).
+    pub fn stop(&mut self) {
+        self.done = true;
+    }
+
+    /// The next vertex to query: the root first, then the frontier in
+    /// FIFO order. Returns [`Step::Finished`] — and latches done — once
+    /// the threshold is met or the frontier is exhausted.
+    pub fn next_step(&mut self) -> Step {
+        if self.done || self.remaining == 0 {
+            self.done = true;
+            return Step::Finished;
+        }
+        if !self.root_issued {
+            self.root_issued = true;
+            return Step::Visit {
+                bits: self.root_bits,
+                via_dim: None,
+            };
+        }
+        match self.frontier.pop_front() {
+            Some((bits, dim)) => Step::Visit {
+                bits,
+                via_dim: Some(dim),
+            },
+            None => {
+                self.done = true;
+                Step::Finished
+            }
+        }
+    }
+
+    /// Folds one node's answer back in: `found` results consume budget,
+    /// its SBT children join the frontier. (When the budget reaches
+    /// zero the machine is done; queued children are never visited.)
+    pub fn record_visit(&mut self, found: usize, children: impl IntoIterator<Item = (u64, u8)>) {
+        self.remaining = self.remaining.saturating_sub(found);
+        if self.remaining == 0 {
+            self.done = true;
+        } else {
+            self.frontier.extend(children);
+        }
+    }
+
+    /// The SBT child contacts of `w` reached via `via_dim` (`None` for
+    /// the traversal root), as `(bits, dimension)` pairs in the
+    /// protocol's descending-dimension order.
+    pub fn children_of(w: Vertex, via_dim: Option<u8>) -> Vec<(u64, u8)> {
+        let mut out = Vec::new();
+        match via_dim {
+            None => extend_root_frontier(w, &mut out),
+            Some(dim) => extend_child_contacts(w, dim, &mut out),
+        }
+        out
+    }
+
+    /// Surrenders the frontier buffer so the caller can recycle its
+    /// capacity (see [`SupersetCoordinator::with_queue`]).
+    pub fn into_queue(self) -> VecDeque<(u64, u8)> {
+        self.frontier
+    }
+}
+
+/// Pushes the root's initial frontier — its free dimensions, descending
+/// — into any collection (`Vec` for messages, a reused `VecDeque` for
+/// the coordinator queue).
+pub fn extend_root_frontier(root: Vertex, out: &mut impl Extend<(u64, u8)>) {
+    out.extend(
+        root.zero_positions()
+            .rev()
+            .map(|i| (root.flip(i).bits(), i)),
+    );
+}
+
+/// Pushes a node's child contacts — free dims below its arrival
+/// dimension, descending — into any collection.
+pub fn extend_child_contacts(w: Vertex, via_dim: u8, out: &mut impl Extend<(u64, u8)>) {
+    out.extend(
+        (0..via_dim)
+            .rev()
+            .filter(|&i| !w.bit(i))
+            .map(|i| (w.flip(i).bits(), i)),
+    );
+}
+
+/// Collects the bits of every vertex in the SBT subtree rooted at `w`
+/// (reached via `via_dim`; `None` means `w` is the query root). By
+/// Lemma 3.2 the subtree is fully determined by `w` and the arrival
+/// dimension — no state from `w` itself is needed. Allocation-free:
+/// children are enumerated directly off the bits, no intermediate
+/// child list per node.
+pub fn subtree_bits(shape: Shape, w: Vertex, via_dim: Option<u8>, out: &mut Vec<u64>) {
+    out.push(w.bits());
+    // The root's children span all free dims; an interior node's span
+    // the free dims strictly below its arrival dimension.
+    let limit = via_dim.unwrap_or(shape.r());
+    for i in (0..limit).rev() {
+        if !w.bit(i) {
+            subtree_bits(shape, w.flip(i), Some(i), out);
+        }
+    }
+}
+
+/// The per-vertex `T_QUERY` handler every substrate shares: scan one
+/// index table for supersets of `keywords`, returning at most
+/// `remaining` ranked matches. `None` stands for an unmaterialized
+/// vertex (logically contacted, holds nothing).
+pub fn scan_table(
+    table: Option<&IndexTable>,
+    keywords: &KeywordSet,
+    remaining: usize,
+) -> Vec<RankedObject> {
+    let Some(table) = table else {
+        return Vec::new();
+    };
+    let mut found = Vec::new();
+    for (keyword_set, objects) in table.superset_entries(keywords) {
+        let extra = (keyword_set.len() - keywords.len()) as u32;
+        for object in objects {
+            if found.len() >= remaining {
+                return found;
+            }
+            found.push(RankedObject {
+                object,
+                keyword_set: Arc::clone(keyword_set),
+                extra_keywords: extra,
+            });
+        }
+    }
+    found
+}
+
+/// What a substrate must expose for the generic driver
+/// [`run_superset`]: the cube shape and a per-vertex scan.
+pub trait VertexStore {
+    /// The hypercube shape.
+    fn store_shape(&self) -> Shape;
+
+    /// Scan vertex `bits` for supersets of `keywords`, returning at
+    /// most `remaining` matches (see [`scan_table`]).
+    fn scan_vertex(&self, bits: u64, keywords: &KeywordSet, remaining: usize) -> Vec<RankedObject>;
+}
+
+impl VertexStore for crate::cluster::HypercubeIndex {
+    fn store_shape(&self) -> Shape {
+        self.shape()
+    }
+
+    fn scan_vertex(&self, bits: u64, keywords: &KeywordSet, remaining: usize) -> Vec<RankedObject> {
+        let vertex = Vertex::from_bits(self.shape(), bits).expect("driver stays inside the cube");
+        scan_table(self.table_at(vertex), keywords, remaining)
+    }
+}
+
+/// Outcome of [`run_superset`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriverOutcome {
+    /// Matches in traversal (arrival) order, at most `threshold`.
+    pub results: Vec<RankedObject>,
+    /// Distinct vertices visited.
+    pub nodes_visited: u64,
+}
+
+/// Drives one sequential top-down superset search over any
+/// [`VertexStore`] — the whole protocol with transport reduced to a
+/// function call. The simulator and the threaded runtime run this very
+/// state machine over their own transports; parity tests pin all three
+/// to each other.
+pub fn run_superset<S: VertexStore + ?Sized>(
+    store: &S,
+    root: Vertex,
+    keywords: Arc<KeywordSet>,
+    threshold: usize,
+) -> DriverOutcome {
+    let shape = store.store_shape();
+    let mut coord = SupersetCoordinator::new(root, keywords, threshold);
+    let mut results = Vec::new();
+    let mut nodes_visited = 0u64;
+    loop {
+        match coord.next_step() {
+            Step::Finished => break,
+            Step::Visit { bits, via_dim } => {
+                nodes_visited += 1;
+                let found = store.scan_vertex(bits, coord.keywords(), coord.remaining());
+                let vertex =
+                    Vertex::from_bits(shape, bits).expect("coordinator stays inside the cube");
+                let count = found.len();
+                results.extend(found);
+                coord.record_visit(count, SupersetCoordinator::children_of(vertex, via_dim));
+            }
+        }
+    }
+    DriverOutcome {
+        results,
+        nodes_visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::HypercubeIndex;
+    use crate::search::SupersetQuery;
+    use hyperdex_dht::ObjectId;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    const CORPUS: &[(u64, &str)] = &[
+        (1, "a"),
+        (2, "a b"),
+        (3, "a b c"),
+        (4, "a c"),
+        (5, "b c"),
+        (6, "a d e"),
+        (7, "x y"),
+        (8, "a b d"),
+    ];
+
+    fn index(r: u8) -> HypercubeIndex {
+        let mut idx = HypercubeIndex::new(r, 0).unwrap();
+        for &(id, kws) in CORPUS {
+            idx.insert(oid(id), set(kws)).unwrap();
+        }
+        idx
+    }
+
+    #[test]
+    fn coordinator_covers_the_whole_subcube_once() {
+        let shape = Shape::new(6).unwrap();
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut coord = SupersetCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1);
+        let mut seen = std::collections::BTreeSet::new();
+        loop {
+            match coord.next_step() {
+                Step::Finished => break,
+                Step::Visit { bits, via_dim } => {
+                    assert!(seen.insert(bits), "vertex {bits:#x} visited twice");
+                    let v = Vertex::from_bits(shape, bits).unwrap();
+                    coord.record_visit(0, SupersetCoordinator::children_of(v, via_dim));
+                }
+            }
+        }
+        let free = root.zero_positions().count();
+        assert_eq!(seen.len() as u64, 1u64 << free, "full induced subcube");
+        assert!(seen.iter().all(|&b| b & root.bits() == root.bits()));
+    }
+
+    #[test]
+    fn coordinator_stops_at_threshold() {
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut coord = SupersetCoordinator::new(root, kw, 3);
+        // Root answers 2, first child answers 1 — done, rest unvisited.
+        assert!(matches!(
+            coord.next_step(),
+            Step::Visit { via_dim: None, .. }
+        ));
+        coord.record_visit(2, SupersetCoordinator::children_of(root, None));
+        assert_eq!(coord.remaining(), 1);
+        let Step::Visit { bits, via_dim } = coord.next_step() else {
+            panic!("frontier must be non-empty");
+        };
+        let v = Vertex::from_bits(root.shape(), bits).unwrap();
+        coord.record_visit(1, SupersetCoordinator::children_of(v, via_dim));
+        assert!(coord.is_done());
+        assert_eq!(coord.next_step(), Step::Finished);
+    }
+
+    #[test]
+    fn coordinator_stop_latches() {
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut coord = SupersetCoordinator::new(root, kw, 10);
+        coord.next_step();
+        coord.record_visit(0, SupersetCoordinator::children_of(root, None));
+        coord.stop();
+        assert_eq!(coord.next_step(), Step::Finished);
+    }
+
+    #[test]
+    fn queue_reuse_keeps_capacity_and_clears_contents() {
+        let hasher = crate::hashing::KeywordHasher::new(8, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut coord = SupersetCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1);
+        coord.next_step();
+        coord.record_visit(0, SupersetCoordinator::children_of(root, None));
+        let queue = coord.into_queue();
+        assert!(!queue.is_empty(), "children were queued");
+        let reused = SupersetCoordinator::with_queue(root, kw, 10, queue);
+        assert!(reused.frontier.is_empty(), "reused queue starts empty");
+    }
+
+    #[test]
+    fn driver_matches_direct_engine() {
+        let mut idx = index(10);
+        for query in ["a", "a b", "b", "x", "zzz"] {
+            let kw = Arc::new(set(query));
+            let root = idx.vertex_for(&kw);
+            let drv = run_superset(&idx, root, Arc::clone(&kw), usize::MAX - 1);
+            let direct = idx
+                .superset_search(&SupersetQuery::new(set(query)).use_cache(false))
+                .unwrap();
+            let mut a: Vec<ObjectId> = drv.results.iter().map(|r| r.object).collect();
+            let mut b: Vec<ObjectId> = direct.results.iter().map(|r| r.object).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {query}");
+            assert_eq!(
+                drv.nodes_visited, direct.stats.nodes_contacted,
+                "node parity for {query}"
+            );
+        }
+    }
+
+    #[test]
+    fn driver_respects_threshold() {
+        let idx = index(8);
+        let kw = Arc::new(set("a"));
+        let root = idx.vertex_for(&kw);
+        let out = run_superset(&idx, root, kw, 2);
+        assert_eq!(out.results.len(), 2);
+    }
+
+    #[test]
+    fn scan_table_honors_remaining_and_missing_tables() {
+        assert!(scan_table(None, &set("a"), 10).is_empty());
+        let mut table = IndexTable::new();
+        for i in 0..5 {
+            table.insert(set(&format!("a extra{i}")), oid(i));
+        }
+        assert_eq!(scan_table(Some(&table), &set("a"), 3).len(), 3);
+        assert_eq!(scan_table(Some(&table), &set("a"), 99).len(), 5);
+        assert!(scan_table(Some(&table), &set("q"), 99).is_empty());
+    }
+
+    #[test]
+    fn subtree_bits_counts_lemma_3_2() {
+        let shape = Shape::new(6).unwrap();
+        let root = Vertex::from_bits(shape, 0b100).unwrap();
+        let mut out = Vec::new();
+        subtree_bits(shape, root, None, &mut out);
+        assert_eq!(out.len() as u64, 1 << 5, "root subtree spans free dims");
+        let child = root.flip(4);
+        out.clear();
+        subtree_bits(shape, child, Some(4), &mut out);
+        // Free dims strictly below 4 excluding bit 2 (set): {0, 1, 3}.
+        assert_eq!(out.len(), 1 << 3);
+    }
+}

@@ -39,6 +39,8 @@ use crate::error::Error;
 use crate::hashing::KeywordHasher;
 use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
+use crate::protocol::{extend_child_contacts, extend_root_frontier, subtree_bits};
+use crate::protocol::{Step, SupersetCoordinator};
 use crate::search::RankedObject;
 use crate::summary::{pruned_levels, OccupancySummary};
 
@@ -127,6 +129,19 @@ pub enum KwMsg {
         bits: u64,
         /// Its exact object count after the change.
         count: u64,
+    },
+    /// Requester → `F_h(K)`'s host: exact-match pin lookup (§3.2) —
+    /// one message to the single vertex the full keyword set hashes to.
+    Pin {
+        /// The queried keyword set `K` (interned).
+        keywords: Arc<KeywordSet>,
+        /// Endpoint collecting results.
+        requester: EndpointId,
+    },
+    /// Node → requester: the pin lookup's exact matches.
+    PinResults {
+        /// Objects indexed under exactly the queried set.
+        objects: Vec<ObjectId>,
     },
 }
 
@@ -267,17 +282,26 @@ pub struct SimSearchOutcome {
     pub pruned_subtrees: u64,
 }
 
-/// Root-side coordinator state for one sequential search.
+/// Outcome of a message-level pin search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimPinOutcome {
+    /// Objects indexed under exactly the queried set, in arrival order.
+    pub results: Vec<ObjectId>,
+    /// Total messages the network carried (request + reply).
+    pub messages: u64,
+    /// Virtual time from send to the reply's delivery.
+    pub elapsed: hyperdex_simnet::time::SimDuration,
+}
+
+/// Root-side coordinator state for one sequential search: the shared
+/// [`SupersetCoordinator`] state machine plus the sim-only bookkeeping
+/// (who gets the results, what pruning skipped).
 #[derive(Debug)]
 struct Coordinator {
-    keywords: Arc<KeywordSet>,
-    remaining: usize,
+    /// The transport-agnostic traversal machine — the same one the
+    /// direct engine's driver and the threaded runtime execute.
+    core: SupersetCoordinator,
     requester: EndpointId,
-    /// The root vertex's bits — `One(F_h(K))`, the mask pruning tests
-    /// against. (Endpoint ids no longer encode vertex bits.)
-    root_bits: u64,
-    frontier: VecDeque<(u64, u8)>,
-    done: bool,
     /// Subtrees the coordinator pruned instead of querying.
     pruned: u64,
 }
@@ -482,16 +506,27 @@ impl ProtocolSim {
                     if to == root {
                         // The root doubles as coordinator. Its frontier
                         // queue is the sim's reused scratch buffer.
-                        let mut frontier = std::mem::take(&mut self.scratch.frontier);
-                        frontier.clear();
-                        extend_root_frontier(vertex, &mut frontier);
+                        let frontier = std::mem::take(&mut self.scratch.frontier);
+                        let mut core =
+                            SupersetCoordinator::with_queue(vertex, keywords, remaining, frontier);
+                        // Consume the machine's root step — this arm IS
+                        // that visit — and fold the local scan in.
+                        let step = core.next_step();
+                        debug_assert_eq!(
+                            step,
+                            Step::Visit {
+                                bits: vertex.bits(),
+                                via_dim: None
+                            }
+                        );
+                        let mut children = std::mem::take(&mut self.scratch.children);
+                        children.clear();
+                        extend_root_frontier(vertex, &mut children);
+                        core.record_visit(found, children.drain(..));
+                        self.scratch.children = children;
                         let mut coord = Coordinator {
-                            remaining: remaining.saturating_sub(found),
-                            keywords,
+                            core,
                             requester,
-                            root_bits: vertex.bits(),
-                            frontier,
-                            done: false,
                             pruned: 0,
                         };
                         self.advance(&mut coord, root);
@@ -510,34 +545,35 @@ impl ProtocolSim {
                 }
                 KwMsg::TCont { found, children } => {
                     let coord = coordinator.as_mut().expect("TCont implies a coordinator");
-                    coord.remaining = coord.remaining.saturating_sub(found);
-                    coord.frontier.extend(children);
+                    coord.core.record_visit(found, children);
                     self.advance_boxed(&mut coordinator, to);
                 }
                 KwMsg::TStop => {
                     if let Some(coord) = coordinator.as_mut() {
-                        coord.done = true;
+                        coord.core.stop();
                     }
                 }
                 KwMsg::Results { objects } => {
                     debug_assert_eq!(to, self.requester);
                     results.extend(objects);
                 }
-                // Fault-tolerant-/churn-mode messages; never sent by
-                // this path (churned networks search via
+                // Fault-tolerant-/churn-/pin-mode messages; never sent
+                // by this path (churned networks search via
                 // `search_fault_tolerant`).
                 KwMsg::TContFt { .. }
                 | KwMsg::HandoffBatch { .. }
                 | KwMsg::HandoffAck { .. }
                 | KwMsg::RepairPush { .. }
-                | KwMsg::TSummary { .. } => {}
+                | KwMsg::TSummary { .. }
+                | KwMsg::Pin { .. }
+                | KwMsg::PinResults { .. } => {}
             }
         }
 
         // Reclaim the frontier buffer for the next search.
         let pruned_subtrees = match coordinator {
             Some(c) => {
-                self.scratch.frontier = c.frontier;
+                self.scratch.frontier = c.core.into_queue();
                 c.pruned
             }
             None => 0,
@@ -550,6 +586,66 @@ impl ProtocolSim {
             elapsed: last_at.saturating_since(start),
             pruned_subtrees,
         })
+    }
+
+    /// Runs the paper's pin search (§3.2) as messages: one `Pin` to the
+    /// vertex the full keyword set hashes to, one `PinResults` back.
+    pub fn pin_search(&mut self, keywords: &KeywordSet) -> SimPinOutcome {
+        let vertex = self.hasher.vertex_for(keywords);
+        let ep = self.endpoint_of(vertex.bits());
+        let start = self.net.now();
+        let sent_before = self.net.metrics().messages_sent.get();
+        let shared_kw = self.interner.intern(keywords.clone());
+        self.net.send(
+            self.requester,
+            ep,
+            KwMsg::Pin {
+                keywords: shared_kw,
+                requester: self.requester,
+            },
+        );
+
+        let mut results = Vec::new();
+        let mut last_at = start;
+        while let Some(d) = self.net.step() {
+            last_at = d.at;
+            let to = d.to;
+            match d.payload {
+                KwMsg::Pin {
+                    keywords,
+                    requester,
+                } => {
+                    let vertex = self.vertex_of(to);
+                    let objects: Vec<ObjectId> = self
+                        .tables
+                        .get(&vertex.bits())
+                        .map(|t| t.objects_with(&keywords).collect())
+                        .unwrap_or_default();
+                    self.net.send(to, requester, KwMsg::PinResults { objects });
+                }
+                KwMsg::PinResults { objects } => {
+                    debug_assert_eq!(to, self.requester);
+                    results.extend(objects);
+                }
+                // Traversal/churn messages cannot appear: every search
+                // drains the network before returning.
+                KwMsg::TQuery { .. }
+                | KwMsg::TCont { .. }
+                | KwMsg::TStop
+                | KwMsg::TContFt { .. }
+                | KwMsg::Results { .. }
+                | KwMsg::HandoffBatch { .. }
+                | KwMsg::HandoffAck { .. }
+                | KwMsg::RepairPush { .. }
+                | KwMsg::TSummary { .. } => {}
+            }
+        }
+
+        SimPinOutcome {
+            results,
+            messages: self.net.metrics().messages_sent.get() - sent_before,
+            elapsed: last_at.saturating_since(start),
+        }
     }
 
     /// Runs the §3.5 level-parallel variant as messages: the root
@@ -632,7 +728,9 @@ impl ProtocolSim {
                     | KwMsg::HandoffBatch { .. }
                     | KwMsg::HandoffAck { .. }
                     | KwMsg::RepairPush { .. }
-                    | KwMsg::TSummary { .. } => {}
+                    | KwMsg::TSummary { .. }
+                    | KwMsg::Pin { .. }
+                    | KwMsg::PinResults { .. } => {}
                 }
             }
             if satisfied >= threshold {
@@ -928,7 +1026,9 @@ impl ProtocolSim {
                         | KwMsg::HandoffBatch { .. }
                         | KwMsg::HandoffAck { .. }
                         | KwMsg::RepairPush { .. }
-                        | KwMsg::TSummary { .. } => {}
+                        | KwMsg::TSummary { .. }
+                        | KwMsg::Pin { .. }
+                        | KwMsg::PinResults { .. } => {}
                     }
                 }
                 NetEvent::Timer(t) => {
@@ -1127,25 +1227,9 @@ impl ProtocolSim {
         } else {
             &self.tables
         };
-        // Unmaterialized vertex: logically contacted, holds nothing.
-        let Some(table) = tables.get(&vertex.bits()) else {
-            return Vec::new();
-        };
-        let mut found = Vec::new();
-        for (keyword_set, objects) in table.superset_entries(keywords) {
-            let extra = (keyword_set.len() - keywords.len()) as u32;
-            for object in objects {
-                if found.len() >= remaining {
-                    break;
-                }
-                found.push(RankedObject {
-                    object,
-                    keyword_set: keyword_set.clone(),
-                    extra_keywords: extra,
-                });
-            }
-        }
-        found
+        // Unmaterialized vertex: logically contacted, holds nothing
+        // (`scan_table` treats `None` exactly that way).
+        crate::protocol::scan_table(tables.get(&vertex.bits()), keywords, remaining)
     }
 
     /// Scans a vertex's table, sends matches to the requester, and
@@ -1171,33 +1255,34 @@ impl ProtocolSim {
     /// Pops the coordinator's next frontier node and queries it, or
     /// marks the search done.
     fn advance(&mut self, coord: &mut Coordinator, root_ep: EndpointId) {
-        if coord.done || coord.remaining == 0 {
-            coord.done = true;
-            return;
-        }
         // With pruning on, provably-empty frontier entries are consumed
         // (and counted) without sending anything; the coordinator
         // carries `One(F_h(K))` explicitly.
-        while let Some((bits, dim)) = coord.frontier.pop_front() {
-            if self.prune && self.summary.can_prune(bits, dim, coord.root_bits) {
-                coord.pruned += 1;
-                continue;
+        loop {
+            match coord.core.next_step() {
+                Step::Finished => return,
+                Step::Visit { bits, via_dim } => {
+                    let dim = via_dim.expect("the root visit was consumed at creation");
+                    if self.prune && self.summary.can_prune(bits, dim, coord.core.root_bits()) {
+                        coord.pruned += 1;
+                        continue;
+                    }
+                    let to = self.endpoint_of(bits);
+                    self.net.send(
+                        root_ep,
+                        to,
+                        KwMsg::TQuery {
+                            keywords: Arc::clone(coord.core.keywords()),
+                            remaining: coord.core.remaining(),
+                            requester: coord.requester,
+                            via_dim: Some(dim),
+                            root: root_ep,
+                        },
+                    );
+                    return;
+                }
             }
-            let to = self.endpoint_of(bits);
-            self.net.send(
-                root_ep,
-                to,
-                KwMsg::TQuery {
-                    keywords: Arc::clone(&coord.keywords),
-                    remaining: coord.remaining,
-                    requester: coord.requester,
-                    via_dim: Some(dim),
-                    root: root_ep,
-                },
-            );
-            return;
         }
-        coord.done = true;
     }
 
     /// `advance` through the `Option` wrapper (borrow-checker helper).
@@ -1348,46 +1433,6 @@ fn ft_cancel_all(net: &mut Network<KwMsg>, pending: &mut BTreeMap<u64, Pending>)
     }
 }
 
-/// Collects the bits of every vertex in the SBT subtree rooted at `w`
-/// (reached via `via_dim`; `None` means `w` is the query root). By
-/// Lemma 3.2 the subtree is fully determined by `w` and the arrival
-/// dimension — no state from `w` itself is needed. Allocation-free:
-/// children are enumerated directly off the bits, no intermediate
-/// child list per node.
-fn subtree_bits(shape: Shape, w: Vertex, via_dim: Option<u8>, out: &mut Vec<u64>) {
-    out.push(w.bits());
-    // The root's children span all free dims; an interior node's span
-    // the free dims strictly below its arrival dimension.
-    let limit = via_dim.unwrap_or(shape.r());
-    for i in (0..limit).rev() {
-        if !w.bit(i) {
-            subtree_bits(shape, w.flip(i), Some(i), out);
-        }
-    }
-}
-
-/// Pushes the root's initial frontier — its free dimensions,
-/// descending — into any collection (`Vec` for messages, the reused
-/// `VecDeque` for the coordinator queue).
-fn extend_root_frontier(root: Vertex, out: &mut impl Extend<(u64, u8)>) {
-    out.extend(
-        root.zero_positions()
-            .rev()
-            .map(|i| (root.flip(i).bits(), i)),
-    );
-}
-
-/// Pushes a node's child contacts — free dims below its arrival
-/// dimension, descending — into any collection.
-fn extend_child_contacts(w: Vertex, via_dim: u8, out: &mut impl Extend<(u64, u8)>) {
-    out.extend(
-        (0..via_dim)
-            .rev()
-            .filter(|&i| !w.bit(i))
-            .map(|i| (w.flip(i).bits(), i)),
-    );
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1442,6 +1487,23 @@ mod tests {
                 d.stats.nodes_contacted, s.nodes_contacted,
                 "node parity for {query}"
             );
+        }
+    }
+
+    #[test]
+    fn pin_matches_direct_engine() {
+        let (direct, mut sim) = twin(8, CORPUS);
+        for query in ["a", "a b", "a b c", "x y", "zzz"] {
+            let d = direct.pin_search(&set(query));
+            let s = sim.pin_search(&set(query));
+            let mut d_ids = d.results.clone();
+            let mut s_ids = s.results.clone();
+            d_ids.sort_unstable();
+            s_ids.sort_unstable();
+            assert_eq!(d_ids, s_ids, "pin parity for {query}");
+            // Exactly one request and one reply — the reply is sent
+            // even when empty, so the requester observes completion.
+            assert_eq!(s.messages, 2, "message count for {query}");
         }
     }
 

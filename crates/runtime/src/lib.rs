@@ -1,0 +1,47 @@
+//! `hyperdex-runtime`: the hypercube keyword index on real OS threads.
+//!
+//! Everything the repo reproduced from the paper so far — pin lookup,
+//! SBT superset traversal, inserts — executes here on a multithreaded
+//! **shared-nothing** cluster: worker threads own disjoint vertex
+//! shards, exchange length-prefixed protocol frames over bounded
+//! channels with explicit backpressure, and run the *same*
+//! [`hyperdex_core::protocol::SupersetCoordinator`] state machine as
+//! the single-threaded simulator, which is what lets the [`parity`]
+//! harness demand set-identical results at every thread count.
+//!
+//! Module map:
+//!
+//! * [`wire`] — the hand-rolled length-prefixed codec; the thread
+//!   boundary is byte-defined, like a socket.
+//! * [`shard`] — pure, seeded vertex → worker ownership.
+//! * [`runtime`] — worker event loops, the client handle, the flush
+//!   barrier, the shutdown/conservation protocol.
+//! * [`parity`] — the runtime vs. simulator vs. direct-engine parity
+//!   harness used by tests and the `runtime` bench.
+//!
+//! ```
+//! use hyperdex_runtime::{NodeRuntime, RuntimeConfig};
+//! use hyperdex_core::{KeywordSet, ObjectId};
+//!
+//! let mut rt = NodeRuntime::start(RuntimeConfig::new(8, 4))?;
+//! rt.insert(ObjectId::from_raw(1), KeywordSet::parse("rust p2p")?)?;
+//! rt.flush();
+//! assert_eq!(rt.pin_search(&KeywordSet::parse("rust p2p")?).len(), 1);
+//! let report = rt.shutdown();
+//! report.assert_conserved();
+//! # Ok::<(), hyperdex_core::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod parity;
+pub mod runtime;
+pub mod shard;
+pub mod wire;
+
+pub use parity::{assert_sim_parity, ParityReport};
+pub use runtime::{
+    BatchResult, NodeRuntime, Request, RuntimeConfig, RuntimeMatch, ShutdownReport, WorkerStats,
+};
+pub use shard::ShardMap;
+pub use wire::{WireError, WireMsg};

@@ -1,0 +1,159 @@
+//! Sim-parity harness: the threaded runtime vs. the deterministic
+//! single-threaded ground truths.
+//!
+//! For a shared `(r, seed)` and corpus, every query must return a
+//! result set identical to both [`ProtocolSim`]'s message-level
+//! traversal and the direct [`HypercubeIndex`] engine, at every worker
+//! count — thread scheduling may reorder frame *arrivals*, but the
+//! per-query sequential coordination makes outcomes order-free. The
+//! harness also asserts the frame-conservation law on shutdown, so a
+//! lost or duplicated frame fails the run even when results happen to
+//! match.
+//!
+//! Both the integration tests and the `runtime` bench call into this
+//! module, keeping "what parity means" defined in exactly one place.
+
+use hyperdex_core::sim_protocol::ProtocolSim;
+use hyperdex_core::{HypercubeIndex, KeywordSet, ObjectId, SupersetQuery};
+use hyperdex_simnet::latency::LatencyModel;
+
+use crate::runtime::{NodeRuntime, RuntimeConfig, ShutdownReport};
+
+/// What one parity run checked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParityReport {
+    /// Worker threads the runtime ran with.
+    pub workers: u32,
+    /// Superset queries compared (runtime vs. sim vs. direct).
+    pub superset_checked: usize,
+    /// Pin lookups compared.
+    pub pin_checked: usize,
+    /// The runtime's shutdown accounting (conservation already
+    /// asserted).
+    pub shutdown: ShutdownReport,
+}
+
+/// Builds sim + direct + runtime from the same corpus, runs every
+/// query on all three, and panics on any divergence: differing result
+/// id-sets, or a conservation violation at shutdown.
+///
+/// `queries` pairs a keyword set with a superset threshold; every set
+/// is additionally pin-searched.
+pub fn assert_sim_parity(
+    r: u8,
+    seed: u64,
+    workers: u32,
+    corpus: &[(ObjectId, KeywordSet)],
+    queries: &[(KeywordSet, usize)],
+) -> ParityReport {
+    let mut direct = HypercubeIndex::new(r, seed).expect("valid r");
+    let mut sim = ProtocolSim::new(r, seed, LatencyModel::constant(1)).expect("valid r");
+    let mut runtime =
+        NodeRuntime::start(RuntimeConfig::new(r, workers).seed(seed)).expect("valid r");
+
+    for (object, keywords) in corpus {
+        direct.insert(*object, keywords.clone()).expect("non-empty");
+        sim.insert(*object, keywords.clone()).expect("non-empty");
+        runtime
+            .insert(*object, keywords.clone())
+            .expect("non-empty");
+    }
+    runtime.flush();
+
+    let mut superset_checked = 0;
+    let mut pin_checked = 0;
+    for (keywords, threshold) in queries {
+        // Superset: runtime vs. sim (message-level) vs. direct engine.
+        let rt_ids = ids(runtime
+            .superset_search(keywords, *threshold)
+            .expect("non-zero threshold")
+            .iter()
+            .map(|m| m.object));
+        let sim_ids = ids(sim
+            .search_sequential(keywords, *threshold)
+            .expect("non-zero threshold")
+            .results
+            .iter()
+            .map(|m| m.object));
+        let direct_ids = ids(direct
+            .superset_search(
+                &SupersetQuery::new(keywords.clone())
+                    .threshold(*threshold)
+                    .use_cache(false),
+            )
+            .expect("valid query")
+            .results
+            .iter()
+            .map(|m| m.object));
+        assert_eq!(
+            rt_ids, sim_ids,
+            "runtime/sim superset divergence: r={r} seed={seed} workers={workers} K={keywords:?}"
+        );
+        assert_eq!(
+            rt_ids, direct_ids,
+            "runtime/direct superset divergence: r={r} seed={seed} workers={workers} K={keywords:?}"
+        );
+        superset_checked += 1;
+
+        // Pin: runtime vs. sim vs. direct.
+        let rt_pin = ids(runtime.pin_search(keywords).into_iter());
+        let sim_pin = ids(sim.pin_search(keywords).results.into_iter());
+        let direct_pin = ids(direct.pin_search(keywords).results.into_iter());
+        assert_eq!(
+            rt_pin, sim_pin,
+            "runtime/sim pin divergence: r={r} seed={seed} workers={workers} K={keywords:?}"
+        );
+        assert_eq!(
+            rt_pin, direct_pin,
+            "runtime/direct pin divergence: r={r} seed={seed} workers={workers} K={keywords:?}"
+        );
+        pin_checked += 1;
+    }
+
+    let shutdown = runtime.shutdown();
+    shutdown.assert_conserved();
+    ParityReport {
+        workers,
+        superset_checked,
+        pin_checked,
+        shutdown,
+    }
+}
+
+/// Sorted, deduplicated id list — the set the parity contract compares.
+fn ids(objects: impl Iterator<Item = ObjectId>) -> Vec<ObjectId> {
+    let mut out: Vec<ObjectId> = objects.collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parity_on_a_small_corpus() {
+        let corpus: Vec<(ObjectId, KeywordSet)> =
+            [(1, "a"), (2, "a b"), (3, "a b c"), (4, "b c"), (5, "a c d")]
+                .into_iter()
+                .map(|(id, k)| (ObjectId::from_raw(id), set(k)))
+                .collect();
+        let queries = vec![
+            (set("a"), usize::MAX - 1),
+            (set("a b"), usize::MAX - 1),
+            (set("a"), 2),
+            (set("zzz"), 5),
+        ];
+        for workers in [1, 3] {
+            let report = assert_sim_parity(8, 42, workers, &corpus, &queries);
+            assert_eq!(report.superset_checked, 4);
+            assert_eq!(report.pin_checked, 4);
+            assert_eq!(report.shutdown.in_flight(), 0);
+        }
+    }
+}

@@ -1,0 +1,973 @@
+//! The threaded node runtime: sharded workers, bounded channels,
+//! explicit backpressure, and a drain/shutdown barrier.
+//!
+//! # Shard ownership
+//!
+//! [`NodeRuntime::start`] spawns `workers` OS threads. Each owns the
+//! disjoint set of hypercube vertices [`ShardMap`] assigns to it —
+//! `IndexTable`s, interners, and per-query coordinator state live on
+//! exactly one thread and are never shared, never locked. Everything
+//! that crosses a thread boundary is a length-prefixed byte frame
+//! ([`crate::wire`]), so the worker boundary behaves like a socket.
+//!
+//! # Channel topology and backpressure
+//!
+//! Every endpoint (each worker, plus the client handle) has one
+//! bounded `std::sync::mpsc::sync_channel` inbox. The client may
+//! block on `send` — workers always return to draining their inboxes,
+//! so a blocked client always unblocks. Workers themselves **never**
+//! block on a send: a full peer inbox would otherwise deadlock two
+//! workers sending to each other. Instead a worker `try_send`s, and on
+//! `Full` parks the frame in a per-destination outbox that is
+//! re-flushed on every loop iteration, counting the event in
+//! [`WorkerStats::backpressure_hits`].
+//!
+//! # Queries
+//!
+//! The worker owning `F_h(K)` coordinates each query by running the
+//! same [`SupersetCoordinator`] state machine as the simulator and the
+//! direct engine. Visits to its own vertices are local scans; visits
+//! to foreign vertices become `T_QUERY` frames, answered with `T_CONT`
+//! frames that carry results and SBT children back. One query is
+//! sequential (one outstanding visit), exactly like the paper's §3.3
+//! traversal — which is what makes the runtime's result sets provably
+//! identical to the simulator's. Throughput comes from pipelining
+//! *across* queries: different queries root on different workers and
+//! progress concurrently.
+//!
+//! # Shutdown protocol and conservation
+//!
+//! [`NodeRuntime::shutdown`] first runs the flush barrier (a `Flush`
+//! token to every worker, answered by `FlushAck` after all prior
+//! frames on that inbox were processed), then sends `Shutdown`. A
+//! worker receiving `Shutdown` flushes its outboxes and exits,
+//! returning its [`WorkerStats`]. The client joins every thread,
+//! drains its own inbox, and builds a [`ShutdownReport`] whose
+//! conservation law — every frame sent was received, zero in flight —
+//! is asserted by the parity harness and the bench on every run.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hyperdex_core::protocol::{scan_table, Step, SupersetCoordinator};
+use hyperdex_core::{Error, IndexTable, KeywordHasher, KeywordInterner, KeywordSet, ObjectId};
+use hyperdex_hypercube::{Shape, Vertex};
+
+use crate::shard::ShardMap;
+use crate::wire::WireMsg;
+
+/// How a [`NodeRuntime`] is shaped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Hypercube dimension `r` (1 ..= 63).
+    pub r: u8,
+    /// Seed for keyword hashing and shard placement.
+    pub seed: u64,
+    /// Worker threads (each owns one shard); at least 1.
+    pub workers: u32,
+    /// Bound of every inbox channel, in frames.
+    pub channel_capacity: usize,
+}
+
+impl RuntimeConfig {
+    /// A config with the default seed (0) and channel bound (256).
+    pub fn new(r: u8, workers: u32) -> RuntimeConfig {
+        RuntimeConfig {
+            r,
+            seed: 0,
+            workers,
+            channel_capacity: 256,
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn seed(mut self, seed: u64) -> RuntimeConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the per-inbox channel bound.
+    pub fn channel_capacity(mut self, frames: usize) -> RuntimeConfig {
+        self.channel_capacity = frames.max(1);
+        self
+    }
+}
+
+/// One worker's lifetime counters, returned when its thread exits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// The worker's shard index.
+    pub worker: u32,
+    /// Frames successfully handed to a peer or client channel.
+    pub frames_sent: u64,
+    /// Frames received and decoded from the inbox.
+    pub frames_received: u64,
+    /// `try_send` rejections that parked a frame in an outbox.
+    pub backpressure_hits: u64,
+    /// Objects newly indexed on this shard.
+    pub inserts: u64,
+    /// Vertex scans served (local visits, `T_QUERY`s, and pins).
+    pub scans: u64,
+    /// Superset queries this worker coordinated.
+    pub queries_coordinated: u64,
+}
+
+/// Frame accounting for a whole runtime run, built at shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Frames the client handle sent.
+    pub client_sent: u64,
+    /// Frames the client handle received (including the final drain).
+    pub client_received: u64,
+    /// Per-worker counters, indexed by shard.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl ShutdownReport {
+    /// Frames sent by every endpoint.
+    pub fn total_sent(&self) -> u64 {
+        self.client_sent + self.workers.iter().map(|w| w.frames_sent).sum::<u64>()
+    }
+
+    /// Frames received by every endpoint.
+    pub fn total_received(&self) -> u64 {
+        self.client_received + self.workers.iter().map(|w| w.frames_received).sum::<u64>()
+    }
+
+    /// Frames unaccounted for after every thread exited. The
+    /// conservation law says this is zero: with all threads joined and
+    /// all channels drained, nothing can still be in flight.
+    pub fn in_flight(&self) -> u64 {
+        self.total_sent() - self.total_received()
+    }
+
+    /// Panics unless `sent == received` (no frame lost or conjured).
+    pub fn assert_conserved(&self) {
+        assert_eq!(
+            self.total_sent(),
+            self.total_received(),
+            "message conservation violated: {self:?}"
+        );
+    }
+}
+
+/// One match from a runtime superset search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeMatch {
+    /// The matching object.
+    pub object: ObjectId,
+    /// `|K'| − |K|`: how many keywords beyond the query it carries.
+    pub extra_keywords: u32,
+}
+
+/// One request of a pipelined [`NodeRuntime::run_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Exact-match pin lookup.
+    Pin(KeywordSet),
+    /// Superset search wanting up to `threshold` results.
+    Superset {
+        /// The queried keyword set.
+        keywords: KeywordSet,
+        /// Results wanted.
+        threshold: usize,
+    },
+}
+
+/// One completed batch request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Matching object ids (set semantics; order is arrival order).
+    pub objects: Vec<ObjectId>,
+    /// Send-to-completion wall time for this request.
+    pub latency: Duration,
+}
+
+/// Client handle to a running sharded cluster. All methods are
+/// synchronous from the caller's point of view; concurrency lives in
+/// the worker threads ([`NodeRuntime::run_batch`] keeps a window of
+/// requests in flight to exploit it).
+#[derive(Debug)]
+pub struct NodeRuntime {
+    hasher: KeywordHasher,
+    shards: ShardMap,
+    to_worker: Vec<SyncSender<Vec<u8>>>,
+    inbox: Receiver<Vec<u8>>,
+    handles: Vec<JoinHandle<WorkerStats>>,
+    next_id: u64,
+    client_sent: u64,
+    client_received: u64,
+}
+
+impl NodeRuntime {
+    /// Spawns the worker threads and returns the client handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] when `r` is outside `1..=63`.
+    pub fn start(cfg: RuntimeConfig) -> Result<NodeRuntime, Error> {
+        let hasher = KeywordHasher::new(cfg.r, cfg.seed)?;
+        let shape = Shape::new(cfg.r)?;
+        let workers = cfg.workers.max(1);
+        let shards = ShardMap::new(workers, cfg.seed);
+        let cap = cfg.channel_capacity.max(1);
+
+        let mut worker_tx = Vec::with_capacity(workers as usize);
+        let mut worker_rx = Vec::with_capacity(workers as usize);
+        for _ in 0..workers {
+            let (tx, rx) = sync_channel::<Vec<u8>>(cap);
+            worker_tx.push(tx);
+            worker_rx.push(rx);
+        }
+        // The client inbox absorbs replies from every worker; scale its
+        // bound so a reply burst cannot stall the whole fleet.
+        let (client_tx, client_rx) = sync_channel::<Vec<u8>>(cap * workers as usize);
+
+        let mut handles = Vec::with_capacity(workers as usize);
+        for (index, rx) in worker_rx.into_iter().enumerate() {
+            let links: Vec<Option<SyncSender<Vec<u8>>>> = worker_tx
+                .iter()
+                .enumerate()
+                .map(|(j, tx)| (j != index).then(|| tx.clone()))
+                .chain(std::iter::once(Some(client_tx.clone())))
+                .collect();
+            let worker = Worker {
+                index: index as u32,
+                shape,
+                hasher,
+                shards,
+                tables: HashMap::new(),
+                interner: KeywordInterner::new(),
+                outbox: (0..links.len()).map(|_| VecDeque::new()).collect(),
+                links,
+                queries: HashMap::new(),
+                stats: WorkerStats {
+                    worker: index as u32,
+                    ..WorkerStats::default()
+                },
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("hyperdex-worker-{index}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawn worker thread");
+            handles.push(handle);
+        }
+
+        Ok(NodeRuntime {
+            hasher,
+            shards,
+            to_worker: worker_tx,
+            inbox: client_rx,
+            handles,
+            next_id: 0,
+            client_sent: 0,
+            client_received: 0,
+        })
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> u32 {
+        self.shards.workers()
+    }
+
+    /// Routes one `T_INSERT` to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeywordSet`] when `keywords` is empty.
+    pub fn insert(&mut self, object: ObjectId, keywords: KeywordSet) -> Result<(), Error> {
+        if keywords.is_empty() {
+            return Err(Error::EmptyKeywordSet);
+        }
+        let bits = self.hasher.vertex_for(&keywords).bits();
+        let owner = self.shards.owner_of(bits);
+        self.send_frame(
+            owner,
+            &WireMsg::Insert {
+                object: object.raw(),
+                keywords,
+            },
+        );
+        Ok(())
+    }
+
+    /// Installs whole vertex tables at once (bulk load): entries are
+    /// grouped by vertex and shipped as `Handoff` frames to the owning
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyKeywordSet`] if any entry's set is empty.
+    pub fn bulk_load<'a, I>(&mut self, entries: I) -> Result<(), Error>
+    where
+        I: IntoIterator<Item = (ObjectId, &'a KeywordSet)>,
+    {
+        let mut by_vertex: HashMap<u64, Vec<(KeywordSet, Vec<u64>)>> = HashMap::new();
+        for (object, keywords) in entries {
+            if keywords.is_empty() {
+                return Err(Error::EmptyKeywordSet);
+            }
+            let bits = self.hasher.vertex_for(keywords).bits();
+            by_vertex
+                .entry(bits)
+                .or_default()
+                .push((keywords.clone(), vec![object.raw()]));
+        }
+        // Deterministic ship order keeps table construction identical
+        // across runs regardless of HashMap iteration.
+        let mut vertices: Vec<u64> = by_vertex.keys().copied().collect();
+        vertices.sort_unstable();
+        for bits in vertices {
+            let entries = by_vertex.remove(&bits).expect("key listed");
+            let owner = self.shards.owner_of(bits);
+            self.send_frame(owner, &WireMsg::Handoff { bits, entries });
+        }
+        Ok(())
+    }
+
+    /// Drain barrier: returns once every worker has processed every
+    /// frame enqueued on its inbox before this call. Must not be
+    /// called with queries outstanding (only `FlushAck`s may arrive).
+    pub fn flush(&mut self) {
+        self.next_id += 1;
+        let token = self.next_id;
+        for w in 0..self.workers() {
+            self.send_frame(w, &WireMsg::Flush { token });
+        }
+        let mut pending = self.workers();
+        while pending > 0 {
+            match self.recv_frame() {
+                WireMsg::FlushAck { token: t, .. } if t == token => pending -= 1,
+                other => panic!("unexpected frame during flush barrier: {other:?}"),
+            }
+        }
+    }
+
+    /// Pin search (§3.2): one frame to `F_h(K)`'s owner, one reply.
+    pub fn pin_search(&mut self, keywords: &KeywordSet) -> Vec<ObjectId> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let bits = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(bits);
+        self.send_frame(
+            owner,
+            &WireMsg::Pin {
+                query_id: id,
+                keywords: keywords.clone(),
+            },
+        );
+        match self.recv_frame() {
+            WireMsg::PinResults { query_id, objects } if query_id == id => {
+                objects.into_iter().map(ObjectId::from_raw).collect()
+            }
+            other => panic!("unexpected frame awaiting pin results: {other:?}"),
+        }
+    }
+
+    /// Superset search (§3.3), coordinated by the worker owning the
+    /// query root. Blocks until the traversal finishes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] when `threshold == 0`.
+    pub fn superset_search(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+    ) -> Result<Vec<RuntimeMatch>, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        let root_bits = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(root_bits);
+        self.send_frame(
+            owner,
+            &WireMsg::Query {
+                query_id: id,
+                keywords: keywords.clone(),
+                threshold: threshold as u64,
+            },
+        );
+        match self.recv_frame() {
+            WireMsg::QueryDone { query_id, objects } if query_id == id => Ok(objects
+                .into_iter()
+                .map(|(raw, extra)| RuntimeMatch {
+                    object: ObjectId::from_raw(raw),
+                    extra_keywords: extra,
+                })
+                .collect()),
+            other => panic!("unexpected frame awaiting query results: {other:?}"),
+        }
+    }
+
+    /// Runs `requests` keeping up to `window` of them in flight — the
+    /// throughput path: queries rooted on different workers make
+    /// progress concurrently while the client collects completions.
+    pub fn run_batch(&mut self, requests: &[Request], window: usize) -> Vec<BatchResult> {
+        let window = window.max(1);
+        let mut out: Vec<Option<BatchResult>> = requests.iter().map(|_| None).collect();
+        let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::new();
+        let mut next = 0usize;
+        let mut completed = 0usize;
+
+        while completed < requests.len() {
+            while next < requests.len() && in_flight.len() < window {
+                self.next_id += 1;
+                let id = self.next_id;
+                let started = Instant::now();
+                match &requests[next] {
+                    Request::Pin(keywords) => {
+                        let bits = self.hasher.vertex_for(keywords).bits();
+                        let owner = self.shards.owner_of(bits);
+                        self.send_frame(
+                            owner,
+                            &WireMsg::Pin {
+                                query_id: id,
+                                keywords: keywords.clone(),
+                            },
+                        );
+                    }
+                    Request::Superset {
+                        keywords,
+                        threshold,
+                    } => {
+                        let bits = self.hasher.vertex_for(keywords).bits();
+                        let owner = self.shards.owner_of(bits);
+                        self.send_frame(
+                            owner,
+                            &WireMsg::Query {
+                                query_id: id,
+                                keywords: keywords.clone(),
+                                threshold: *threshold as u64,
+                            },
+                        );
+                    }
+                }
+                in_flight.insert(id, (next, started));
+                next += 1;
+            }
+
+            let (query_id, objects) = match self.recv_frame() {
+                WireMsg::PinResults { query_id, objects } => (
+                    query_id,
+                    objects.into_iter().map(ObjectId::from_raw).collect(),
+                ),
+                WireMsg::QueryDone { query_id, objects } => (
+                    query_id,
+                    objects
+                        .into_iter()
+                        .map(|(raw, _)| ObjectId::from_raw(raw))
+                        .collect::<Vec<ObjectId>>(),
+                ),
+                other => panic!("unexpected frame during batch: {other:?}"),
+            };
+            let (slot, started) = in_flight
+                .remove(&query_id)
+                .expect("completion for an in-flight request");
+            out[slot] = Some(BatchResult {
+                objects,
+                latency: started.elapsed(),
+            });
+            completed += 1;
+        }
+
+        out.into_iter().map(|r| r.expect("all completed")).collect()
+    }
+
+    /// Runs the drain barrier, stops every worker, joins the threads,
+    /// and returns the conservation report.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.flush();
+        for w in 0..self.workers() {
+            self.send_frame(w, &WireMsg::Shutdown);
+        }
+        let NodeRuntime {
+            to_worker,
+            inbox,
+            handles,
+            client_sent,
+            mut client_received,
+            ..
+        } = self;
+        drop(to_worker);
+        let workers: Vec<WorkerStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        // Drain stragglers buffered on the client inbox (none are
+        // expected after the barrier, but every frame must be counted
+        // for conservation to be exact).
+        while inbox.recv().is_ok() {
+            client_received += 1;
+        }
+        ShutdownReport {
+            client_sent,
+            client_received,
+            workers,
+        }
+    }
+
+    fn send_frame(&mut self, worker: u32, msg: &WireMsg) {
+        // Blocking send is safe from the client: workers always return
+        // to their inboxes, so a full channel always drains.
+        self.to_worker[worker as usize]
+            .send(msg.encode())
+            .expect("worker thread alive");
+        self.client_sent += 1;
+    }
+
+    fn recv_frame(&mut self) -> WireMsg {
+        let frame = self.inbox.recv().expect("worker threads alive");
+        self.client_received += 1;
+        WireMsg::decode_exact(&frame).expect("workers emit well-formed frames")
+    }
+}
+
+/// In-progress query on its coordinator worker.
+#[derive(Debug)]
+struct QueryState {
+    coord: SupersetCoordinator,
+    results: Vec<(u64, u32)>,
+    threshold: usize,
+}
+
+/// One shard-owning thread. `links[0..W]` address fellow workers
+/// (`None` at the worker's own slot), `links[W]` the client.
+struct Worker {
+    index: u32,
+    shape: Shape,
+    hasher: KeywordHasher,
+    shards: ShardMap,
+    tables: HashMap<u64, IndexTable>,
+    interner: KeywordInterner,
+    links: Vec<Option<SyncSender<Vec<u8>>>>,
+    outbox: Vec<VecDeque<Vec<u8>>>,
+    queries: HashMap<u64, QueryState>,
+    stats: WorkerStats,
+}
+
+impl Worker {
+    fn client_slot(&self) -> usize {
+        self.links.len() - 1
+    }
+
+    fn run(mut self, inbox: Receiver<Vec<u8>>) -> WorkerStats {
+        let mut shutting_down = false;
+        loop {
+            self.flush_outboxes();
+            if shutting_down && self.outboxes_empty() {
+                break;
+            }
+            // A short timeout (rather than a blocking recv) keeps
+            // parked outbox frames moving even when nothing arrives.
+            match inbox.recv_timeout(Duration::from_millis(1)) {
+                Ok(frame) => {
+                    self.stats.frames_received += 1;
+                    let msg = WireMsg::decode_exact(&frame)
+                        .expect("runtime peers emit well-formed frames");
+                    if matches!(msg, WireMsg::Shutdown) {
+                        shutting_down = true;
+                    } else {
+                        self.handle(msg);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.stats
+    }
+
+    fn handle(&mut self, msg: WireMsg) {
+        match msg {
+            WireMsg::Insert { object, keywords } => {
+                let kw = self.interner.intern(keywords);
+                let bits = self.hasher.vertex_for(&kw).bits();
+                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted insert");
+                if self
+                    .tables
+                    .entry(bits)
+                    .or_default()
+                    .insert_arc(kw, ObjectId::from_raw(object))
+                {
+                    self.stats.inserts += 1;
+                }
+            }
+            WireMsg::Handoff { bits, entries } => {
+                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted handoff");
+                let table = self.tables.entry(bits).or_default();
+                for (set, objects) in entries {
+                    let kw = self.interner.intern(set);
+                    for raw in objects {
+                        if table.insert_arc(Arc::clone(&kw), ObjectId::from_raw(raw)) {
+                            self.stats.inserts += 1;
+                        }
+                    }
+                }
+            }
+            WireMsg::Query {
+                query_id,
+                keywords,
+                threshold,
+            } => {
+                self.stats.queries_coordinated += 1;
+                let kw = self.interner.intern(keywords);
+                let root = self.hasher.vertex_for(&kw);
+                debug_assert_eq!(
+                    self.shards.owner_of(root.bits()),
+                    self.index,
+                    "query routed to a non-root worker"
+                );
+                let mut state = QueryState {
+                    coord: SupersetCoordinator::new(root, kw, threshold as usize),
+                    results: Vec::new(),
+                    threshold: threshold as usize,
+                };
+                if !self.drive(query_id, &mut state) {
+                    self.queries.insert(query_id, state);
+                }
+            }
+            WireMsg::TQuery {
+                query_id,
+                bits,
+                keywords,
+                remaining,
+                via_dim,
+                coord,
+            } => {
+                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted T_QUERY");
+                self.stats.scans += 1;
+                let found = scan_table(self.tables.get(&bits), &keywords, remaining as usize);
+                let vertex =
+                    Vertex::from_bits(self.shape, bits).expect("coordinators stay in the cube");
+                // Lemma 3.2: children derive from bits + arrival dim.
+                let children = SupersetCoordinator::children_of(vertex, via_dim);
+                let objects = found
+                    .iter()
+                    .map(|r| (r.object.raw(), r.extra_keywords))
+                    .collect();
+                self.send(
+                    coord as usize,
+                    &WireMsg::TCont {
+                        query_id,
+                        objects,
+                        children,
+                    },
+                );
+            }
+            WireMsg::TCont {
+                query_id,
+                objects,
+                children,
+            } => {
+                let mut state = self
+                    .queries
+                    .remove(&query_id)
+                    .expect("T_CONT for a live query");
+                let found = objects.len();
+                state.results.extend(objects);
+                state.coord.record_visit(found, children);
+                if !self.drive(query_id, &mut state) {
+                    self.queries.insert(query_id, state);
+                }
+            }
+            WireMsg::Pin { query_id, keywords } => {
+                self.stats.scans += 1;
+                let bits = self.hasher.vertex_for(&keywords).bits();
+                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted pin");
+                let objects = self
+                    .tables
+                    .get(&bits)
+                    .map(|t| t.objects_with(&keywords).map(|o| o.raw()).collect())
+                    .unwrap_or_default();
+                let client = self.client_slot();
+                self.send(client, &WireMsg::PinResults { query_id, objects });
+            }
+            WireMsg::Flush { token } => {
+                let client = self.client_slot();
+                let worker = self.index;
+                self.send(client, &WireMsg::FlushAck { token, worker });
+            }
+            // Client-bound and control frames never reach a worker's
+            // handler (Shutdown is intercepted in the loop).
+            WireMsg::QueryDone { .. } | WireMsg::PinResults { .. } | WireMsg::FlushAck { .. } => {
+                debug_assert!(false, "client-bound frame delivered to a worker");
+            }
+            WireMsg::Shutdown => unreachable!("intercepted by the event loop"),
+        }
+    }
+
+    /// Advances one query until it finishes (results to the client;
+    /// returns `true`) or suspends on a remote visit (`T_QUERY` sent;
+    /// returns `false`).
+    fn drive(&mut self, query_id: u64, state: &mut QueryState) -> bool {
+        loop {
+            match state.coord.next_step() {
+                Step::Finished => {
+                    state.results.truncate(state.threshold);
+                    let objects = std::mem::take(&mut state.results);
+                    let client = self.client_slot();
+                    self.send(client, &WireMsg::QueryDone { query_id, objects });
+                    return true;
+                }
+                Step::Visit { bits, via_dim } => {
+                    let owner = self.shards.owner_of(bits);
+                    if owner == self.index {
+                        self.stats.scans += 1;
+                        let found = scan_table(
+                            self.tables.get(&bits),
+                            state.coord.keywords(),
+                            state.coord.remaining(),
+                        );
+                        let vertex =
+                            Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
+                        let count = found.len();
+                        state
+                            .results
+                            .extend(found.iter().map(|r| (r.object.raw(), r.extra_keywords)));
+                        state
+                            .coord
+                            .record_visit(count, SupersetCoordinator::children_of(vertex, via_dim));
+                    } else {
+                        let keywords: KeywordSet = (**state.coord.keywords()).clone();
+                        self.send(
+                            owner as usize,
+                            &WireMsg::TQuery {
+                                query_id,
+                                bits,
+                                keywords,
+                                remaining: state.coord.remaining() as u64,
+                                via_dim,
+                                coord: self.index,
+                            },
+                        );
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn send(&mut self, dest: usize, msg: &WireMsg) {
+        self.outbox[dest].push_back(msg.encode());
+        self.flush_outbox(dest);
+    }
+
+    fn flush_outboxes(&mut self) {
+        for dest in 0..self.outbox.len() {
+            self.flush_outbox(dest);
+        }
+    }
+
+    fn flush_outbox(&mut self, dest: usize) {
+        let Some(tx) = &self.links[dest] else {
+            debug_assert!(self.outbox[dest].is_empty(), "frames addressed to self");
+            return;
+        };
+        while let Some(frame) = self.outbox[dest].pop_front() {
+            match tx.try_send(frame) {
+                Ok(()) => self.stats.frames_sent += 1,
+                Err(TrySendError::Full(frame)) => {
+                    // Bounded channel pushed back: park the frame and
+                    // retry on the next loop iteration.
+                    self.stats.backpressure_hits += 1;
+                    self.outbox[dest].push_front(frame);
+                    return;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    // Only possible after the barrier, when no protocol
+                    // frame can still be pending; drop silently.
+                    debug_assert!(false, "send to a disconnected endpoint");
+                    return;
+                }
+            }
+        }
+    }
+
+    fn outboxes_empty(&self) -> bool {
+        self.outbox.iter().all(VecDeque::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    fn oid(n: u64) -> ObjectId {
+        ObjectId::from_raw(n)
+    }
+
+    fn loaded(workers: u32) -> NodeRuntime {
+        let mut rt = NodeRuntime::start(RuntimeConfig::new(8, workers).seed(42)).unwrap();
+        for (id, kws) in [
+            (1, "a"),
+            (2, "a b"),
+            (3, "a b c"),
+            (4, "a c"),
+            (5, "b c"),
+            (6, "a d e"),
+            (7, "x y"),
+            (8, "a b d"),
+        ] {
+            rt.insert(oid(id), set(kws)).unwrap();
+        }
+        rt.flush();
+        rt
+    }
+
+    #[test]
+    fn insert_pin_superset_roundtrip() {
+        for workers in [1, 2, 4] {
+            let mut rt = loaded(workers);
+            let pin = rt.pin_search(&set("a b"));
+            assert_eq!(pin, vec![oid(2)], "{workers} workers");
+
+            let mut ids: Vec<u64> = rt
+                .superset_search(&set("a"), usize::MAX - 1)
+                .unwrap()
+                .iter()
+                .map(|m| m.object.raw())
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![1, 2, 3, 4, 6, 8], "{workers} workers");
+
+            let report = rt.shutdown();
+            report.assert_conserved();
+        }
+    }
+
+    #[test]
+    fn threshold_caps_results() {
+        let mut rt = loaded(4);
+        let out = rt.superset_search(&set("a"), 2).unwrap();
+        assert_eq!(out.len(), 2);
+        rt.shutdown().assert_conserved();
+    }
+
+    #[test]
+    fn zero_threshold_is_rejected() {
+        let mut rt = loaded(2);
+        assert!(matches!(
+            rt.superset_search(&set("a"), 0),
+            Err(Error::ZeroThreshold)
+        ));
+        rt.shutdown().assert_conserved();
+    }
+
+    #[test]
+    fn empty_insert_is_rejected_client_side() {
+        let mut rt = NodeRuntime::start(RuntimeConfig::new(6, 2)).unwrap();
+        assert!(matches!(
+            rt.insert(oid(1), KeywordSet::new()),
+            Err(Error::EmptyKeywordSet)
+        ));
+        rt.shutdown().assert_conserved();
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        let corpus: Vec<(ObjectId, KeywordSet)> = [(1, "a b"), (2, "a"), (3, "a b c")]
+            .into_iter()
+            .map(|(id, k)| (oid(id), set(k)))
+            .collect();
+
+        let mut inc = NodeRuntime::start(RuntimeConfig::new(8, 3).seed(7)).unwrap();
+        for (id, k) in &corpus {
+            inc.insert(*id, k.clone()).unwrap();
+        }
+        inc.flush();
+
+        let mut bulk = NodeRuntime::start(RuntimeConfig::new(8, 3).seed(7)).unwrap();
+        bulk.bulk_load(corpus.iter().map(|(id, k)| (*id, k)))
+            .unwrap();
+        bulk.flush();
+
+        for query in ["a", "a b", "zzz"] {
+            let mut a: Vec<u64> = inc
+                .superset_search(&set(query), 100)
+                .unwrap()
+                .iter()
+                .map(|m| m.object.raw())
+                .collect();
+            let mut b: Vec<u64> = bulk
+                .superset_search(&set(query), 100)
+                .unwrap()
+                .iter()
+                .map(|m| m.object.raw())
+                .collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "query {query}");
+        }
+        inc.shutdown().assert_conserved();
+        bulk.shutdown().assert_conserved();
+    }
+
+    #[test]
+    fn batch_matches_one_at_a_time() {
+        let mut rt = loaded(4);
+        let requests = vec![
+            Request::Superset {
+                keywords: set("a"),
+                threshold: 100,
+            },
+            Request::Pin(set("a b")),
+            Request::Superset {
+                keywords: set("b"),
+                threshold: 100,
+            },
+            Request::Pin(set("zzz")),
+        ];
+        let batch = rt.run_batch(&requests, 4);
+        assert_eq!(batch.len(), 4);
+
+        let mut solo: Vec<u64> = rt
+            .superset_search(&set("a"), 100)
+            .unwrap()
+            .iter()
+            .map(|m| m.object.raw())
+            .collect();
+        solo.sort_unstable();
+        let mut batched: Vec<u64> = batch[0].objects.iter().map(|o| o.raw()).collect();
+        batched.sort_unstable();
+        assert_eq!(batched, solo);
+        assert_eq!(batch[1].objects, vec![oid(2)]);
+        assert!(batch[3].objects.is_empty());
+        rt.shutdown().assert_conserved();
+    }
+
+    #[test]
+    fn conservation_holds_on_an_idle_runtime() {
+        let rt = NodeRuntime::start(RuntimeConfig::new(8, 8)).unwrap();
+        let report = rt.shutdown();
+        report.assert_conserved();
+        // Flush (8) + acks (8) + shutdowns (8).
+        assert_eq!(report.total_sent(), 24);
+    }
+
+    #[test]
+    fn tiny_channels_still_complete_under_backpressure() {
+        // Capacity 1 forces constant try_send rejections; the outbox
+        // discipline must still deliver everything.
+        let mut rt =
+            NodeRuntime::start(RuntimeConfig::new(8, 4).seed(3).channel_capacity(1)).unwrap();
+        for i in 0..200u64 {
+            rt.insert(oid(i), set(&format!("common tag{}", i % 5)))
+                .unwrap();
+        }
+        rt.flush();
+        let out = rt.superset_search(&set("common"), usize::MAX - 1).unwrap();
+        assert_eq!(out.len(), 200);
+        let report = rt.shutdown();
+        report.assert_conserved();
+    }
+}

@@ -1,0 +1,98 @@
+//! Deterministic vertex → worker ownership.
+//!
+//! Shared-nothing means exactly one worker may ever touch a vertex's
+//! `IndexTable`. Ownership must also be computable by *anyone* (the
+//! client routes inserts, coordinators route `T_QUERY`s) without
+//! coordination, so it is a pure function of the vertex bits, the
+//! runtime seed, and the worker count — the same recipe every node of
+//! a real DHT uses to map keys to peers.
+
+use hyperdex_dht::stable_hash64_seeded;
+
+/// Domain-separation constant so shard placement never correlates with
+/// the keyword hash positions derived from the same seed.
+const SHARD_SALT: u64 = 0x5348_4152_445F_4D41; // "SHARD_MA"
+
+/// Pure vertex → worker map. `Copy`, so every worker and the client
+/// hold their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardMap {
+    workers: u32,
+    seed: u64,
+}
+
+impl ShardMap {
+    /// A map over `workers` shards (at least one) for a runtime seeded
+    /// with `seed`.
+    pub fn new(workers: u32, seed: u64) -> ShardMap {
+        ShardMap {
+            workers: workers.max(1),
+            seed: seed ^ SHARD_SALT,
+        }
+    }
+
+    /// How many shards the map spreads across.
+    pub fn workers(&self) -> u32 {
+        self.workers
+    }
+
+    /// The worker that owns vertex `bits`. Stable across runs for a
+    /// given `(workers, seed)` pair.
+    pub fn owner_of(&self, bits: u64) -> u32 {
+        (stable_hash64_seeded(&bits.to_le_bytes(), self.seed) % u64::from(self.workers)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_deterministic_and_in_range() {
+        let map = ShardMap::new(8, 42);
+        let again = ShardMap::new(8, 42);
+        for bits in 0..4096u64 {
+            let owner = map.owner_of(bits);
+            assert!(owner < 8);
+            assert_eq!(owner, again.owner_of(bits));
+        }
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let map = ShardMap::new(1, 7);
+        assert!((0..1024).all(|b| map.owner_of(b) == 0));
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let map = ShardMap::new(0, 7);
+        assert_eq!(map.workers(), 1);
+        assert_eq!(map.owner_of(123), 0);
+    }
+
+    #[test]
+    fn shards_spread_reasonably() {
+        // Not a statistical test — just a guard against a degenerate
+        // map that parks whole cubes on one worker.
+        let map = ShardMap::new(4, 42);
+        let mut counts = [0usize; 4];
+        for bits in 0..1024u64 {
+            counts[map.owner_of(bits) as usize] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 128),
+            "degenerate spread: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_shuffle_placement() {
+        let a = ShardMap::new(4, 1);
+        let b = ShardMap::new(4, 2);
+        let moved = (0..1024u64)
+            .filter(|&v| a.owner_of(v) != b.owner_of(v))
+            .count();
+        assert!(moved > 256, "only {moved} of 1024 vertices moved");
+    }
+}

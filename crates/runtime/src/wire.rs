@@ -1,0 +1,693 @@
+//! Hand-rolled length-prefixed wire codec for the runtime's protocol
+//! frames.
+//!
+//! Workers exchange `Vec<u8>` frames, never structs — the thread
+//! boundary is byte-defined, exactly as a socket boundary would be, so
+//! moving a worker onto a real transport changes nothing above this
+//! module. A frame is
+//!
+//! ```text
+//! [ body_len: u32 LE ][ tag: u8 ][ fields... ]
+//!   └─ prefix ─┘       └───── body (body_len bytes) ─────┘
+//! ```
+//!
+//! All integers are little-endian and fixed-width. Variable-length
+//! fields carry their own count: keywords are `u16 count` then per
+//! keyword `u16 len + UTF-8 bytes`; object lists are `u32 count` of
+//! fixed-width records. `Option<u8>` dimensions encode as a single
+//! byte with `0xFF` for `None` (dimensions never exceed 62).
+//!
+//! [`decode_exact`] is strict: a frame must parse completely — a short
+//! buffer is [`WireError::Truncated`], excess bytes (after the frame
+//! or inside the declared body) are [`WireError::TrailingGarbage`],
+//! and an unknown tag is [`WireError::BadTag`]. The roundtrip tests
+//! sweep every variant through every truncation point.
+
+use std::fmt;
+
+use hyperdex_core::{Keyword, KeywordSet};
+
+/// Upper bound on a frame body; larger declared lengths are rejected
+/// before any allocation ([`WireError::Oversized`]).
+pub const MAX_BODY_LEN: u32 = 16 * 1024 * 1024;
+
+/// The length prefix's width in bytes.
+pub const PREFIX_LEN: usize = 4;
+
+/// One protocol frame between runtime endpoints (workers, or the
+/// client handle).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Client → vertex owner: index `object` under `keywords`
+    /// (`T_INSERT`; the owner recomputes `F_h(K)` itself — the frame
+    /// carries no derived state).
+    Insert {
+        /// The object's raw id.
+        object: u64,
+        /// Its full keyword set.
+        keywords: KeywordSet,
+    },
+    /// Client → root owner: start a superset search. The receiving
+    /// worker owns `F_h(K)` and becomes the query's coordinator.
+    Query {
+        /// Client-assigned correlation id.
+        query_id: u64,
+        /// The queried keyword set `K`.
+        keywords: KeywordSet,
+        /// Results wanted (the paper's `c`).
+        threshold: u64,
+    },
+    /// Coordinator → vertex owner: visit one SBT node (`T_QUERY`).
+    TQuery {
+        /// Correlation id of the driving query.
+        query_id: u64,
+        /// The vertex to scan.
+        bits: u64,
+        /// The queried keyword set.
+        keywords: KeywordSet,
+        /// Results still wanted.
+        remaining: u64,
+        /// Arrival dimension (`None` only for a root visit).
+        via_dim: Option<u8>,
+        /// Worker index of the coordinator (where to send `TCont`).
+        coord: u32,
+    },
+    /// Vertex owner → coordinator: scan results plus SBT children
+    /// (`T_CONT`; a threshold-satisfying node simply reports enough
+    /// results for the coordinator to stop — no separate `T_STOP`).
+    TCont {
+        /// Correlation id of the driving query.
+        query_id: u64,
+        /// Matches as `(object id, extra keyword count)` pairs.
+        objects: Vec<(u64, u32)>,
+        /// SBT child contacts `(vertex bits, dimension)`.
+        children: Vec<(u64, u8)>,
+    },
+    /// Coordinator → client: the search finished.
+    QueryDone {
+        /// Correlation id of the finished query.
+        query_id: u64,
+        /// All matches, truncated to the threshold.
+        objects: Vec<(u64, u32)>,
+    },
+    /// Client → vertex owner: exact-match pin lookup.
+    Pin {
+        /// Client-assigned correlation id.
+        query_id: u64,
+        /// The full keyword set to pin.
+        keywords: KeywordSet,
+    },
+    /// Vertex owner → client: the pin matches (sent even when empty,
+    /// so the client observes completion).
+    PinResults {
+        /// Correlation id of the pin.
+        query_id: u64,
+        /// Exact-match object ids.
+        objects: Vec<u64>,
+    },
+    /// Client → vertex owner: install a whole vertex table at once
+    /// (bulk load / rebalancing, the runtime's handoff).
+    Handoff {
+        /// The vertex receiving the entries.
+        bits: u64,
+        /// `⟨K', objects⟩` entries to install.
+        entries: Vec<(KeywordSet, Vec<u64>)>,
+    },
+    /// Client → worker: drain barrier. The worker replies `FlushAck`
+    /// after processing everything queued before this frame.
+    Flush {
+        /// Barrier token echoed in the ack.
+        token: u64,
+    },
+    /// Worker → client: barrier reached.
+    FlushAck {
+        /// The echoed barrier token.
+        token: u64,
+        /// The acknowledging worker's index.
+        worker: u32,
+    },
+    /// Client → worker: flush outboxes and exit the event loop.
+    Shutdown,
+}
+
+const TAG_INSERT: u8 = 0;
+const TAG_QUERY: u8 = 1;
+const TAG_TQUERY: u8 = 2;
+const TAG_TCONT: u8 = 3;
+const TAG_QUERY_DONE: u8 = 4;
+const TAG_PIN: u8 = 5;
+const TAG_PIN_RESULTS: u8 = 6;
+const TAG_HANDOFF: u8 = 7;
+const TAG_FLUSH: u8 = 8;
+const TAG_FLUSH_ACK: u8 = 9;
+const TAG_SHUTDOWN: u8 = 10;
+
+/// The `via_dim` byte that stands for `None`.
+const DIM_NONE: u8 = 0xFF;
+
+/// Decode failure. Every variant pinpoints what the bytes got wrong;
+/// none of them allocates proportionally to attacker-controlled
+/// lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes it had left.
+        have: usize,
+    },
+    /// Bytes remain after the frame (or after the body's last field).
+    TrailingGarbage {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Declared body length exceeds [`MAX_BODY_LEN`].
+    Oversized {
+        /// The declared length.
+        len: u32,
+    },
+    /// A keyword's bytes are not valid UTF-8.
+    BadUtf8,
+    /// A keyword failed [`Keyword::new`]'s validation (empty after
+    /// normalization).
+    BadKeyword,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated frame: needed {needed} more bytes, had {have}")
+            }
+            WireError::TrailingGarbage { extra } => {
+                write!(f, "{extra} trailing bytes after the frame")
+            }
+            WireError::BadTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            WireError::Oversized { len } => {
+                write!(f, "declared body length {len} exceeds {MAX_BODY_LEN}")
+            }
+            WireError::BadUtf8 => write!(f, "keyword bytes are not valid UTF-8"),
+            WireError::BadKeyword => write!(f, "keyword failed validation"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireMsg {
+    /// Serializes the message into a complete frame (length prefix
+    /// included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            WireMsg::Insert { object, keywords } => {
+                body.push(TAG_INSERT);
+                put_u64(&mut body, *object);
+                put_keywords(&mut body, keywords);
+            }
+            WireMsg::Query {
+                query_id,
+                keywords,
+                threshold,
+            } => {
+                body.push(TAG_QUERY);
+                put_u64(&mut body, *query_id);
+                put_u64(&mut body, *threshold);
+                put_keywords(&mut body, keywords);
+            }
+            WireMsg::TQuery {
+                query_id,
+                bits,
+                keywords,
+                remaining,
+                via_dim,
+                coord,
+            } => {
+                body.push(TAG_TQUERY);
+                put_u64(&mut body, *query_id);
+                put_u64(&mut body, *bits);
+                put_u64(&mut body, *remaining);
+                body.push(via_dim.unwrap_or(DIM_NONE));
+                put_u32(&mut body, *coord);
+                put_keywords(&mut body, keywords);
+            }
+            WireMsg::TCont {
+                query_id,
+                objects,
+                children,
+            } => {
+                body.push(TAG_TCONT);
+                put_u64(&mut body, *query_id);
+                put_u32(&mut body, objects.len() as u32);
+                for (id, extra) in objects {
+                    put_u64(&mut body, *id);
+                    put_u32(&mut body, *extra);
+                }
+                put_u16(&mut body, children.len() as u16);
+                for (bits, dim) in children {
+                    put_u64(&mut body, *bits);
+                    body.push(*dim);
+                }
+            }
+            WireMsg::QueryDone { query_id, objects } => {
+                body.push(TAG_QUERY_DONE);
+                put_u64(&mut body, *query_id);
+                put_u32(&mut body, objects.len() as u32);
+                for (id, extra) in objects {
+                    put_u64(&mut body, *id);
+                    put_u32(&mut body, *extra);
+                }
+            }
+            WireMsg::Pin { query_id, keywords } => {
+                body.push(TAG_PIN);
+                put_u64(&mut body, *query_id);
+                put_keywords(&mut body, keywords);
+            }
+            WireMsg::PinResults { query_id, objects } => {
+                body.push(TAG_PIN_RESULTS);
+                put_u64(&mut body, *query_id);
+                put_u32(&mut body, objects.len() as u32);
+                for id in objects {
+                    put_u64(&mut body, *id);
+                }
+            }
+            WireMsg::Handoff { bits, entries } => {
+                body.push(TAG_HANDOFF);
+                put_u64(&mut body, *bits);
+                put_u32(&mut body, entries.len() as u32);
+                for (set, objects) in entries {
+                    put_keywords(&mut body, set);
+                    put_u32(&mut body, objects.len() as u32);
+                    for id in objects {
+                        put_u64(&mut body, *id);
+                    }
+                }
+            }
+            WireMsg::Flush { token } => {
+                body.push(TAG_FLUSH);
+                put_u64(&mut body, *token);
+            }
+            WireMsg::FlushAck { token, worker } => {
+                body.push(TAG_FLUSH_ACK);
+                put_u64(&mut body, *token);
+                put_u32(&mut body, *worker);
+            }
+            WireMsg::Shutdown => body.push(TAG_SHUTDOWN),
+        }
+        debug_assert!(body.len() as u32 <= MAX_BODY_LEN);
+        let mut frame = Vec::with_capacity(PREFIX_LEN + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Parses one frame from the front of `buf`, returning the message
+    /// and how many bytes it consumed (stream decoding: the caller may
+    /// hold several concatenated frames).
+    pub fn decode(buf: &[u8]) -> Result<(WireMsg, usize), WireError> {
+        if buf.len() < PREFIX_LEN {
+            return Err(WireError::Truncated {
+                needed: PREFIX_LEN - buf.len(),
+                have: buf.len(),
+            });
+        }
+        let body_len = u32::from_le_bytes(buf[..PREFIX_LEN].try_into().expect("4 bytes"));
+        if body_len > MAX_BODY_LEN {
+            return Err(WireError::Oversized { len: body_len });
+        }
+        let body_len = body_len as usize;
+        let rest = &buf[PREFIX_LEN..];
+        if rest.len() < body_len {
+            return Err(WireError::Truncated {
+                needed: body_len - rest.len(),
+                have: rest.len(),
+            });
+        }
+        let mut r = Reader {
+            buf: &rest[..body_len],
+            pos: 0,
+        };
+        let msg = decode_body(&mut r)?;
+        // Every body byte must belong to a field — a frame whose body
+        // outruns its fields is corrupt, not padded.
+        if r.pos != r.buf.len() {
+            return Err(WireError::TrailingGarbage {
+                extra: r.buf.len() - r.pos,
+            });
+        }
+        Ok((msg, PREFIX_LEN + body_len))
+    }
+
+    /// [`WireMsg::decode`] for exactly-one-frame buffers: any byte
+    /// beyond the frame is [`WireError::TrailingGarbage`]. This is the
+    /// entry point workers use — channels deliver whole frames.
+    pub fn decode_exact(buf: &[u8]) -> Result<WireMsg, WireError> {
+        let (msg, used) = WireMsg::decode(buf)?;
+        if used != buf.len() {
+            return Err(WireError::TrailingGarbage {
+                extra: buf.len() - used,
+            });
+        }
+        Ok(msg)
+    }
+}
+
+fn decode_body(r: &mut Reader<'_>) -> Result<WireMsg, WireError> {
+    let tag = r.u8()?;
+    match tag {
+        TAG_INSERT => Ok(WireMsg::Insert {
+            object: r.u64()?,
+            keywords: get_keywords(r)?,
+        }),
+        TAG_QUERY => Ok(WireMsg::Query {
+            query_id: r.u64()?,
+            threshold: r.u64()?,
+            keywords: get_keywords(r)?,
+        }),
+        TAG_TQUERY => Ok(WireMsg::TQuery {
+            query_id: r.u64()?,
+            bits: r.u64()?,
+            remaining: r.u64()?,
+            via_dim: match r.u8()? {
+                DIM_NONE => None,
+                d => Some(d),
+            },
+            coord: r.u32()?,
+            keywords: get_keywords(r)?,
+        }),
+        TAG_TCONT => {
+            let query_id = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                objects.push((r.u64()?, r.u32()?));
+            }
+            let n = r.u16()? as usize;
+            let mut children = Vec::with_capacity(n);
+            for _ in 0..n {
+                children.push((r.u64()?, r.u8()?));
+            }
+            Ok(WireMsg::TCont {
+                query_id,
+                objects,
+                children,
+            })
+        }
+        TAG_QUERY_DONE => {
+            let query_id = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                objects.push((r.u64()?, r.u32()?));
+            }
+            Ok(WireMsg::QueryDone { query_id, objects })
+        }
+        TAG_PIN => Ok(WireMsg::Pin {
+            query_id: r.u64()?,
+            keywords: get_keywords(r)?,
+        }),
+        TAG_PIN_RESULTS => {
+            let query_id = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                objects.push(r.u64()?);
+            }
+            Ok(WireMsg::PinResults { query_id, objects })
+        }
+        TAG_HANDOFF => {
+            let bits = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut entries = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let set = get_keywords(r)?;
+                let m = r.u32()? as usize;
+                let mut objects = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    objects.push(r.u64()?);
+                }
+                entries.push((set, objects));
+            }
+            Ok(WireMsg::Handoff { bits, entries })
+        }
+        TAG_FLUSH => Ok(WireMsg::Flush { token: r.u64()? }),
+        TAG_FLUSH_ACK => Ok(WireMsg::FlushAck {
+            token: r.u64()?,
+            worker: r.u32()?,
+        }),
+        TAG_SHUTDOWN => Ok(WireMsg::Shutdown),
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_keywords(out: &mut Vec<u8>, set: &KeywordSet) {
+    put_u16(out, set.len() as u16);
+    for kw in set.iter() {
+        let bytes = kw.as_bytes();
+        put_u16(out, bytes.len() as u16);
+        out.extend_from_slice(bytes);
+    }
+}
+
+fn get_keywords(r: &mut Reader<'_>) -> Result<KeywordSet, WireError> {
+    let n = r.u16()? as usize;
+    let mut set = KeywordSet::new();
+    for _ in 0..n {
+        let len = r.u16()? as usize;
+        let bytes = r.bytes(len)?;
+        let text = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+        let kw = Keyword::new(text).map_err(|_| WireError::BadKeyword)?;
+        set.insert(kw);
+    }
+    Ok(set)
+}
+
+/// Bounds-checked body reader; every miss is a precise `Truncated`.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let have = self.buf.len() - self.pos;
+        if have < n {
+            return Err(WireError::Truncated {
+                needed: n - have,
+                have,
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.bytes(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(s: &str) -> KeywordSet {
+        KeywordSet::parse(s).unwrap()
+    }
+
+    /// One exemplar per variant, with non-trivial field values so every
+    /// encoder branch is exercised.
+    fn exemplars() -> Vec<WireMsg> {
+        vec![
+            WireMsg::Insert {
+                object: 0xDEAD_BEEF,
+                keywords: set("alpha beta gamma"),
+            },
+            WireMsg::Query {
+                query_id: 7,
+                keywords: set("alpha"),
+                threshold: u64::MAX - 1,
+            },
+            WireMsg::TQuery {
+                query_id: 8,
+                bits: 0b1010_1100,
+                keywords: set("alpha beta"),
+                remaining: 41,
+                via_dim: Some(5),
+                coord: 3,
+            },
+            WireMsg::TQuery {
+                query_id: 9,
+                bits: 0,
+                keywords: set("x"),
+                remaining: 1,
+                via_dim: None,
+                coord: 0,
+            },
+            WireMsg::TCont {
+                query_id: 8,
+                objects: vec![(1, 0), (99, 2)],
+                children: vec![(0b1110_1100, 4), (0b1010_1101, 0)],
+            },
+            WireMsg::TCont {
+                query_id: 10,
+                objects: vec![],
+                children: vec![],
+            },
+            WireMsg::QueryDone {
+                query_id: 8,
+                objects: vec![(1, 0), (2, 1), (3, 7)],
+            },
+            WireMsg::Pin {
+                query_id: 11,
+                keywords: set("exact match terms"),
+            },
+            WireMsg::PinResults {
+                query_id: 11,
+                objects: vec![5, 6, 7],
+            },
+            WireMsg::Handoff {
+                bits: 0b11,
+                entries: vec![
+                    (set("a b"), vec![1, 2]),
+                    (set("a b c"), vec![3]),
+                    (set("z"), vec![]),
+                ],
+            },
+            WireMsg::Flush { token: 1234 },
+            WireMsg::FlushAck {
+                token: 1234,
+                worker: 7,
+            },
+            WireMsg::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_variant_roundtrips() {
+        for msg in exemplars() {
+            let frame = msg.encode();
+            let back =
+                WireMsg::decode_exact(&frame).unwrap_or_else(|e| panic!("decode {msg:?}: {e}"));
+            assert_eq!(back, msg);
+            // Stream decode agrees on the consumed length.
+            let (back2, used) = WireMsg::decode(&frame).unwrap();
+            assert_eq!(back2, msg);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_point_is_rejected() {
+        // Fuzz-style sweep: every strict prefix of every exemplar frame
+        // must fail with Truncated — never panic, never mis-parse.
+        for msg in exemplars() {
+            let frame = msg.encode();
+            for cut in 0..frame.len() {
+                match WireMsg::decode_exact(&frame[..cut]) {
+                    Err(WireError::Truncated { .. }) => {}
+                    other => panic!("prefix {cut}/{} of {msg:?}: {other:?}", frame.len()),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for msg in exemplars() {
+            let mut frame = msg.encode();
+            frame.push(0xAB);
+            assert_eq!(
+                WireMsg::decode_exact(&frame),
+                Err(WireError::TrailingGarbage { extra: 1 }),
+                "{msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_inside_the_declared_body_is_rejected() {
+        // A body longer than its fields: Shutdown plus one stray byte,
+        // with the prefix updated to cover it.
+        let mut frame = WireMsg::Shutdown.encode();
+        frame.push(0xCD);
+        let body_len = (frame.len() - PREFIX_LEN) as u32;
+        frame[..PREFIX_LEN].copy_from_slice(&body_len.to_le_bytes());
+        assert_eq!(
+            WireMsg::decode_exact(&frame),
+            Err(WireError::TrailingGarbage { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let frame = [1u8, 0, 0, 0, 0xEE];
+        assert_eq!(WireMsg::decode_exact(&frame), Err(WireError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(MAX_BODY_LEN + 1).to_le_bytes());
+        frame.push(TAG_SHUTDOWN);
+        assert_eq!(
+            WireMsg::decode_exact(&frame),
+            Err(WireError::Oversized {
+                len: MAX_BODY_LEN + 1
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_keyword_is_rejected() {
+        // Hand-build an Insert whose single keyword is invalid UTF-8.
+        let mut body = vec![TAG_INSERT];
+        body.extend_from_slice(&1u64.to_le_bytes());
+        body.extend_from_slice(&1u16.to_le_bytes()); // one keyword
+        body.extend_from_slice(&2u16.to_le_bytes()); // two bytes
+        body.extend_from_slice(&[0xFF, 0xFE]);
+        let mut frame = (body.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&body);
+        assert_eq!(WireMsg::decode_exact(&frame), Err(WireError::BadUtf8));
+    }
+
+    #[test]
+    fn stream_decode_handles_concatenated_frames() {
+        let a = WireMsg::Flush { token: 1 }.encode();
+        let b = WireMsg::Shutdown.encode();
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (m1, used1) = WireMsg::decode(&stream).unwrap();
+        assert_eq!(m1, WireMsg::Flush { token: 1 });
+        let (m2, used2) = WireMsg::decode(&stream[used1..]).unwrap();
+        assert_eq!(m2, WireMsg::Shutdown);
+        assert_eq!(used1 + used2, stream.len());
+    }
+}

@@ -1,0 +1,89 @@
+//! Runtime ↔ simulator ↔ direct-engine parity over generated
+//! workloads.
+//!
+//! The ISSUE-5 contract: for a shared seed and corpus, the threaded
+//! runtime returns set-identical pin and superset results to
+//! `ProtocolSim` at r ∈ {8, 12} across at least three worker counts,
+//! with frame conservation holding on every shutdown. Worker counts
+//! come from `HYPERDEX_RUNTIME_WORKERS` (comma-separated) when set —
+//! CI uses that to fan the same test across a thread-count matrix —
+//! and default to 1, 2, 4, 8.
+
+use hyperdex_core::{KeywordSet, ObjectId};
+use hyperdex_runtime::assert_sim_parity;
+use hyperdex_workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};
+
+/// Worker counts under test: the env override, or the default ladder.
+fn worker_counts() -> Vec<u32> {
+    match std::env::var("HYPERDEX_RUNTIME_WORKERS") {
+        Ok(raw) => {
+            let parsed: Vec<u32> = raw
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad HYPERDEX_RUNTIME_WORKERS entry {s:?}"))
+                })
+                .collect();
+            assert!(!parsed.is_empty(), "HYPERDEX_RUNTIME_WORKERS is empty");
+            parsed
+        }
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// A generated corpus plus a query mix of broad (|K| = 1), narrower
+/// (|K| = 2), thresholded, and definitely-missing sets.
+#[allow(clippy::type_complexity)]
+fn workload(seed: u64, objects: usize) -> (Vec<(ObjectId, KeywordSet)>, Vec<(KeywordSet, usize)>) {
+    let corpus = Corpus::generate(&CorpusConfig::pchome().with_objects(objects), seed);
+    let log = QueryLog::generate(&QueryLogConfig::small_test(), &corpus, seed.wrapping_add(1));
+    let entries: Vec<(ObjectId, KeywordSet)> = corpus
+        .indexable()
+        .map(|(id, kw)| (id, kw.clone()))
+        .collect();
+
+    let mut queries: Vec<(KeywordSet, usize)> = Vec::new();
+    for kw in log.popular_of_size(1, 4) {
+        queries.push((kw.clone(), usize::MAX - 1));
+        // The same broad query under a binding threshold exercises the
+        // early-stop path.
+        queries.push((kw, 3));
+    }
+    for kw in log.popular_of_size(2, 4) {
+        queries.push((kw, usize::MAX - 1));
+    }
+    queries.push((KeywordSet::parse("no such keyword anywhere").unwrap(), 10));
+    (entries, queries)
+}
+
+#[test]
+fn runtime_matches_sim_at_r8_across_worker_counts() {
+    let (corpus, queries) = workload(42, 400);
+    for workers in worker_counts() {
+        let report = assert_sim_parity(8, 42, workers, &corpus, &queries);
+        assert!(report.superset_checked >= 9, "query mix shrank");
+        assert!(report.pin_checked >= 9);
+        assert_eq!(report.shutdown.in_flight(), 0);
+    }
+}
+
+#[test]
+fn runtime_matches_sim_at_r12_across_worker_counts() {
+    let (corpus, queries) = workload(7, 400);
+    for workers in worker_counts() {
+        let report = assert_sim_parity(12, 7, workers, &corpus, &queries);
+        assert!(report.superset_checked >= 9);
+        assert_eq!(report.shutdown.in_flight(), 0);
+    }
+}
+
+#[test]
+fn parity_survives_a_second_seed_and_small_corpus() {
+    // A second (seed, size) point so a lucky hash layout cannot hide a
+    // divergence; exercises sparse vertices (many unmaterialized).
+    let (corpus, queries) = workload(1234, 120);
+    for workers in worker_counts() {
+        assert_sim_parity(8, 1234, workers, &corpus, &queries);
+    }
+}
