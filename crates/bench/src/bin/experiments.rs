@@ -4,31 +4,32 @@
 //! experiments [EXPERIMENT ...] [--scale full|small] [--seed N] [--list]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
-//!             availability churn prune throughput runtime all
+//!             availability churn prune throughput runtime faults all
 //!             (default: all)
 //!
-//! `churn`, `prune`, `throughput`, and `runtime` additionally write
-//! their rows to `BENCH_churn.json` / `BENCH_prune.json` /
-//! `BENCH_throughput.json` / `BENCH_runtime.json` in the current
-//! directory, each stamped with the effective seed.
+//! `churn`, `prune`, `throughput`, `runtime`, and `faults`
+//! additionally write their rows to `BENCH_churn.json` /
+//! `BENCH_prune.json` / `BENCH_throughput.json` / `BENCH_runtime.json`
+//! / `BENCH_faults.json` in the current directory, each stamped with
+//! the effective seed.
 //! A final table maps each experiment run to the artifact it produced.
 //! ```
 
 use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
-    ablation, availability, churn, eq1, fig5, fig6, fig7, fig8, fig9, prune, runtime, table1,
-    throughput, xcheck,
+    ablation, availability, churn, eq1, faults, fig5, fig6, fig7, fig8, fig9, prune, runtime,
+    table1, throughput, xcheck,
 };
 use hyperdex_bench::report::Table;
 use hyperdex_bench::{Scale, SharedContext};
 
 const USAGE: &str = "usage: experiments \
                      [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|throughput\
-                     |runtime|all ...] [--scale full|small] [--seed N] [--list]";
+                     |runtime|faults|all ...] [--scale full|small] [--seed N] [--list]";
 
 /// Every experiment name with a one-line description, in run order.
-const EXPERIMENTS: [(&str, &str); 14] = [
+const EXPERIMENTS: [(&str, &str); 15] = [
     ("table1", "load distribution across index nodes"),
     ("fig5", "keyword-set size distribution"),
     ("fig6", "query popularity distribution"),
@@ -48,6 +49,10 @@ const EXPERIMENTS: [(&str, &str); 14] = [
     (
         "runtime",
         "threaded shared-nothing qps/latency vs worker count",
+    ),
+    (
+        "faults",
+        "recall/latency under frame loss and worker crashes",
     ),
 ];
 
@@ -179,6 +184,17 @@ fn main() -> ExitCode {
                 let rows = runtime::run(&ctx);
                 let path = std::path::Path::new("BENCH_runtime.json");
                 match runtime::write_json(&rows, seed, path) {
+                    Ok(()) => artifact = path.display().to_string(),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "faults" => {
+                let rows = faults::run(&ctx);
+                let path = std::path::Path::new("BENCH_faults.json");
+                match faults::write_json(&rows, seed, path) {
                     Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());

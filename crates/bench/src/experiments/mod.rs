@@ -7,6 +7,7 @@ pub mod ablation;
 pub mod availability;
 pub mod churn;
 pub mod eq1;
+pub mod faults;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

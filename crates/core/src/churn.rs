@@ -1452,4 +1452,38 @@ mod tests {
         // Draining the search also drained the handoff.
         assert!(sim.churn().unwrap().converged());
     }
+
+    #[test]
+    fn duplicate_tsummary_delivery_is_idempotent() {
+        // A lossy or duplicating network may deliver the same summary
+        // refresh any number of times; the digest and every subsequent
+        // search must be unaffected. (The runtime's fault injector
+        // makes duplicate delivery an everyday event, so this is the
+        // message-level half of its idempotence contract.)
+        let mut sim = sim_with_corpus(5, 3);
+        sim.enable_churn(
+            &ChurnPlan::default(),
+            StabilizationConfig::default(),
+            &[1, 2, 3],
+        )
+        .unwrap();
+        sim.run_churn_to_quiescence();
+
+        let bits = sim.query_root(&set("a b")).bits();
+        let count = sim.tables.get(&bits).map_or(0, IndexTable::object_count) as u64;
+        assert!(count > 0, "object 2 should occupy this vertex");
+        let before = sim.summary.clone();
+
+        // Re-deliver the refresh three times, including to the vertex's
+        // own anchor — the exact frames push_summary_refresh emits.
+        let from = sim.endpoint_of(bits);
+        let anchor = sim.endpoint_of(0);
+        for _ in 0..3 {
+            sim.net.send(from, anchor, KwMsg::TSummary { bits, count });
+        }
+        sim.run_churn_to_quiescence();
+
+        assert_eq!(sim.summary, before, "replayed T_SUMMARY changed the digest");
+        assert_eq!(recall_ids(&mut sim, "a"), vec![1, 2, 3, 4, 6, 8]);
+    }
 }

@@ -103,10 +103,12 @@ pub use index::IndexTable;
 pub use intern::KeywordInterner;
 pub use keyword::{Keyword, KeywordSet};
 pub use mapping::VertexMap;
-pub use protocol::{SupersetCoordinator, VertexStore};
+pub use protocol::{
+    FtCmd, FtCoordinator, FtCoverage, FtPolicy, RecoveryStrategy, SupersetCoordinator, VertexStore,
+};
 pub use search::{
     PinOutcome, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
 };
 pub use service::KeywordSearchService;
-pub use sim_protocol::{FtConfig, ProtocolSim, RecoveryStrategy};
+pub use sim_protocol::{CoverageReport, FtConfig, ProtocolSim};
 pub use summary::{OccupancySummary, SubtreeDigest};

@@ -21,7 +21,7 @@
 //! live here too, as does the per-vertex table scan every substrate
 //! performs on a `T_QUERY`.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::Arc;
 
 use hyperdex_hypercube::{Shape, Vertex};
@@ -335,6 +335,406 @@ pub fn run_superset<S: VertexStore + ?Sized>(
     }
 }
 
+/// How the coordinator reacts to unresponsive vertices (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStrategy {
+    /// Fire-and-forget: no timers, no retries. Any lost message
+    /// silently truncates the traversal — the paper's baseline.
+    Naive,
+    /// Retransmit with exponential backoff up to the budget, then
+    /// abandon the unresponsive child's whole subtree.
+    RetryOnly,
+    /// Retry, then route around a dead child by querying its SBT
+    /// children directly from the coordinator (Lemma 3.2: the subtree
+    /// is computable from the child's bits and arrival dimension).
+    Redelegate,
+    /// [`RecoveryStrategy::Redelegate`], plus a sweep of the secondary
+    /// hypercube (second hash seed, as in [`crate::replication`]) when
+    /// any vertex stayed dead, recovering its locally stored objects.
+    ReplicatedFailover,
+}
+
+/// Retry/backoff tuning for one fault-tolerant pass, in
+/// substrate-defined timeout ticks (virtual ticks in the simulator,
+/// milliseconds in the threaded runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtPolicy {
+    /// Recovery behaviour on timeout.
+    pub strategy: RecoveryStrategy,
+    /// Retransmissions per child before declaring it dead.
+    pub max_retries: u32,
+    /// Timeout for the first attempt; doubles per retry (capped at
+    /// `base_timeout × 64`). Ignored by [`RecoveryStrategy::Naive`].
+    pub base_timeout: u64,
+}
+
+/// Exponential backoff: `base << attempts`, capped at `base × 64`.
+pub fn ft_backoff(base: u64, attempts: u32) -> u64 {
+    base.saturating_mul(1u64 << attempts.min(6))
+}
+
+/// What the fault-tolerant coordinator wants its substrate to do.
+///
+/// The substrate (simnet event loop, threaded-runtime worker) executes
+/// each command with its own transport and timer facility and feeds
+/// outcomes back via [`FtCoordinator::on_reply`] /
+/// [`FtCoordinator::on_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtCmd {
+    /// (Re)transmit a `T_QUERY` to vertex `bits` and, when `timeout` is
+    /// set, arm a retransmission timer for that many ticks. A vertex
+    /// the substrate can scan locally may be answered inline by calling
+    /// `on_reply` immediately instead of sending anything.
+    Send {
+        /// The vertex to query.
+        bits: u64,
+        /// SBT arrival dimension (`None` for the traversal root).
+        via_dim: Option<u8>,
+        /// 0 for the first transmission, then 1, 2, … per retry.
+        attempt: u32,
+        /// Timer to arm, in ticks ([`RecoveryStrategy::Naive`] arms
+        /// none).
+        timeout: Option<u64>,
+    },
+    /// Disarm the timer guarding `bits` (the vertex answered, or the
+    /// threshold was met and the outstanding query no longer matters).
+    Cancel {
+        /// The vertex whose timer dies.
+        bits: u64,
+    },
+    /// The traversal root itself was declared dead: the requester
+    /// promotes itself to coordinator (Lemma 3.2 hands it the root's
+    /// frontier from the bits alone). Substrates with a separate
+    /// requester endpoint redirect continuations; the threaded runtime
+    /// ignores this (its client retries the whole request instead).
+    Promote,
+}
+
+/// Exact coverage accounting produced by [`FtCoordinator::finish`].
+///
+/// The invariant every substrate asserts: `reached + skipped.len() +
+/// (vertices pruned by the substrate) == subcube_vertices`, unless the
+/// threshold stopped the traversal early (then the remainder is simply
+/// unvisited).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtCoverage {
+    /// Vertices in the query's induced subcube (`2^{r−|One|}`).
+    pub subcube_vertices: u64,
+    /// Distinct vertices confirmed by the coordinator.
+    pub reached: u64,
+    /// Bits of the vertices given up on, sorted ascending.
+    pub skipped: Vec<u64>,
+    /// `T_QUERY` transmissions, including retransmissions.
+    pub queries_sent: u64,
+    /// Retransmissions after a timeout.
+    pub retries: u64,
+    /// Children declared dead after the retry budget ran out.
+    pub timeouts: u64,
+    /// Dead children whose subtrees were re-delegated.
+    pub redelegations: u64,
+}
+
+/// One outstanding fault-tolerant child query.
+#[derive(Debug, Clone, Copy)]
+struct FtPending {
+    attempts: u32,
+    via_dim: Option<u8>,
+}
+
+/// The root-side coordinator of one fault-tolerant superset pass
+/// (§3.4) — retry with exponential backoff, SBT subtree re-delegation,
+/// and exact reached/skipped accounting — as a sans-I/O state machine.
+///
+/// This is the single shared recovery implementation: the simulator
+/// drives it with virtual-time timers and simnet messages, the
+/// threaded runtime with wall-clock deadlines and wire frames. The
+/// substrate owns transport, timers, per-vertex scans, result
+/// de-duplication, and (optionally) occupancy-based pruning via the
+/// `prune` filter passed to [`FtCoordinator::on_reply`] /
+/// [`FtCoordinator::on_timeout`]; the machine owns which vertex is
+/// outstanding, retry budgets, recovery strategy, and coverage.
+///
+/// Protocol: call [`FtCoordinator::start`], execute the emitted
+/// [`FtCmd`]s, then feed every continuation to `on_reply` and every
+/// expired timer to `on_timeout` (executing the commands each emits)
+/// until [`FtCoordinator::in_flight`] reaches zero or
+/// [`FtCoordinator::is_done`]. Finally [`FtCoordinator::finish`]
+/// accounts whatever never answered.
+#[derive(Debug)]
+pub struct FtCoordinator {
+    shape: Shape,
+    keywords: Arc<KeywordSet>,
+    remaining: usize,
+    root_bits: u64,
+    subcube_vertices: u64,
+    policy: FtPolicy,
+    pending: BTreeMap<u64, FtPending>,
+    covered: HashSet<u64>,
+    skipped: BTreeSet<u64>,
+    done: bool,
+    queries_sent: u64,
+    retries: u64,
+    timeouts: u64,
+    redelegations: u64,
+}
+
+impl FtCoordinator {
+    /// A machine for one pass rooted at `root` wanting up to
+    /// `threshold` results. Callers validate `threshold > 0` and, for
+    /// timered strategies, `policy.base_timeout > 0` (see
+    /// [`crate::Error::ZeroThreshold`] / [`crate::Error::ZeroTimeout`]).
+    pub fn new(
+        root: Vertex,
+        keywords: Arc<KeywordSet>,
+        threshold: usize,
+        policy: FtPolicy,
+    ) -> Self {
+        FtCoordinator {
+            shape: root.shape(),
+            keywords,
+            remaining: threshold,
+            root_bits: root.bits(),
+            subcube_vertices: 1u64 << root.zero_positions().count(),
+            policy,
+            pending: BTreeMap::new(),
+            covered: HashSet::new(),
+            skipped: BTreeSet::new(),
+            done: false,
+            queries_sent: 0,
+            retries: 0,
+            timeouts: 0,
+            redelegations: 0,
+        }
+    }
+
+    /// The queried keyword set (shared across every hop).
+    pub fn keywords(&self) -> &Arc<KeywordSet> {
+        &self.keywords
+    }
+
+    /// Results still wanted (the paper's `c`).
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// The traversal root's bits.
+    pub fn root_bits(&self) -> u64 {
+        self.root_bits
+    }
+
+    /// Whether the threshold was met (early stop).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Outstanding child queries (0 at quiescence).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether `bits` already answered — substrates use this to drop
+    /// duplicate deliveries of a retried root query without re-scanning.
+    pub fn is_covered(&self, bits: u64) -> bool {
+        self.covered.contains(&bits)
+    }
+
+    /// Whether `bits` is currently given up on (a late reply would
+    /// resurrect it).
+    pub fn is_skipped(&self, bits: u64) -> bool {
+        self.skipped.contains(&bits)
+    }
+
+    /// Children declared dead so far (running counter; substrates use
+    /// call-to-call deltas for their own metrics).
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Dead children whose subtrees were re-delegated so far.
+    pub fn redelegations(&self) -> u64 {
+        self.redelegations
+    }
+
+    /// Emits the initial root query. Call exactly once.
+    pub fn start(&mut self, cmds: &mut Vec<FtCmd>) {
+        debug_assert!(self.pending.is_empty() && self.covered.is_empty());
+        self.transmit(self.root_bits, None, 0, cmds);
+        self.pending.insert(
+            self.root_bits,
+            FtPending {
+                attempts: 0,
+                via_dim: None,
+            },
+        );
+    }
+
+    /// Folds one vertex's answer in. `added` is how many *new* result
+    /// objects the continuation carried (the substrate de-duplicates by
+    /// object id — retransmitted queries re-deliver their results);
+    /// `children` are the vertex's SBT child contacts; `prune` returns
+    /// `true` for children whose subtree the substrate can disprove
+    /// (accounting them on its side).
+    ///
+    /// A reply from a vertex already given up on resurrects it: it is
+    /// alive, merely slow or unlucky. Duplicate replies still consume
+    /// budget for any genuinely-new objects but never re-enqueue
+    /// children.
+    pub fn on_reply(
+        &mut self,
+        bits: u64,
+        added: usize,
+        children: &[(u64, u8)],
+        prune: impl FnMut(u64, u8) -> bool,
+        cmds: &mut Vec<FtCmd>,
+    ) {
+        let fresh = !self.covered.contains(&bits);
+        if fresh {
+            self.skipped.remove(&bits);
+            if self.pending.remove(&bits).is_some() {
+                cmds.push(FtCmd::Cancel { bits });
+            }
+            self.covered.insert(bits);
+        }
+        self.remaining = self.remaining.saturating_sub(added);
+        if self.remaining == 0 {
+            self.stop(cmds);
+        } else if fresh && !self.done {
+            self.enqueue_children(children, prune, cmds);
+        }
+    }
+
+    /// A retransmission timer for `bits` expired: retry with doubled
+    /// timeout while budget remains, otherwise declare the child dead
+    /// and apply the recovery strategy. `prune` filters re-delegated
+    /// grandchildren exactly like [`FtCoordinator::on_reply`].
+    pub fn on_timeout(
+        &mut self,
+        bits: u64,
+        prune: impl FnMut(u64, u8) -> bool,
+        cmds: &mut Vec<FtCmd>,
+    ) {
+        if self.done {
+            return;
+        }
+        let Some(p) = self.pending.get(&bits).copied() else {
+            return; // stale timer: the vertex answered meanwhile
+        };
+        if p.attempts < self.policy.max_retries {
+            self.retries += 1;
+            let attempt = p.attempts + 1;
+            self.pending.get_mut(&bits).expect("checked above").attempts = attempt;
+            self.transmit(bits, p.via_dim, attempt, cmds);
+            return;
+        }
+        // Budget exhausted: the child is dead.
+        self.pending.remove(&bits);
+        self.timeouts += 1;
+        let vertex = Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
+        match self.policy.strategy {
+            RecoveryStrategy::Naive => unreachable!("naive arms no timers"),
+            RecoveryStrategy::RetryOnly => {
+                // The whole subtree behind the dead child is
+                // unreachable.
+                let mut subtree = Vec::new();
+                subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
+                for w in subtree {
+                    if !self.covered.contains(&w) {
+                        self.skipped.insert(w);
+                    }
+                }
+            }
+            RecoveryStrategy::Redelegate | RecoveryStrategy::ReplicatedFailover => {
+                self.skipped.insert(bits);
+                if p.via_dim.is_none() {
+                    // The root itself is dead: promote the requester.
+                    cmds.push(FtCmd::Promote);
+                }
+                let children = SupersetCoordinator::children_of(vertex, p.via_dim);
+                if !children.is_empty() {
+                    self.redelegations += 1;
+                    self.enqueue_children(&children, prune, cmds);
+                }
+            }
+        }
+    }
+
+    /// Quiescence: accounts queries still outstanding (no timers were
+    /// armed, or the coordinator died) as skipped subtrees and returns
+    /// the pass's exact coverage.
+    pub fn finish(&mut self) -> FtCoverage {
+        let mut subtree = Vec::new();
+        for (bits, p) in std::mem::take(&mut self.pending) {
+            let vertex = Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
+            subtree.clear();
+            subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
+            for &w in &subtree {
+                if !self.covered.contains(&w) {
+                    self.skipped.insert(w);
+                }
+            }
+        }
+        FtCoverage {
+            subcube_vertices: self.subcube_vertices,
+            reached: self.covered.len() as u64,
+            skipped: self.skipped.iter().copied().collect(),
+            queries_sent: self.queries_sent,
+            retries: self.retries,
+            timeouts: self.timeouts,
+            redelegations: self.redelegations,
+        }
+    }
+
+    /// Threshold met: latch done and cancel everything outstanding
+    /// (those vertices are unvisited, not skipped).
+    fn stop(&mut self, cmds: &mut Vec<FtCmd>) {
+        self.done = true;
+        for (bits, _) in std::mem::take(&mut self.pending) {
+            cmds.push(FtCmd::Cancel { bits });
+        }
+    }
+
+    /// Queries every not-yet-tracked child. Pruned children never enter
+    /// `pending` — neither queried nor retried nor re-delegated.
+    fn enqueue_children(
+        &mut self,
+        children: &[(u64, u8)],
+        mut prune: impl FnMut(u64, u8) -> bool,
+        cmds: &mut Vec<FtCmd>,
+    ) {
+        for &(bits, dim) in children {
+            if self.covered.contains(&bits)
+                || self.skipped.contains(&bits)
+                || self.pending.contains_key(&bits)
+            {
+                continue;
+            }
+            if prune(bits, dim) {
+                continue;
+            }
+            self.transmit(bits, Some(dim), 0, cmds);
+            self.pending.insert(
+                bits,
+                FtPending {
+                    attempts: 0,
+                    via_dim: Some(dim),
+                },
+            );
+        }
+    }
+
+    fn transmit(&mut self, bits: u64, via_dim: Option<u8>, attempt: u32, cmds: &mut Vec<FtCmd>) {
+        self.queries_sent += 1;
+        let timeout = (self.policy.strategy != RecoveryStrategy::Naive)
+            .then(|| ft_backoff(self.policy.base_timeout, attempt));
+        cmds.push(FtCmd::Send {
+            bits,
+            via_dim,
+            attempt,
+            timeout,
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,6 +881,221 @@ mod tests {
         assert_eq!(scan_table(Some(&table), &set("a"), 3).len(), 3);
         assert_eq!(scan_table(Some(&table), &set("a"), 99).len(), 5);
         assert!(scan_table(Some(&table), &set("q"), 99).is_empty());
+    }
+
+    fn ft_policy(strategy: RecoveryStrategy) -> FtPolicy {
+        FtPolicy {
+            strategy,
+            max_retries: 2,
+            base_timeout: 4,
+        }
+    }
+
+    /// Drives the machine against a perfect substrate: every `Send` is
+    /// answered immediately with zero results and true SBT children.
+    fn drive_perfect(machine: &mut FtCoordinator, shape: Shape) {
+        let mut cmds = Vec::new();
+        machine.start(&mut cmds);
+        while let Some(cmd) = cmds.pop() {
+            if let FtCmd::Send { bits, via_dim, .. } = cmd {
+                let v = Vertex::from_bits(shape, bits).unwrap();
+                let children = SupersetCoordinator::children_of(v, via_dim);
+                machine.on_reply(bits, 0, &children, |_, _| false, &mut cmds);
+            }
+        }
+    }
+
+    #[test]
+    fn ft_machine_fault_free_covers_the_subcube() {
+        let shape = Shape::new(6).unwrap();
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        for strategy in [
+            RecoveryStrategy::Naive,
+            RecoveryStrategy::RetryOnly,
+            RecoveryStrategy::Redelegate,
+        ] {
+            let mut m =
+                FtCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1, ft_policy(strategy));
+            drive_perfect(&mut m, shape);
+            assert_eq!(m.in_flight(), 0);
+            let cov = m.finish();
+            assert_eq!(cov.reached, cov.subcube_vertices, "{strategy:?}");
+            assert!(cov.skipped.is_empty());
+            assert_eq!(cov.retries, 0);
+            assert_eq!(cov.timeouts, 0);
+            assert_eq!(cov.queries_sent, cov.subcube_vertices);
+        }
+    }
+
+    #[test]
+    fn ft_machine_retries_then_redelegates_a_dead_child() {
+        let shape = Shape::new(6).unwrap();
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let policy = ft_policy(RecoveryStrategy::Redelegate);
+        let mut m = FtCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1, policy);
+        let mut cmds = Vec::new();
+        m.start(&mut cmds);
+        // Root answers with its children; pick the first child as dead.
+        let children = SupersetCoordinator::children_of(root, None);
+        cmds.clear();
+        m.on_reply(root.bits(), 0, &children, |_, _| false, &mut cmds);
+        let (dead, dead_dim) = children[0];
+        // Timers expire: max_retries retransmissions, each with doubled
+        // timeout, then the child is declared dead and re-delegated.
+        for attempt in 1..=policy.max_retries {
+            cmds.clear();
+            m.on_timeout(dead, |_, _| false, &mut cmds);
+            assert!(
+                cmds.iter().any(|c| matches!(
+                    c,
+                    FtCmd::Send { bits, attempt: a, timeout: Some(t), .. }
+                        if *bits == dead
+                            && *a == attempt
+                            && *t == ft_backoff(policy.base_timeout, attempt)
+                )),
+                "attempt {attempt} retransmits: {cmds:?}"
+            );
+        }
+        cmds.clear();
+        m.on_timeout(dead, |_, _| false, &mut cmds);
+        let grandchildren = SupersetCoordinator::children_of(
+            Vertex::from_bits(shape, dead).unwrap(),
+            Some(dead_dim),
+        );
+        for &(gc, _) in &grandchildren {
+            assert!(
+                cmds.iter()
+                    .any(|c| matches!(c, FtCmd::Send { bits, .. } if *bits == gc)),
+                "grandchild {gc:#x} re-delegated"
+            );
+        }
+        // Answer everything still outstanding: the re-delegated
+        // grandchildren plus the root's other children (whose original
+        // `Send`s were consumed above).
+        cmds.extend(children.iter().skip(1).map(|&(bits, dim)| FtCmd::Send {
+            bits,
+            via_dim: Some(dim),
+            attempt: 0,
+            timeout: None,
+        }));
+        while let Some(cmd) = cmds.pop() {
+            if let FtCmd::Send { bits, via_dim, .. } = cmd {
+                let v = Vertex::from_bits(shape, bits).unwrap();
+                let kids = SupersetCoordinator::children_of(v, via_dim);
+                m.on_reply(bits, 0, &kids, |_, _| false, &mut cmds);
+            }
+        }
+        assert_eq!(m.in_flight(), 0);
+        let cov = m.finish();
+        assert_eq!(cov.skipped, vec![dead], "only the dead child skipped");
+        assert_eq!(cov.reached, cov.subcube_vertices - 1);
+        assert_eq!(cov.retries, u64::from(policy.max_retries));
+        assert_eq!(cov.timeouts, 1);
+        assert_eq!(cov.redelegations, 1);
+    }
+
+    #[test]
+    fn ft_machine_threshold_stop_cancels_not_skips() {
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut m = FtCoordinator::new(
+            root,
+            Arc::clone(&kw),
+            1,
+            ft_policy(RecoveryStrategy::RetryOnly),
+        );
+        let mut cmds = Vec::new();
+        m.start(&mut cmds);
+        let children = SupersetCoordinator::children_of(root, None);
+        cmds.clear();
+        m.on_reply(root.bits(), 0, &children, |_, _| false, &mut cmds);
+        assert!(m.in_flight() > 0);
+        // First child satisfies the threshold: everything else cancels.
+        cmds.clear();
+        m.on_reply(children[0].0, 1, &[], |_, _| false, &mut cmds);
+        assert!(m.is_done());
+        assert_eq!(m.in_flight(), 0);
+        assert!(cmds.iter().all(|c| matches!(c, FtCmd::Cancel { .. })));
+        let cov = m.finish();
+        assert!(cov.skipped.is_empty(), "early stop skips nothing");
+    }
+
+    #[test]
+    fn ft_machine_late_reply_resurrects_a_skipped_vertex() {
+        let shape = Shape::new(6).unwrap();
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut policy = ft_policy(RecoveryStrategy::Redelegate);
+        policy.max_retries = 0;
+        let mut m = FtCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1, policy);
+        let mut cmds = Vec::new();
+        m.start(&mut cmds);
+        let children = SupersetCoordinator::children_of(root, None);
+        cmds.clear();
+        m.on_reply(root.bits(), 0, &children, |_, _| false, &mut cmds);
+        let (dead, dead_dim) = children[0];
+        cmds.clear();
+        m.on_timeout(dead, |_, _| false, &mut cmds);
+        assert!(m.is_skipped(dead));
+        // The "dead" child answers after all — it returns to reached and
+        // its (already re-delegated) children are not double-enqueued.
+        let redelegated = cmds.clone();
+        cmds.clear();
+        let kids = SupersetCoordinator::children_of(
+            Vertex::from_bits(shape, dead).unwrap(),
+            Some(dead_dim),
+        );
+        m.on_reply(dead, 0, &kids, |_, _| false, &mut cmds);
+        assert!(m.is_covered(dead));
+        assert!(!cmds
+            .iter()
+            .any(|c| matches!(c, FtCmd::Send { bits, .. } if kids.iter().any(|k| k.0 == *bits))));
+        // Answer everything still outstanding (original children and the
+        // re-delegated grandchildren), then verify the resurrection.
+        let mut queue: Vec<FtCmd> = redelegated;
+        queue.extend(children.iter().skip(1).map(|&(bits, dim)| FtCmd::Send {
+            bits,
+            via_dim: Some(dim),
+            attempt: 0,
+            timeout: None,
+        }));
+        while let Some(cmd) = queue.pop() {
+            if let FtCmd::Send { bits, via_dim, .. } = cmd {
+                let v = Vertex::from_bits(shape, bits).unwrap();
+                let k = SupersetCoordinator::children_of(v, via_dim);
+                m.on_reply(bits, 0, &k, |_, _| false, &mut queue);
+            }
+        }
+        assert_eq!(m.in_flight(), 0);
+        let cov = m.finish();
+        assert!(cov.skipped.is_empty(), "resurrected: {:?}", cov.skipped);
+        assert_eq!(cov.reached, cov.subcube_vertices);
+    }
+
+    #[test]
+    fn ft_machine_naive_arms_no_timers_and_accounts_pending() {
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+        let mut m = FtCoordinator::new(
+            root,
+            Arc::clone(&kw),
+            usize::MAX - 1,
+            ft_policy(RecoveryStrategy::Naive),
+        );
+        let mut cmds = Vec::new();
+        m.start(&mut cmds);
+        assert!(matches!(cmds[0], FtCmd::Send { timeout: None, .. }));
+        // The root query is lost; quiescence accounts the whole subcube.
+        let cov = m.finish();
+        assert_eq!(cov.skipped.len() as u64, cov.subcube_vertices);
+        assert_eq!(cov.reached, 0);
     }
 
     #[test]

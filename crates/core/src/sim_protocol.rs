@@ -39,8 +39,8 @@ use crate::error::Error;
 use crate::hashing::KeywordHasher;
 use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
-use crate::protocol::{extend_child_contacts, extend_root_frontier, subtree_bits};
-use crate::protocol::{Step, SupersetCoordinator};
+use crate::protocol::{extend_child_contacts, extend_root_frontier};
+use crate::protocol::{FtCmd, FtCoordinator, FtPolicy, Step, SupersetCoordinator};
 use crate::search::RankedObject;
 use crate::summary::{pruned_levels, OccupancySummary};
 
@@ -145,24 +145,7 @@ pub enum KwMsg {
     },
 }
 
-/// How the coordinator reacts to unresponsive vertices (§3.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RecoveryStrategy {
-    /// Fire-and-forget: no timers, no retries. Any lost message
-    /// silently truncates the traversal — the paper's baseline.
-    Naive,
-    /// Retransmit with exponential backoff up to the budget, then
-    /// abandon the unresponsive child's whole subtree.
-    RetryOnly,
-    /// Retry, then route around a dead child by querying its SBT
-    /// children directly from the coordinator (Lemma 3.2: the subtree
-    /// is computable from the child's bits and arrival dimension).
-    Redelegate,
-    /// [`RecoveryStrategy::Redelegate`], plus a sweep of the secondary
-    /// hypercube (second hash seed, as in [`crate::replication`]) when
-    /// any vertex stayed dead, recovering its locally stored objects.
-    ReplicatedFailover,
-}
+pub use crate::protocol::RecoveryStrategy;
 
 /// Tuning for [`ProtocolSim::search_fault_tolerant`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -785,7 +768,7 @@ impl ProtocolSim {
             subcube_vertices: primary.subcube_vertices,
             vertices_reached: primary.reached,
             vertices_skipped: primary.skipped.len() as u64,
-            skipped: primary.skipped.iter().copied().collect(),
+            skipped: primary.skipped.to_vec(),
             queries_sent: primary.queries_sent,
             conts: primary.conts,
             result_messages: primary.result_messages,
@@ -831,6 +814,14 @@ impl ProtocolSim {
     }
 
     /// One coordinator-driven sweep over the primary or secondary cube.
+    ///
+    /// The recovery logic itself — retry budgets, backoff, subtree
+    /// re-delegation, coverage accounting — lives in the shared
+    /// sans-I/O [`FtCoordinator`]; this method is only the simnet
+    /// substrate: it turns [`FtCmd`]s into messages and virtual-time
+    /// timers, scans vertices, and feeds deliveries and expirations
+    /// back into the machine. The threaded runtime drives the *same*
+    /// machine over wire frames and wall-clock deadlines.
     fn run_ft_pass(
         &mut self,
         keywords: &KeywordSet,
@@ -845,8 +836,6 @@ impl ProtocolSim {
         let hasher = if secondary { self.hasher2 } else { self.hasher };
         let root_vertex = hasher.vertex_for(keywords);
         let root_ep = self.endpoint_of(root_vertex.bits());
-        let use_timers = config.strategy != RecoveryStrategy::Naive;
-        let base = config.base_timeout;
         // Interned: every (re)transmission of this pass shares it.
         let kw = self.interner.intern(keywords.clone());
         let prune = config.prune.then(|| FtPrune {
@@ -855,41 +844,27 @@ impl ProtocolSim {
             secondary,
         });
 
-        let mut stats = PassStats {
-            subcube_vertices: 1u64 << root_vertex.zero_positions().count(),
-            ..PassStats::default()
-        };
-        // Coordinator: the root, until a dead root promotes the requester.
-        let mut coord = root_ep;
-        let mut pending: BTreeMap<u64, Pending> = BTreeMap::new();
-        let mut covered: HashSet<u64> = HashSet::new();
-        let mut remaining = threshold;
-        let mut done = false;
-
-        // Initial query: the requester contacts the root, guarding it
-        // with its own timer — the root itself may be dead.
-        self.ft_send_query(
-            self.requester,
-            root_vertex.bits(),
-            None,
-            &kw,
-            remaining,
-            coord,
-        );
-        stats.queries_sent += 1;
-        let timer = use_timers.then(|| {
-            self.net
-                .set_timer(self.requester, ft_backoff(base, 0), root_vertex.bits())
-        });
-        pending.insert(
-            root_vertex.bits(),
-            Pending {
-                attempts: 0,
-                timer,
-                via_dim: None,
-                owner: self.requester,
+        let mut core = FtCoordinator::new(
+            root_vertex,
+            Arc::clone(&kw),
+            threshold,
+            FtPolicy {
+                strategy: config.strategy,
+                max_retries: config.max_retries,
+                base_timeout: config.base_timeout.ticks(),
             },
         );
+        let mut extra = PassExtra::default();
+        // Coordinator endpoint: the root, until a dead root promotes
+        // the requester (`FtCmd::Promote`).
+        let mut coord = root_ep;
+        // Armed retransmission timers by vertex bits; a fired timer
+        // must match the armed id or it is stale.
+        let mut timers: HashMap<u64, TimerId> = HashMap::new();
+        let mut cmds = Vec::new();
+
+        core.start(&mut cmds);
+        self.ft_exec(&core, &mut cmds, &kw, &mut coord, &mut timers);
 
         while let Some(ev) = self.net.step_event() {
             // Churn traffic (membership timers, handoff batches, repair
@@ -904,7 +879,7 @@ impl ProtocolSim {
                     let (to, from) = (d.to, d.from);
                     match d.payload {
                         KwMsg::TQuery {
-                            keywords: kw,
+                            keywords: qkw,
                             remaining: rem,
                             via_dim,
                             root,
@@ -923,45 +898,29 @@ impl ProtocolSim {
                                 // The root doubles as coordinator: it
                                 // scans locally, no self-messages.
                                 let bits = vertex.bits();
-                                if covered.contains(&bits) {
+                                if core.is_covered(bits) {
                                     continue; // duplicate of a retried query
                                 }
-                                if let Some(p) = pending.remove(&bits) {
-                                    if let Some(t) = p.timer {
-                                        self.net.cancel_timer(t);
-                                    }
-                                }
-                                covered.insert(bits);
-                                let objects = self.scan(vertex, &kw, rem, secondary);
+                                let objects = self.scan(vertex, &qkw, rem, secondary);
                                 let added = ft_record(objects, results, seen);
-                                remaining = remaining.saturating_sub(added);
-                                if remaining == 0 {
-                                    done = true;
-                                    ft_cancel_all(&mut self.net, &mut pending);
-                                } else if !done {
-                                    let mut children = std::mem::take(&mut self.scratch.children);
-                                    children.clear();
-                                    extend_root_frontier(vertex, &mut children);
-                                    self.ft_enqueue_children(
-                                        &children,
-                                        coord,
-                                        &kw,
-                                        remaining,
-                                        use_timers,
-                                        base,
-                                        prune,
-                                        &mut pending,
-                                        &covered,
-                                        &mut stats,
-                                    );
-                                    self.scratch.children = children;
-                                }
+                                let mut children = std::mem::take(&mut self.scratch.children);
+                                children.clear();
+                                extend_root_frontier(vertex, &mut children);
+                                core.on_reply(
+                                    bits,
+                                    added,
+                                    &children,
+                                    |b, dim| self.ft_try_prune(prune, &mut extra, b, dim),
+                                    &mut cmds,
+                                );
+                                self.scratch.children = children;
+                                self.ft_exec(&core, &mut cmds, &kw, &mut coord, &mut timers);
                             } else {
                                 // Ordinary node: continuation back to
                                 // the coordinator named in the query,
                                 // results piggybacked so retransmitted
                                 // queries re-deliver them.
-                                let objects = self.scan(vertex, &kw, rem, secondary);
+                                let objects = self.scan(vertex, &qkw, rem, secondary);
                                 let mut children = Vec::new();
                                 match via_dim {
                                     Some(dim) => extend_child_contacts(vertex, dim, &mut children),
@@ -977,43 +936,20 @@ impl ProtocolSim {
                             if to != coord {
                                 continue; // stale coordinator address
                             }
-                            stats.conts += 1;
+                            extra.conts += 1;
                             if !objects.is_empty() {
-                                stats.result_messages += 1;
+                                extra.result_messages += 1;
                             }
                             let added = ft_record(objects, results, seen);
-                            remaining = remaining.saturating_sub(added);
                             let bits = self.vertex_of(from).bits();
-                            let fresh = !covered.contains(&bits);
-                            if fresh {
-                                // A reply after the timeout budget ran
-                                // out resurrects the vertex: it is
-                                // alive, merely slow or unlucky.
-                                stats.skipped.remove(&bits);
-                                if let Some(p) = pending.remove(&bits) {
-                                    if let Some(t) = p.timer {
-                                        self.net.cancel_timer(t);
-                                    }
-                                }
-                                covered.insert(bits);
-                            }
-                            if remaining == 0 {
-                                done = true;
-                                ft_cancel_all(&mut self.net, &mut pending);
-                            } else if fresh && !done {
-                                self.ft_enqueue_children(
-                                    &children,
-                                    coord,
-                                    &kw,
-                                    remaining,
-                                    use_timers,
-                                    base,
-                                    prune,
-                                    &mut pending,
-                                    &covered,
-                                    &mut stats,
-                                );
-                            }
+                            core.on_reply(
+                                bits,
+                                added,
+                                &children,
+                                |b, dim| self.ft_try_prune(prune, &mut extra, b, dim),
+                                &mut cmds,
+                            );
+                            self.ft_exec(&core, &mut cmds, &kw, &mut coord, &mut timers);
                         }
                         // Legacy sequential/parallel variants cannot
                         // appear mid-pass (every search drains the
@@ -1033,104 +969,123 @@ impl ProtocolSim {
                 }
                 NetEvent::Timer(t) => {
                     let bits = t.token;
-                    let armed = pending.get(&bits).is_some_and(|p| p.timer == Some(t.id));
-                    if !armed || done {
+                    if timers.get(&bits) != Some(&t.id) || core.is_done() {
                         continue; // stale timer
                     }
-                    let (attempts, owner, via_dim) = {
-                        let p = pending.get(&bits).expect("armed implies pending");
-                        (p.attempts, p.owner, p.via_dim)
-                    };
-                    if attempts < config.max_retries {
-                        // Retransmit with doubled timeout.
-                        stats.retries += 1;
-                        self.net.metrics_mut().retries.incr();
-                        self.ft_send_query(owner, bits, via_dim, &kw, remaining, coord);
-                        stats.queries_sent += 1;
-                        let timer = self
-                            .net
-                            .set_timer(owner, ft_backoff(base, attempts + 1), bits);
-                        let p = pending.get_mut(&bits).expect("armed implies pending");
-                        p.attempts = attempts + 1;
-                        p.timer = Some(timer);
-                    } else {
-                        // Budget exhausted: declare the child dead.
-                        let p = pending.remove(&bits).expect("armed implies pending");
-                        stats.timeouts += 1;
+                    timers.remove(&bits);
+                    let (deaths, redelegs) = (core.timeouts(), core.redelegations());
+                    core.on_timeout(
+                        bits,
+                        |b, dim| self.ft_try_prune(prune, &mut extra, b, dim),
+                        &mut cmds,
+                    );
+                    if core.timeouts() > deaths {
                         self.net.metrics_mut().timeouts.incr();
-                        let vertex =
-                            Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
-                        match config.strategy {
-                            RecoveryStrategy::Naive => unreachable!("naive sets no timers"),
-                            RecoveryStrategy::RetryOnly => {
-                                // The whole subtree behind the dead
-                                // child is unreachable.
-                                let mut subtree = std::mem::take(&mut self.scratch.subtree);
-                                subtree.clear();
-                                subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
-                                for &w in &subtree {
-                                    if !covered.contains(&w) {
-                                        stats.skipped.insert(w);
-                                    }
-                                }
-                                self.scratch.subtree = subtree;
-                            }
-                            RecoveryStrategy::Redelegate | RecoveryStrategy::ReplicatedFailover => {
-                                stats.skipped.insert(bits);
-                                if p.via_dim.is_none() {
-                                    // The root itself is dead: the
-                                    // requester promotes itself to
-                                    // coordinator (Lemma 3.2 gives it
-                                    // the frontier from bits alone).
-                                    coord = self.requester;
-                                }
-                                let mut children = std::mem::take(&mut self.scratch.children);
-                                children.clear();
-                                match p.via_dim {
-                                    None => extend_root_frontier(vertex, &mut children),
-                                    Some(dim) => extend_child_contacts(vertex, dim, &mut children),
-                                }
-                                if !children.is_empty() {
-                                    stats.redelegations += 1;
-                                    self.net.metrics_mut().redelegations.incr();
-                                    self.ft_enqueue_children(
-                                        &children,
-                                        coord,
-                                        &kw,
-                                        remaining,
-                                        use_timers,
-                                        base,
-                                        prune,
-                                        &mut pending,
-                                        &covered,
-                                        &mut stats,
-                                    );
-                                }
-                                self.scratch.children = children;
-                            }
-                        }
                     }
+                    if core.redelegations() > redelegs {
+                        self.net.metrics_mut().redelegations.incr();
+                    }
+                    self.ft_exec(&core, &mut cmds, &kw, &mut coord, &mut timers);
                 }
             }
         }
 
-        // Quiescence with queries still outstanding: no timers were set
-        // (naive), or the coordinator died and its timers were
-        // suppressed. Account the unreachable subtrees honestly.
-        let mut subtree = std::mem::take(&mut self.scratch.subtree);
-        for (bits, p) in std::mem::take(&mut pending) {
-            let vertex = Vertex::from_bits(self.shape, bits).expect("pending keys are vertices");
-            subtree.clear();
-            subtree_bits(self.shape, vertex, p.via_dim, &mut subtree);
-            for &w in &subtree {
-                if !covered.contains(&w) {
-                    stats.skipped.insert(w);
+        // Quiescence: the machine accounts queries still outstanding
+        // (no timers were armed, or the coordinator died) as skipped
+        // subtrees.
+        let cov = core.finish();
+        PassStats {
+            subcube_vertices: cov.subcube_vertices,
+            reached: cov.reached,
+            skipped: cov.skipped,
+            queries_sent: cov.queries_sent,
+            conts: extra.conts,
+            result_messages: extra.result_messages,
+            retries: cov.retries,
+            timeouts: cov.timeouts,
+            redelegations: cov.redelegations,
+            pruned_subtrees: extra.pruned_subtrees,
+            vertices_pruned: extra.vertices_pruned,
+        }
+    }
+
+    /// Executes the machine's pending commands over simnet transport:
+    /// `Send` becomes a `T_QUERY` (plus a virtual-time timer when
+    /// armed), `Cancel` disarms, `Promote` redirects the coordinator to
+    /// the requester.
+    fn ft_exec(
+        &mut self,
+        core: &FtCoordinator,
+        cmds: &mut Vec<FtCmd>,
+        keywords: &Arc<KeywordSet>,
+        coord: &mut EndpointId,
+        timers: &mut HashMap<u64, TimerId>,
+    ) {
+        for cmd in cmds.drain(..) {
+            match cmd {
+                FtCmd::Promote => *coord = self.requester,
+                FtCmd::Cancel { bits } => {
+                    if let Some(t) = timers.remove(&bits) {
+                        self.net.cancel_timer(t);
+                    }
+                }
+                FtCmd::Send {
+                    bits,
+                    via_dim,
+                    attempt,
+                    timeout,
+                } => {
+                    if attempt > 0 {
+                        self.net.metrics_mut().retries.incr();
+                    }
+                    // The requester owns the root query and its retries
+                    // (the root itself may be dead); the coordinator
+                    // owns every child query.
+                    let owner = if via_dim.is_none() {
+                        self.requester
+                    } else {
+                        *coord
+                    };
+                    self.ft_send_query(owner, bits, via_dim, keywords, core.remaining(), *coord);
+                    if let Some(ticks) = timeout {
+                        let timer = self
+                            .net
+                            .set_timer(owner, SimDuration::from_ticks(ticks), bits);
+                        timers.insert(bits, timer);
+                    }
                 }
             }
         }
-        self.scratch.subtree = subtree;
-        stats.reached = covered.len() as u64;
-        stats
+    }
+
+    /// Prune filter handed to the shared machine: consults the
+    /// occupancy summary of the swept cube and accounts what it
+    /// disproves.
+    fn ft_try_prune(
+        &self,
+        prune: Option<FtPrune>,
+        extra: &mut PassExtra,
+        bits: u64,
+        dim: u8,
+    ) -> bool {
+        let Some(p) = prune else {
+            return false;
+        };
+        let summary = if p.secondary {
+            &self.summary2
+        } else {
+            &self.summary
+        };
+        if summary.can_prune(bits, dim, p.required) {
+            extra.pruned_subtrees += 1;
+            // The child's subtree spans the free dims strictly below
+            // its arrival dimension.
+            let free_below = (p.zero_mask & ((1u64 << dim) - 1)).count_ones();
+            extra.vertices_pruned += 1u64 << free_below;
+            true
+        } else {
+            false
+        }
     }
 
     /// Sends one `T_QUERY` for the fault-tolerant traversal.
@@ -1155,62 +1110,6 @@ impl ProtocolSim {
                 root: coord,
             },
         );
-    }
-
-    /// Queries every not-yet-tracked child and arms its timer. With
-    /// pruning on, children whose occupancy digest disproves any match
-    /// never enter `pending` — neither queried nor retried nor
-    /// re-delegated; their whole subtree is accounted in
-    /// `stats.vertices_pruned`.
-    #[allow(clippy::too_many_arguments)]
-    fn ft_enqueue_children(
-        &mut self,
-        children: &[(u64, u8)],
-        coord: EndpointId,
-        keywords: &Arc<KeywordSet>,
-        remaining: usize,
-        use_timers: bool,
-        base: SimDuration,
-        prune: Option<FtPrune>,
-        pending: &mut BTreeMap<u64, Pending>,
-        covered: &HashSet<u64>,
-        stats: &mut PassStats,
-    ) {
-        for &(bits, dim) in children {
-            if covered.contains(&bits)
-                || stats.skipped.contains(&bits)
-                || pending.contains_key(&bits)
-            {
-                continue;
-            }
-            if let Some(p) = prune {
-                let summary = if p.secondary {
-                    &self.summary2
-                } else {
-                    &self.summary
-                };
-                if summary.can_prune(bits, dim, p.required) {
-                    stats.pruned_subtrees += 1;
-                    // The child's subtree spans the free dims strictly
-                    // below its arrival dimension.
-                    let free_below = (p.zero_mask & ((1u64 << dim) - 1)).count_ones();
-                    stats.vertices_pruned += 1u64 << free_below;
-                    continue;
-                }
-            }
-            self.ft_send_query(coord, bits, Some(dim), keywords, remaining, coord);
-            stats.queries_sent += 1;
-            let timer = use_timers.then(|| self.net.set_timer(coord, ft_backoff(base, 0), bits));
-            pending.insert(
-                bits,
-                Pending {
-                    attempts: 0,
-                    timer,
-                    via_dim: Some(dim),
-                    owner: coord,
-                },
-            );
-        }
     }
 
     /// Scans a vertex's table (primary or secondary) for supersets of
@@ -1359,33 +1258,32 @@ struct TraversalScratch {
     frontier: VecDeque<(u64, u8)>,
     /// Child-contact list for enqueue/redelegation rounds.
     children: Vec<(u64, u8)>,
-    /// Subtree enumeration for skipped-vertex accounting.
-    subtree: Vec<u64>,
 }
 
-/// One outstanding fault-tolerant child query.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    attempts: u32,
-    timer: Option<TimerId>,
-    via_dim: Option<u8>,
-    /// Who retransmits (and owns the timer): the coordinator, or the
-    /// requester for the initial root query.
-    owner: EndpointId,
-}
-
-/// Per-pass accounting for the fault-tolerant traversal.
+/// Per-pass accounting for the fault-tolerant traversal (the machine's
+/// [`crate::protocol::FtCoverage`] plus substrate-side counters).
 #[derive(Debug, Default)]
 struct PassStats {
     subcube_vertices: u64,
     reached: u64,
-    skipped: BTreeSet<u64>,
+    /// Bits of the skipped vertices, sorted ascending.
+    skipped: Vec<u64>,
     queries_sent: u64,
     conts: u64,
     result_messages: u64,
     retries: u64,
     timeouts: u64,
     redelegations: u64,
+    pruned_subtrees: u64,
+    vertices_pruned: u64,
+}
+
+/// Counters the shared machine doesn't track: message-kind tallies and
+/// pruning accounting, owned by the simnet substrate.
+#[derive(Debug, Default)]
+struct PassExtra {
+    conts: u64,
+    result_messages: u64,
     pruned_subtrees: u64,
     vertices_pruned: u64,
 }
@@ -1416,21 +1314,6 @@ fn ft_record(
         }
     }
     added
-}
-
-/// Exponential backoff: `base << attempts`, capped at `base × 64`.
-fn ft_backoff(base: SimDuration, attempts: u32) -> SimDuration {
-    SimDuration::from_ticks(base.ticks() << attempts.min(6))
-}
-
-/// Cancels every armed timer and forgets the outstanding queries
-/// (early-stop path: those vertices are unvisited, not skipped).
-fn ft_cancel_all(net: &mut Network<KwMsg>, pending: &mut BTreeMap<u64, Pending>) {
-    for (_, p) in std::mem::take(pending) {
-        if let Some(t) = p.timer {
-            net.cancel_timer(t);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -9,15 +9,26 @@
 //! the single-threaded simulator, which is what lets the [`parity`]
 //! harness demand set-identical results at every thread count.
 //!
+//! The cluster also survives being hurt: [`fault`] injects seeded
+//! drop/duplicate/delay faults and crash-stops on the wire path, while
+//! the [`runtime`] supervisor respawns crashed workers and replays
+//! their shards, and [`NodeRuntime::superset_search_ft`] runs the
+//! shared [`hyperdex_core::FtCoordinator`] recovery machine (retries,
+//! backoff, subtree re-delegation) against real wall-clock deadlines.
+//!
 //! Module map:
 //!
 //! * [`wire`] — the hand-rolled length-prefixed codec; the thread
 //!   boundary is byte-defined, like a socket.
 //! * [`shard`] — pure, seeded vertex → worker ownership.
-//! * [`runtime`] — worker event loops, the client handle, the flush
-//!   barrier, the shutdown/conservation protocol.
+//! * [`fault`] — deterministic fault plans and the per-worker
+//!   injector.
+//! * [`runtime`] — worker event loops, the client handle, the
+//!   supervisor, the flush barrier, the shutdown/conservation
+//!   protocol.
 //! * [`parity`] — the runtime vs. simulator vs. direct-engine parity
-//!   harness used by tests and the `runtime` bench.
+//!   harness used by tests and the `runtime` bench, including faulted
+//!   executions.
 //!
 //! ```
 //! use hyperdex_runtime::{NodeRuntime, RuntimeConfig};
@@ -34,14 +45,17 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod parity;
 pub mod runtime;
 pub mod shard;
 pub mod wire;
 
-pub use parity::{assert_sim_parity, ParityReport};
+pub use fault::{CrashPoint, Fate, FaultInjector, FaultPlan};
+pub use parity::{assert_fault_parity, assert_sim_parity, FaultParityReport, ParityReport};
 pub use runtime::{
-    BatchResult, NodeRuntime, Request, RuntimeConfig, RuntimeMatch, ShutdownReport, WorkerStats,
+    BatchResult, FtSearchOptions, FtSearchOutcome, NodeRuntime, Request, RuntimeConfig,
+    RuntimeMatch, ShutdownReport, SupervisorStats, WorkerStats,
 };
 pub use shard::ShardMap;
 pub use wire::{WireError, WireMsg};

@@ -1,5 +1,5 @@
 //! The threaded node runtime: sharded workers, bounded channels,
-//! explicit backpressure, and a drain/shutdown barrier.
+//! explicit backpressure, fault injection, and supervised recovery.
 //!
 //! # Shard ownership
 //!
@@ -20,42 +20,80 @@
 //! workers sending to each other. Instead a worker `try_send`s, and on
 //! `Full` parks the frame in a per-destination outbox that is
 //! re-flushed on every loop iteration, counting the event in
-//! [`WorkerStats::backpressure_hits`].
+//! [`WorkerStats::backpressure_hits`]. When a worker is fully idle —
+//! no parked frames, no armed deadlines — it blocks on `recv` and
+//! burns no CPU ([`WorkerStats::wakeups`] counts the timed polls it
+//! did need).
 //!
 //! # Queries
 //!
-//! The worker owning `F_h(K)` coordinates each query by running the
-//! same [`SupersetCoordinator`] state machine as the simulator and the
-//! direct engine. Visits to its own vertices are local scans; visits
-//! to foreign vertices become `T_QUERY` frames, answered with `T_CONT`
-//! frames that carry results and SBT children back. One query is
-//! sequential (one outstanding visit), exactly like the paper's §3.3
-//! traversal — which is what makes the runtime's result sets provably
-//! identical to the simulator's. Throughput comes from pipelining
-//! *across* queries: different queries root on different workers and
-//! progress concurrently.
+//! The worker owning `F_h(K)` coordinates each query. The sequential
+//! path ([`NodeRuntime::superset_search`]) runs the same
+//! [`SupersetCoordinator`] machine as the simulator and the direct
+//! engine, one visit outstanding at a time. The fault-tolerant path
+//! ([`NodeRuntime::superset_search_ft`]) runs the shared
+//! [`FtCoordinator`] machine — the very one `ProtocolSim` drives under
+//! virtual time — with wall-clock deadlines, retry backoff, and
+//! subtree re-delegation (Lemma 3.2), so all three executors share one
+//! recovery implementation.
+//!
+//! # Faults and supervision
+//!
+//! [`NodeRuntime::start_faulted`] arms a seeded [`FaultPlan`]: worker→
+//! worker traversal frames may be dropped, duplicated, or delayed
+//! (which reorders), and whole workers crash-stop at scheduled points,
+//! losing every byte of in-memory state. A supervisor thread owns the
+//! worker join handles; when a worker reports a crash the supervisor
+//! respawns it **on the same inbox channel** (peers never observe a
+//! disconnect — exactly a process restart behind a stable address),
+//! replays the crashed shard's index state from the client's load
+//! journal as `Handoff` frames, and finishes with `RepairDone`. Until
+//! repair completes the respawned worker parks query frames, so scans
+//! never run against a half-restored table. If recovery cannot finish
+//! within the client's deadline, [`NodeRuntime::superset_search_ft`]
+//! degrades gracefully: it returns a partial result whose
+//! [`CoverageReport`] accounts every unreached vertex exactly.
 //!
 //! # Shutdown protocol and conservation
 //!
 //! [`NodeRuntime::shutdown`] first runs the flush barrier (a `Flush`
 //! token to every worker, answered by `FlushAck` after all prior
-//! frames on that inbox were processed), then sends `Shutdown`. A
-//! worker receiving `Shutdown` flushes its outboxes and exits,
-//! returning its [`WorkerStats`]. The client joins every thread,
-//! drains its own inbox, and builds a [`ShutdownReport`] whose
-//! conservation law — every frame sent was received, zero in flight —
-//! is asserted by the parity harness and the bench on every run.
+//! frames on that inbox were processed), then hands control to the
+//! supervisor, which sends `Shutdown`, collects every worker's exit,
+//! and drains the exited inboxes. The conservation law generalizes to
+//! injected faults:
+//!
+//! ```text
+//! sent + duplicated == received + dropped + drained
+//! ```
+//!
+//! where `dropped` counts injector drops, abandoned delay stashes, and
+//! frames lost inside crashed workers, and `drained` counts frames
+//! still buffered on an inbox after its worker exited. The parity
+//! harness and the bench assert it on every run, faulted or not.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use hyperdex_core::protocol::{scan_table, Step, SupersetCoordinator};
-use hyperdex_core::{Error, IndexTable, KeywordHasher, KeywordInterner, KeywordSet, ObjectId};
+use hyperdex_core::{
+    CoverageReport, Error, FtCmd, FtCoordinator, FtPolicy, IndexTable, KeywordHasher,
+    KeywordInterner, KeywordSet, ObjectId, RecoveryStrategy,
+};
 use hyperdex_hypercube::{Shape, Vertex};
 
+use crate::fault::{Fate, FaultInjector, FaultPlan};
+
+/// The insert journal: `(vertex bits, encoded frame)` per applied
+/// insert, shared between the client handle and the supervisor so a
+/// respawned worker's shard can be replayed.
+type Journal = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
 use crate::shard::ShardMap;
 use crate::wire::WireMsg;
 
@@ -97,11 +135,14 @@ impl RuntimeConfig {
 }
 
 /// One worker's lifetime counters, returned when its thread exits.
+/// After a crash the supervisor merges the counters of every
+/// incarnation of the shard into one entry.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkerStats {
     /// The worker's shard index.
     pub worker: u32,
-    /// Frames successfully handed to a peer or client channel.
+    /// Frames this worker decided to send (logical sends, before the
+    /// fault injector rolled their fate).
     pub frames_sent: u64,
     /// Frames received and decoded from the inbox.
     pub frames_received: u64,
@@ -111,8 +152,50 @@ pub struct WorkerStats {
     pub inserts: u64,
     /// Vertex scans served (local visits, `T_QUERY`s, and pins).
     pub scans: u64,
-    /// Superset queries this worker coordinated.
+    /// Superset queries this worker coordinated (sequential + FT).
     pub queries_coordinated: u64,
+    /// Frames the injector dropped, plus delay-stash remnants and
+    /// outbox/stash frames lost in a crash.
+    pub frames_dropped: u64,
+    /// Frames the injector delivered twice (counted once per extra
+    /// copy).
+    pub frames_duplicated: u64,
+    /// Frames the injector stashed behind a later send.
+    pub frames_delayed: u64,
+    /// Timed `recv` polls that expired without a frame. Zero on an
+    /// idle worker — idleness blocks, it doesn't spin.
+    pub wakeups: u64,
+}
+
+impl WorkerStats {
+    /// Folds another incarnation's counters into this entry.
+    fn merge(&mut self, other: &WorkerStats) {
+        debug_assert_eq!(self.worker, other.worker);
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+        self.backpressure_hits += other.backpressure_hits;
+        self.inserts += other.inserts;
+        self.scans += other.scans;
+        self.queries_coordinated += other.queries_coordinated;
+        self.frames_dropped += other.frames_dropped;
+        self.frames_duplicated += other.frames_duplicated;
+        self.frames_delayed += other.frames_delayed;
+        self.wakeups += other.wakeups;
+    }
+}
+
+/// The supervisor thread's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Workers respawned after a crash.
+    pub respawns: u64,
+    /// Journal frames replayed into respawned workers.
+    pub replayed_frames: u64,
+    /// Frames the supervisor itself sent (replays, `RepairDone`,
+    /// `Shutdown`).
+    pub frames_sent: u64,
+    /// Frames drained from inboxes after their workers exited.
+    pub frames_drained: u64,
 }
 
 /// Frame accounting for a whole runtime run, built at shutdown.
@@ -122,14 +205,20 @@ pub struct ShutdownReport {
     pub client_sent: u64,
     /// Frames the client handle received (including the final drain).
     pub client_received: u64,
-    /// Per-worker counters, indexed by shard.
+    /// Per-worker counters, indexed by shard (all incarnations
+    /// merged).
     pub workers: Vec<WorkerStats>,
+    /// The supervisor's counters.
+    pub supervisor: SupervisorStats,
 }
 
 impl ShutdownReport {
-    /// Frames sent by every endpoint.
+    /// Logical frames sent by every endpoint (client, workers,
+    /// supervisor).
     pub fn total_sent(&self) -> u64 {
-        self.client_sent + self.workers.iter().map(|w| w.frames_sent).sum::<u64>()
+        self.client_sent
+            + self.supervisor.frames_sent
+            + self.workers.iter().map(|w| w.frames_sent).sum::<u64>()
     }
 
     /// Frames received by every endpoint.
@@ -137,18 +226,32 @@ impl ShutdownReport {
         self.client_received + self.workers.iter().map(|w| w.frames_received).sum::<u64>()
     }
 
-    /// Frames unaccounted for after every thread exited. The
-    /// conservation law says this is zero: with all threads joined and
-    /// all channels drained, nothing can still be in flight.
-    pub fn in_flight(&self) -> u64 {
-        self.total_sent() - self.total_received()
+    /// Frames lost to injection or crashes.
+    pub fn total_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.frames_dropped).sum()
     }
 
-    /// Panics unless `sent == received` (no frame lost or conjured).
+    /// Extra copies the injector delivered.
+    pub fn total_duplicated(&self) -> u64 {
+        self.workers.iter().map(|w| w.frames_duplicated).sum()
+    }
+
+    /// Frames unaccounted for after every thread exited. The
+    /// conservation law says this is zero: every logical send was
+    /// either delivered (possibly twice), dropped with a count, or
+    /// drained from a dead worker's inbox.
+    pub fn in_flight(&self) -> u64 {
+        (self.total_sent() + self.total_duplicated()).saturating_sub(
+            self.total_received() + self.total_dropped() + self.supervisor.frames_drained,
+        )
+    }
+
+    /// Panics unless `sent + duplicated == received + dropped +
+    /// drained` (no frame lost or conjured, even under injection).
     pub fn assert_conserved(&self) {
         assert_eq!(
-            self.total_sent(),
-            self.total_received(),
+            self.total_sent() + self.total_duplicated(),
+            self.total_received() + self.total_dropped() + self.supervisor.frames_drained,
             "message conservation violated: {self:?}"
         );
     }
@@ -186,29 +289,97 @@ pub struct BatchResult {
     pub latency: Duration,
 }
 
+/// Knobs for [`NodeRuntime::superset_search_ft`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtSearchOptions {
+    /// Recovery behaviour on a missed deadline. The runtime arms real
+    /// timers only for [`RecoveryStrategy::RetryOnly`] and
+    /// [`RecoveryStrategy::Redelegate`]; `Naive` never recovers (the
+    /// client deadline is its only bound) and `ReplicatedFailover`
+    /// re-delegates without the simulator-only secondary sweep.
+    pub strategy: RecoveryStrategy,
+    /// Retransmissions per child before declaring it dead.
+    pub max_retries: u32,
+    /// First-attempt child deadline in milliseconds; doubles per
+    /// retry.
+    pub base_timeout_ms: u64,
+    /// Overall per-attempt client deadline in milliseconds. If the
+    /// coordinator itself dies, the client re-issues the query after
+    /// this long.
+    pub attempt_timeout_ms: u64,
+    /// How many times the client re-issues the query before returning
+    /// a degraded result.
+    pub attempts: u32,
+}
+
+impl Default for FtSearchOptions {
+    fn default() -> FtSearchOptions {
+        FtSearchOptions {
+            strategy: RecoveryStrategy::Redelegate,
+            max_retries: 2,
+            base_timeout_ms: 25,
+            attempt_timeout_ms: 2_000,
+            attempts: 3,
+        }
+    }
+}
+
+/// Outcome of a fault-tolerant runtime search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtSearchOutcome {
+    /// The matches collected (complete or partial).
+    pub matches: Vec<RuntimeMatch>,
+    /// `true` when every subcube vertex was either scanned or the
+    /// threshold was met — the result set is exactly what a fault-free
+    /// run returns.
+    pub complete: bool,
+    /// Client attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// The coordinator's exact coverage accounting; `None` when no
+    /// coordinator ever answered (every attempt timed out).
+    pub coverage: Option<CoverageReport>,
+}
+
 /// Client handle to a running sharded cluster. All methods are
 /// synchronous from the caller's point of view; concurrency lives in
 /// the worker threads ([`NodeRuntime::run_batch`] keeps a window of
 /// requests in flight to exploit it).
 #[derive(Debug)]
 pub struct NodeRuntime {
+    r: u8,
     hasher: KeywordHasher,
     shards: ShardMap,
     to_worker: Vec<SyncSender<Vec<u8>>>,
     inbox: Receiver<Vec<u8>>,
-    handles: Vec<JoinHandle<WorkerStats>>,
+    supervisor_tx: Sender<SupervisorEvent>,
+    supervisor: Option<JoinHandle<(Vec<WorkerStats>, SupervisorStats)>>,
+    journal: Option<Journal>,
     next_id: u64,
     client_sent: u64,
     client_received: u64,
 }
 
 impl NodeRuntime {
-    /// Spawns the worker threads and returns the client handle.
+    /// Spawns the worker threads (fault-free) and returns the client
+    /// handle.
     ///
     /// # Errors
     ///
     /// Returns [`Error::Dimension`] when `r` is outside `1..=63`.
     pub fn start(cfg: RuntimeConfig) -> Result<NodeRuntime, Error> {
+        NodeRuntime::start_faulted(cfg, FaultPlan::default())
+    }
+
+    /// Spawns the worker threads under a seeded fault plan. Injection
+    /// applies to worker→worker traversal frames only; loads and
+    /// control frames stay reliable (see [`crate::fault`]). Crash
+    /// recovery requires the load journal, which is kept exactly when
+    /// the plan schedules crashes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] when `r` is outside `1..=63`.
+    pub fn start_faulted(cfg: RuntimeConfig, plan: FaultPlan) -> Result<NodeRuntime, Error> {
         let hasher = KeywordHasher::new(cfg.r, cfg.seed)?;
         let shape = Shape::new(cfg.r)?;
         let workers = cfg.workers.max(1);
@@ -225,43 +396,41 @@ impl NodeRuntime {
         // The client inbox absorbs replies from every worker; scale its
         // bound so a reply burst cannot stall the whole fleet.
         let (client_tx, client_rx) = sync_channel::<Vec<u8>>(cap * workers as usize);
+        let (event_tx, event_rx) = channel::<SupervisorEvent>();
 
-        let mut handles = Vec::with_capacity(workers as usize);
+        let journal =
+            (!plan.crashes.is_empty()).then(|| Arc::new(Mutex::new(Vec::<(u64, Vec<u8>)>::new())));
+
+        let spawner = Spawner {
+            shape,
+            hasher,
+            shards,
+            worker_tx: worker_tx.clone(),
+            client_tx,
+            event_tx: event_tx.clone(),
+        };
+        let mut handles: Vec<Option<JoinHandle<()>>> = Vec::with_capacity(workers as usize);
         for (index, rx) in worker_rx.into_iter().enumerate() {
-            let links: Vec<Option<SyncSender<Vec<u8>>>> = worker_tx
-                .iter()
-                .enumerate()
-                .map(|(j, tx)| (j != index).then(|| tx.clone()))
-                .chain(std::iter::once(Some(client_tx.clone())))
-                .collect();
-            let worker = Worker {
-                index: index as u32,
-                shape,
-                hasher,
-                shards,
-                tables: HashMap::new(),
-                interner: KeywordInterner::new(),
-                outbox: (0..links.len()).map(|_| VecDeque::new()).collect(),
-                links,
-                queries: HashMap::new(),
-                stats: WorkerStats {
-                    worker: index as u32,
-                    ..WorkerStats::default()
-                },
-            };
-            let handle = std::thread::Builder::new()
-                .name(format!("hyperdex-worker-{index}"))
-                .spawn(move || worker.run(rx))
-                .expect("spawn worker thread");
-            handles.push(handle);
+            let injector = plan
+                .is_active()
+                .then(|| FaultInjector::new(plan.clone(), index as u32));
+            handles.push(Some(spawner.spawn(index as u32, rx, injector, false)));
         }
+        let sup_journal = journal.clone();
+        let supervisor = std::thread::Builder::new()
+            .name("hyperdex-supervisor".into())
+            .spawn(move || supervise(spawner, handles, sup_journal, event_rx))
+            .expect("spawn supervisor thread");
 
         Ok(NodeRuntime {
+            r: cfg.r,
             hasher,
             shards,
             to_worker: worker_tx,
             inbox: client_rx,
-            handles,
+            supervisor_tx: event_tx,
+            supervisor: Some(supervisor),
+            journal,
             next_id: 0,
             client_sent: 0,
             client_received: 0,
@@ -271,6 +440,11 @@ impl NodeRuntime {
     /// The number of worker threads.
     pub fn workers(&self) -> u32 {
         self.shards.workers()
+    }
+
+    /// The hypercube dimension `r`.
+    pub fn r(&self) -> u8 {
+        self.r
     }
 
     /// Routes one `T_INSERT` to the owning shard.
@@ -284,13 +458,12 @@ impl NodeRuntime {
         }
         let bits = self.hasher.vertex_for(&keywords).bits();
         let owner = self.shards.owner_of(bits);
-        self.send_frame(
-            owner,
-            &WireMsg::Insert {
-                object: object.raw(),
-                keywords,
-            },
-        );
+        let msg = WireMsg::Insert {
+            object: object.raw(),
+            keywords,
+        };
+        self.journal_frame(bits, &msg);
+        self.send_frame(owner, &msg);
         Ok(())
     }
 
@@ -323,7 +496,9 @@ impl NodeRuntime {
         for bits in vertices {
             let entries = by_vertex.remove(&bits).expect("key listed");
             let owner = self.shards.owner_of(bits);
-            self.send_frame(owner, &WireMsg::Handoff { bits, entries });
+            let msg = WireMsg::Handoff { bits, entries };
+            self.journal_frame(bits, &msg);
+            self.send_frame(owner, &msg);
         }
         Ok(())
     }
@@ -368,7 +543,10 @@ impl NodeRuntime {
     }
 
     /// Superset search (§3.3), coordinated by the worker owning the
-    /// query root. Blocks until the traversal finishes.
+    /// query root. Blocks until the traversal finishes. This is the
+    /// perfect-transport path — under an active fault plan use
+    /// [`NodeRuntime::superset_search_ft`], which recovers from loss
+    /// and crashes instead of hanging on them.
     ///
     /// # Errors
     ///
@@ -403,6 +581,112 @@ impl NodeRuntime {
                 .collect()),
             other => panic!("unexpected frame awaiting query results: {other:?}"),
         }
+    }
+
+    /// Fault-tolerant superset search (§3.4 ported to the runtime):
+    /// the coordinator arms per-child deadlines, retries with
+    /// exponential backoff, and re-delegates dead subtrees; the client
+    /// re-issues the whole query if the coordinator itself dies, and
+    /// returns a coverage-accounted partial result when recovery
+    /// cannot finish in time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ZeroThreshold`] when `threshold == 0` and
+    /// [`Error::ZeroTimeout`] when `opts.base_timeout_ms == 0`.
+    pub fn superset_search_ft(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+        opts: &FtSearchOptions,
+    ) -> Result<FtSearchOutcome, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        if opts.base_timeout_ms == 0 {
+            return Err(Error::ZeroTimeout);
+        }
+        let root_bits = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(root_bits);
+        let attempts = opts.attempts.max(1);
+        for attempt in 1..=attempts {
+            self.next_id += 1;
+            let id = self.next_id;
+            self.send_frame(
+                owner,
+                &WireMsg::FtQuery {
+                    query_id: id,
+                    keywords: keywords.clone(),
+                    threshold: threshold as u64,
+                    strategy: opts.strategy,
+                    max_retries: opts.max_retries,
+                    base_timeout_ms: opts.base_timeout_ms,
+                },
+            );
+            let deadline = Instant::now() + Duration::from_millis(opts.attempt_timeout_ms.max(1));
+            while let Some(msg) = self.recv_frame_within(deadline) {
+                match msg {
+                    WireMsg::FtQueryDone {
+                        query_id,
+                        objects,
+                        subcube,
+                        reached,
+                        retries,
+                        timeouts,
+                        redelegations,
+                        queries_sent,
+                        conts,
+                        result_messages,
+                        skipped,
+                    } if query_id == id => {
+                        let complete = skipped.is_empty();
+                        return Ok(FtSearchOutcome {
+                            matches: objects
+                                .into_iter()
+                                .map(|(raw, extra)| RuntimeMatch {
+                                    object: ObjectId::from_raw(raw),
+                                    extra_keywords: extra,
+                                })
+                                .collect(),
+                            complete,
+                            attempts: attempt,
+                            coverage: Some(CoverageReport {
+                                strategy: opts.strategy,
+                                subcube_vertices: subcube,
+                                vertices_reached: reached,
+                                vertices_skipped: skipped.len() as u64,
+                                skipped,
+                                queries_sent,
+                                conts,
+                                result_messages,
+                                retries,
+                                timeouts,
+                                redelegations,
+                                pruned_subtrees: 0,
+                                vertices_pruned: 0,
+                                failed_over: false,
+                                secondary_reached: 0,
+                                secondary_skipped: 0,
+                                // Wall-clock runs have no virtual time.
+                                elapsed: hyperdex_simnet::time::SimDuration::ZERO,
+                            }),
+                        });
+                    }
+                    // A completion for an abandoned attempt: the old
+                    // coordinator was slow, not dead. Discard by id.
+                    WireMsg::FtQueryDone { .. } => {}
+                    other => panic!("unexpected frame awaiting FT results: {other:?}"),
+                }
+            }
+        }
+        // Every attempt timed out — no coordinator ever answered.
+        // Degrade with an honest "nothing confirmed" report.
+        Ok(FtSearchOutcome {
+            matches: Vec::new(),
+            complete: false,
+            attempts,
+            coverage: None,
+        })
     }
 
     /// Runs `requests` keeping up to `window` of them in flight — the
@@ -479,26 +763,26 @@ impl NodeRuntime {
         out.into_iter().map(|r| r.expect("all completed")).collect()
     }
 
-    /// Runs the drain barrier, stops every worker, joins the threads,
-    /// and returns the conservation report.
+    /// Runs the drain barrier, hands shutdown to the supervisor, joins
+    /// it, and returns the conservation report.
     pub fn shutdown(mut self) -> ShutdownReport {
         self.flush();
-        for w in 0..self.workers() {
-            self.send_frame(w, &WireMsg::Shutdown);
-        }
+        self.supervisor_tx
+            .send(SupervisorEvent::ClientShutdown)
+            .expect("supervisor alive");
         let NodeRuntime {
             to_worker,
             inbox,
-            handles,
+            supervisor,
             client_sent,
             mut client_received,
             ..
         } = self;
         drop(to_worker);
-        let workers: Vec<WorkerStats> = handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect();
+        let (workers, supervisor_stats) = supervisor
+            .expect("supervisor handle present")
+            .join()
+            .expect("supervisor thread panicked");
         // Drain stragglers buffered on the client inbox (none are
         // expected after the barrier, but every frame must be counted
         // for conservation to be exact).
@@ -509,15 +793,26 @@ impl NodeRuntime {
             client_sent,
             client_received,
             workers,
+            supervisor: supervisor_stats,
+        }
+    }
+
+    fn journal_frame(&mut self, bits: u64, msg: &WireMsg) {
+        if let Some(journal) = &self.journal {
+            journal
+                .lock()
+                .expect("journal lock")
+                .push((bits, msg.encode()));
         }
     }
 
     fn send_frame(&mut self, worker: u32, msg: &WireMsg) {
         // Blocking send is safe from the client: workers always return
-        // to their inboxes, so a full channel always drains.
+        // to their inboxes (a crashed worker's channel survives into
+        // its respawn), so a full channel always drains.
         self.to_worker[worker as usize]
             .send(msg.encode())
-            .expect("worker thread alive");
+            .expect("worker channel alive");
         self.client_sent += 1;
     }
 
@@ -526,14 +821,246 @@ impl NodeRuntime {
         self.client_received += 1;
         WireMsg::decode_exact(&frame).expect("workers emit well-formed frames")
     }
+
+    fn recv_frame_within(&mut self, deadline: Instant) -> Option<WireMsg> {
+        let wait = deadline.saturating_duration_since(Instant::now());
+        if wait.is_zero() {
+            return None;
+        }
+        match self.inbox.recv_timeout(wait) {
+            Ok(frame) => {
+                self.client_received += 1;
+                Some(WireMsg::decode_exact(&frame).expect("workers emit well-formed frames"))
+            }
+            Err(_) => None,
+        }
+    }
 }
 
-/// In-progress query on its coordinator worker.
+/// Everything the supervisor needs to (re)build a worker.
+struct Spawner {
+    shape: Shape,
+    hasher: KeywordHasher,
+    shards: ShardMap,
+    worker_tx: Vec<SyncSender<Vec<u8>>>,
+    client_tx: SyncSender<Vec<u8>>,
+    event_tx: Sender<SupervisorEvent>,
+}
+
+impl Spawner {
+    /// Spawns (or respawns) worker `index` on `inbox`. A respawn
+    /// starts in repair mode: query frames park until `RepairDone`.
+    fn spawn(
+        &self,
+        index: u32,
+        inbox: Receiver<Vec<u8>>,
+        injector: Option<FaultInjector>,
+        repairing: bool,
+    ) -> JoinHandle<()> {
+        let links: Vec<Option<SyncSender<Vec<u8>>>> = self
+            .worker_tx
+            .iter()
+            .enumerate()
+            .map(|(j, tx)| (j != index as usize).then(|| tx.clone()))
+            .chain(std::iter::once(Some(self.client_tx.clone())))
+            .collect();
+        let worker = Worker {
+            index,
+            shape: self.shape,
+            hasher: self.hasher,
+            shards: self.shards,
+            tables: HashMap::new(),
+            interner: KeywordInterner::new(),
+            outbox: (0..links.len()).map(|_| VecDeque::new()).collect(),
+            stash: (0..links.len()).map(|_| VecDeque::new()).collect(),
+            links,
+            queries: HashMap::new(),
+            ft_queries: HashMap::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            injector,
+            repair: repairing.then(Vec::new),
+            stats: WorkerStats {
+                worker: index,
+                ..WorkerStats::default()
+            },
+        };
+        let event_tx = self.event_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("hyperdex-worker-{index}"))
+            .spawn(move || {
+                let exit = worker.run(inbox);
+                let _ = event_tx.send(SupervisorEvent::Exited(exit));
+            })
+            .expect("spawn worker thread")
+    }
+}
+
+/// Why a worker's event loop returned.
+enum ExitCause {
+    /// Processed `Shutdown` and flushed everything.
+    Clean,
+    /// Hit a scheduled crash point; in-memory state is gone.
+    Crashed,
+}
+
+/// A worker's parting message to the supervisor. The inbox `Receiver`
+/// rides along so the channel never disconnects: a respawned worker
+/// resumes the same address, and peers' `try_send`s keep landing.
+struct WorkerExit {
+    cause: ExitCause,
+    stats: WorkerStats,
+    inbox: Receiver<Vec<u8>>,
+}
+
+enum SupervisorEvent {
+    Exited(WorkerExit),
+    ClientShutdown,
+}
+
+/// The supervisor loop: collect exits, respawn+repair crashed workers,
+/// broadcast shutdown, and drain dead inboxes so conservation closes.
+fn supervise(
+    spawner: Spawner,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+    journal: Option<Journal>,
+    events: Receiver<SupervisorEvent>,
+) -> (Vec<WorkerStats>, SupervisorStats) {
+    let workers = spawner.worker_tx.len();
+    let mut stats: Vec<WorkerStats> = (0..workers)
+        .map(|i| WorkerStats {
+            worker: i as u32,
+            ..WorkerStats::default()
+        })
+        .collect();
+    let mut sup = SupervisorStats::default();
+    let mut exited: Vec<Option<Receiver<Vec<u8>>>> = (0..workers).map(|_| None).collect();
+    let mut live = workers;
+    let mut shutting = false;
+
+    while live > 0 {
+        let event = if shutting {
+            // Poll so frames parked behind a full dead inbox keep
+            // draining while the last workers flush and exit.
+            match events.recv_timeout(Duration::from_millis(1)) {
+                Ok(e) => Some(e),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match events.recv() {
+                Ok(e) => Some(e),
+                Err(_) => break,
+            }
+        };
+        match event {
+            Some(SupervisorEvent::ClientShutdown) => {
+                shutting = true;
+                for tx in &spawner.worker_tx {
+                    tx.send(WireMsg::Shutdown.encode())
+                        .expect("worker channel alive");
+                    sup.frames_sent += 1;
+                }
+            }
+            Some(SupervisorEvent::Exited(exit)) => {
+                let i = exit.stats.worker as usize;
+                if let Some(handle) = handles[i].take() {
+                    let _ = handle.join();
+                }
+                stats[i].merge(&exit.stats);
+                match exit.cause {
+                    ExitCause::Clean => {
+                        exited[i] = Some(exit.inbox);
+                        live -= 1;
+                    }
+                    ExitCause::Crashed if shutting => {
+                        // The run is over; a respawn would only race the
+                        // barrier. Treat the crash as this worker's exit
+                        // and drain whatever it never read.
+                        exited[i] = Some(exit.inbox);
+                        live -= 1;
+                    }
+                    ExitCause::Crashed => {
+                        sup.respawns += 1;
+                        // Respawn FIRST so the backlog (and our replay)
+                        // drains; respawned workers run fault-free.
+                        handles[i] = Some(spawner.spawn(i as u32, exit.inbox, None, true));
+                        if let Some(journal) = &journal {
+                            let entries = journal.lock().expect("journal lock");
+                            for (bits, frame) in entries.iter() {
+                                if spawner.shards.owner_of(*bits) == i as u32 {
+                                    spawner.worker_tx[i]
+                                        .send(frame.clone())
+                                        .expect("worker channel alive");
+                                    sup.frames_sent += 1;
+                                    sup.replayed_frames += 1;
+                                }
+                            }
+                        }
+                        spawner.worker_tx[i]
+                            .send(WireMsg::RepairDone { worker: i as u32 }.encode())
+                            .expect("worker channel alive");
+                        sup.frames_sent += 1;
+                    }
+                }
+            }
+            None => {}
+        }
+        if shutting {
+            for rx in exited.iter().flatten() {
+                while rx.try_recv().is_ok() {
+                    sup.frames_drained += 1;
+                }
+            }
+        }
+    }
+    // All workers have exited: nothing can still be sending. One final
+    // sweep closes the books.
+    for rx in exited.iter().flatten() {
+        while rx.try_recv().is_ok() {
+            sup.frames_drained += 1;
+        }
+    }
+    (stats, sup)
+}
+
+/// In-progress sequential query on its coordinator worker.
 #[derive(Debug)]
 struct QueryState {
     coord: SupersetCoordinator,
     results: Vec<(u64, u32)>,
     threshold: usize,
+}
+
+/// In-progress fault-tolerant query on its coordinator worker. Wraps
+/// the shared sans-I/O [`FtCoordinator`] machine; the worker supplies
+/// transport, wall-clock timers, local scans, and result dedup.
+struct FtQueryState {
+    core: FtCoordinator,
+    results: Vec<(u64, u32)>,
+    seen: HashSet<u64>,
+    threshold: usize,
+    /// Current timer generation per pending vertex; a heap entry whose
+    /// generation no longer matches is stale (cancelled or retried).
+    timer_gen: HashMap<u64, u64>,
+    conts: u64,
+    result_messages: u64,
+}
+
+impl FtQueryState {
+    /// Records scan results, deduplicating by object id (duplicate
+    /// frame delivery must not double-count toward the threshold —
+    /// mirrors the simulator's `ft_record`).
+    fn record(&mut self, objects: Vec<(u64, u32)>) -> usize {
+        let mut added = 0;
+        for (raw, extra) in objects {
+            if self.seen.insert(raw) {
+                self.results.push((raw, extra));
+                added += 1;
+            }
+        }
+        added
+    }
 }
 
 /// One shard-owning thread. `links[0..W]` address fellow workers
@@ -547,7 +1074,19 @@ struct Worker {
     interner: KeywordInterner,
     links: Vec<Option<SyncSender<Vec<u8>>>>,
     outbox: Vec<VecDeque<Vec<u8>>>,
+    /// Injector-delayed frames, per destination; released behind the
+    /// next same-destination send.
+    stash: Vec<VecDeque<Vec<u8>>>,
     queries: HashMap<u64, QueryState>,
+    ft_queries: HashMap<u64, FtQueryState>,
+    /// `(deadline, query_id, vertex bits, generation)` — min-heap by
+    /// deadline.
+    timers: BinaryHeap<Reverse<(Instant, u64, u64, u64)>>,
+    timer_seq: u64,
+    injector: Option<FaultInjector>,
+    /// `Some` while repairing after a respawn: parked frames awaiting
+    /// `RepairDone`.
+    repair: Option<Vec<WireMsg>>,
     stats: WorkerStats,
 }
 
@@ -556,31 +1095,105 @@ impl Worker {
         self.links.len() - 1
     }
 
-    fn run(mut self, inbox: Receiver<Vec<u8>>) -> WorkerStats {
+    fn run(mut self, inbox: Receiver<Vec<u8>>) -> WorkerExit {
         let mut shutting_down = false;
         loop {
+            self.fire_expired_timers();
             self.flush_outboxes();
             if shutting_down && self.outboxes_empty() {
                 break;
             }
-            // A short timeout (rather than a blocking recv) keeps
-            // parked outbox frames moving even when nothing arrives.
-            match inbox.recv_timeout(Duration::from_millis(1)) {
-                Ok(frame) => {
-                    self.stats.frames_received += 1;
-                    let msg = WireMsg::decode_exact(&frame)
-                        .expect("runtime peers emit well-formed frames");
-                    if matches!(msg, WireMsg::Shutdown) {
-                        shutting_down = true;
-                    } else {
-                        self.handle(msg);
-                    }
+            // Pick the cheapest wait that can't stall anything: poll
+            // only while parked frames need re-flushing, sleep until
+            // the earliest FT deadline when one is armed, and block
+            // outright when idle (zero wakeups, zero CPU).
+            let recv = if !self.outboxes_empty() || shutting_down {
+                inbox.recv_timeout(Duration::from_millis(1))
+            } else if let Some(deadline) = self.next_timer_deadline() {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                if wait.is_zero() {
+                    continue;
                 }
-                Err(RecvTimeoutError::Timeout) => {}
+                inbox.recv_timeout(wait)
+            } else {
+                inbox.recv().map_err(|_| RecvTimeoutError::Disconnected)
+            };
+            let frame = match recv {
+                Ok(frame) => frame,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.stats.wakeups += 1;
+                    continue;
+                }
                 Err(RecvTimeoutError::Disconnected) => break,
+            };
+            self.stats.frames_received += 1;
+            let msg = WireMsg::decode_exact(&frame).expect("runtime peers emit well-formed frames");
+            if matches!(msg, WireMsg::Shutdown) {
+                shutting_down = true;
+                // Delayed frames still stashed will never be released;
+                // account them as dropped so conservation closes.
+                self.abandon_stash();
+                continue;
             }
+            if self.is_query_path(&msg)
+                && self
+                    .injector
+                    .as_mut()
+                    .is_some_and(FaultInjector::should_crash)
+            {
+                return self.crash(inbox);
+            }
+            if let Some(parked) = self.repair.as_mut() {
+                match msg {
+                    WireMsg::RepairDone { worker } => {
+                        debug_assert_eq!(worker, self.index, "misrouted RepairDone");
+                        let backlog = self.repair.take().expect("repair mode");
+                        for parked_msg in backlog {
+                            self.handle(parked_msg);
+                        }
+                    }
+                    // Load frames restore state — exactly what repair
+                    // is replaying — and are idempotent; apply them.
+                    WireMsg::Insert { .. } | WireMsg::Handoff { .. } => self.handle(msg),
+                    other => parked.push(other),
+                }
+                continue;
+            }
+            self.handle(msg);
         }
-        self.stats
+        self.abandon_stash();
+        WorkerExit {
+            cause: ExitCause::Clean,
+            stats: self.stats,
+            inbox,
+        }
+    }
+
+    /// Crash-stop: everything in memory is lost. Frames parked in
+    /// outboxes or the delay stash were promised to the network but
+    /// will never leave — count them dropped so conservation closes.
+    fn crash(mut self, inbox: Receiver<Vec<u8>>) -> WorkerExit {
+        let lost: usize = self.outbox.iter().map(VecDeque::len).sum::<usize>()
+            + self.stash.iter().map(VecDeque::len).sum::<usize>();
+        self.stats.frames_dropped += lost as u64;
+        WorkerExit {
+            cause: ExitCause::Crashed,
+            stats: self.stats,
+            inbox,
+        }
+    }
+
+    /// Frames that count toward a crash point: the traversal and
+    /// lookup path, not loads or control.
+    fn is_query_path(&self, msg: &WireMsg) -> bool {
+        matches!(
+            msg,
+            WireMsg::Query { .. }
+                | WireMsg::FtQuery { .. }
+                | WireMsg::TQuery { .. }
+                | WireMsg::TCont { .. }
+                | WireMsg::Pin { .. }
+        )
     }
 
     fn handle(&mut self, msg: WireMsg) {
@@ -632,6 +1245,45 @@ impl Worker {
                     self.queries.insert(query_id, state);
                 }
             }
+            WireMsg::FtQuery {
+                query_id,
+                keywords,
+                threshold,
+                strategy,
+                max_retries,
+                base_timeout_ms,
+            } => {
+                self.stats.queries_coordinated += 1;
+                let kw = self.interner.intern(keywords);
+                let root = self.hasher.vertex_for(&kw);
+                debug_assert_eq!(
+                    self.shards.owner_of(root.bits()),
+                    self.index,
+                    "FT query routed to a non-root worker"
+                );
+                let mut state = FtQueryState {
+                    core: FtCoordinator::new(
+                        root,
+                        kw,
+                        threshold.max(1) as usize,
+                        FtPolicy {
+                            strategy,
+                            max_retries,
+                            base_timeout: base_timeout_ms.max(1),
+                        },
+                    ),
+                    results: Vec::new(),
+                    seen: HashSet::new(),
+                    threshold: threshold.max(1) as usize,
+                    timer_gen: HashMap::new(),
+                    conts: 0,
+                    result_messages: 0,
+                };
+                let mut cmds = Vec::new();
+                state.core.start(&mut cmds);
+                self.ft_exec(query_id, &mut state, cmds);
+                self.ft_settle(query_id, state);
+            }
             WireMsg::TQuery {
                 query_id,
                 bits,
@@ -655,6 +1307,7 @@ impl Worker {
                     coord as usize,
                     &WireMsg::TCont {
                         query_id,
+                        bits,
                         objects,
                         children,
                     },
@@ -662,19 +1315,32 @@ impl Worker {
             }
             WireMsg::TCont {
                 query_id,
+                bits,
                 objects,
                 children,
             } => {
-                let mut state = self
-                    .queries
-                    .remove(&query_id)
-                    .expect("T_CONT for a live query");
-                let found = objects.len();
-                state.results.extend(objects);
-                state.coord.record_visit(found, children);
-                if !self.drive(query_id, &mut state) {
-                    self.queries.insert(query_id, state);
+                if let Some(mut state) = self.ft_queries.remove(&query_id) {
+                    state.conts += 1;
+                    let added = state.record(objects);
+                    if added > 0 {
+                        state.result_messages += 1;
+                    }
+                    let mut cmds = Vec::new();
+                    state
+                        .core
+                        .on_reply(bits, added, &children, |_, _| false, &mut cmds);
+                    self.ft_exec(query_id, &mut state, cmds);
+                    self.ft_settle(query_id, state);
+                } else if let Some(mut state) = self.queries.remove(&query_id) {
+                    let found = objects.len();
+                    state.results.extend(objects);
+                    state.coord.record_visit(found, children);
+                    if !self.drive(query_id, &mut state) {
+                        self.queries.insert(query_id, state);
+                    }
                 }
+                // else: a duplicate or post-completion continuation —
+                // injected faults make these normal; drop it.
             }
             WireMsg::Pin { query_id, keywords } => {
                 self.stats.scans += 1;
@@ -693,18 +1359,26 @@ impl Worker {
                 let worker = self.index;
                 self.send(client, &WireMsg::FlushAck { token, worker });
             }
+            // A RepairDone outside repair mode is a duplicate (repair
+            // frames are reliable, so this should not happen).
+            WireMsg::RepairDone { .. } => {
+                debug_assert!(false, "RepairDone outside repair mode");
+            }
             // Client-bound and control frames never reach a worker's
             // handler (Shutdown is intercepted in the loop).
-            WireMsg::QueryDone { .. } | WireMsg::PinResults { .. } | WireMsg::FlushAck { .. } => {
+            WireMsg::QueryDone { .. }
+            | WireMsg::FtQueryDone { .. }
+            | WireMsg::PinResults { .. }
+            | WireMsg::FlushAck { .. } => {
                 debug_assert!(false, "client-bound frame delivered to a worker");
             }
             WireMsg::Shutdown => unreachable!("intercepted by the event loop"),
         }
     }
 
-    /// Advances one query until it finishes (results to the client;
-    /// returns `true`) or suspends on a remote visit (`T_QUERY` sent;
-    /// returns `false`).
+    /// Advances one sequential query until it finishes (results to the
+    /// client; returns `true`) or suspends on a remote visit
+    /// (`T_QUERY` sent; returns `false`).
     fn drive(&mut self, query_id: u64, state: &mut QueryState) -> bool {
         loop {
             match state.coord.next_step() {
@@ -753,9 +1427,178 @@ impl Worker {
         }
     }
 
+    /// Executes a batch of [`FtCmd`]s from the shared machine: local
+    /// scans run inline (their replies may emit more commands, hence
+    /// the work queue), remote visits become `T_QUERY` frames with a
+    /// wall-clock deadline.
+    fn ft_exec(&mut self, query_id: u64, state: &mut FtQueryState, cmds: Vec<FtCmd>) {
+        let mut queue: VecDeque<FtCmd> = cmds.into();
+        while let Some(cmd) = queue.pop_front() {
+            match cmd {
+                // The runtime's requester is the client, which cannot
+                // coordinate; and the root scan is always local to this
+                // worker, so the root can never time out here.
+                FtCmd::Promote => debug_assert!(false, "root cannot die on its own coordinator"),
+                FtCmd::Cancel { bits } => {
+                    state.timer_gen.remove(&bits);
+                }
+                FtCmd::Send {
+                    bits,
+                    via_dim,
+                    attempt: _,
+                    timeout,
+                } => {
+                    let owner = self.shards.owner_of(bits);
+                    if owner == self.index {
+                        self.stats.scans += 1;
+                        let kw = Arc::clone(state.core.keywords());
+                        let found = scan_table(self.tables.get(&bits), &kw, state.core.remaining());
+                        let vertex =
+                            Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
+                        let added = state.record(
+                            found
+                                .iter()
+                                .map(|r| (r.object.raw(), r.extra_keywords))
+                                .collect(),
+                        );
+                        let children = SupersetCoordinator::children_of(vertex, via_dim);
+                        let mut more = Vec::new();
+                        state
+                            .core
+                            .on_reply(bits, added, &children, |_, _| false, &mut more);
+                        queue.extend(more);
+                    } else {
+                        let keywords: KeywordSet = (**state.core.keywords()).clone();
+                        self.send(
+                            owner as usize,
+                            &WireMsg::TQuery {
+                                query_id,
+                                bits,
+                                keywords,
+                                remaining: state.core.remaining() as u64,
+                                via_dim,
+                                coord: self.index,
+                            },
+                        );
+                        if let Some(ms) = timeout {
+                            self.timer_seq += 1;
+                            let gen = self.timer_seq;
+                            state.timer_gen.insert(bits, gen);
+                            self.timers.push(Reverse((
+                                Instant::now() + Duration::from_millis(ms),
+                                query_id,
+                                bits,
+                                gen,
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-files an in-progress FT query, or completes it when nothing
+    /// is left in flight.
+    fn ft_settle(&mut self, query_id: u64, mut state: FtQueryState) {
+        if state.core.in_flight() > 0 {
+            self.ft_queries.insert(query_id, state);
+            return;
+        }
+        let cov = state.core.finish();
+        state.results.truncate(state.threshold);
+        let client = self.client_slot();
+        self.send(
+            client,
+            &WireMsg::FtQueryDone {
+                query_id,
+                objects: state.results,
+                subcube: cov.subcube_vertices,
+                reached: cov.reached,
+                retries: cov.retries,
+                timeouts: cov.timeouts,
+                redelegations: cov.redelegations,
+                queries_sent: cov.queries_sent,
+                conts: state.conts,
+                result_messages: state.result_messages,
+                skipped: cov.skipped,
+            },
+        );
+    }
+
+    fn next_timer_deadline(&self) -> Option<Instant> {
+        self.timers.peek().map(|Reverse((deadline, ..))| *deadline)
+    }
+
+    /// Fires every expired FT deadline through the shared machine.
+    /// Heap entries whose generation no longer matches the query's
+    /// current one are stale (answered or already retried) and skip.
+    fn fire_expired_timers(&mut self) {
+        loop {
+            let now = Instant::now();
+            match self.timers.peek() {
+                Some(Reverse((deadline, ..))) if *deadline <= now => {}
+                _ => return,
+            }
+            let Reverse((_, query_id, bits, gen)) = self.timers.pop().expect("peeked");
+            let Some(mut state) = self.ft_queries.remove(&query_id) else {
+                continue;
+            };
+            if state.timer_gen.get(&bits) != Some(&gen) {
+                self.ft_queries.insert(query_id, state);
+                continue;
+            }
+            state.timer_gen.remove(&bits);
+            let mut cmds = Vec::new();
+            state.core.on_timeout(bits, |_, _| false, &mut cmds);
+            self.ft_exec(query_id, &mut state, cmds);
+            self.ft_settle(query_id, state);
+        }
+    }
+
+    /// Queues one frame for `dest`, rolling its fate when the fault
+    /// injector covers it (worker→worker traversal frames only).
     fn send(&mut self, dest: usize, msg: &WireMsg) {
-        self.outbox[dest].push_back(msg.encode());
+        self.stats.frames_sent += 1;
+        let frame = msg.encode();
+        let injectable = dest != self.client_slot()
+            && matches!(msg, WireMsg::TQuery { .. } | WireMsg::TCont { .. });
+        if injectable {
+            if let Some(injector) = &mut self.injector {
+                match injector.fate(dest as u32) {
+                    Fate::Deliver => {}
+                    Fate::Drop => {
+                        self.stats.frames_dropped += 1;
+                        return;
+                    }
+                    Fate::Duplicate => {
+                        self.stats.frames_duplicated += 1;
+                        self.outbox[dest].push_back(frame.clone());
+                    }
+                    Fate::Delay => {
+                        self.stats.frames_delayed += 1;
+                        self.stash[dest].push_back(frame);
+                        return;
+                    }
+                }
+            }
+        }
+        self.outbox[dest].push_back(frame);
+        // A delivered frame releases anything stashed for this
+        // destination *behind* it — delay == reorder.
+        while let Some(stashed) = self.stash[dest].pop_front() {
+            self.outbox[dest].push_back(stashed);
+        }
         self.flush_outbox(dest);
+    }
+
+    /// Writes off frames still sitting in the delay stash (shutdown or
+    /// crash): they were counted as sent but will never travel.
+    fn abandon_stash(&mut self) {
+        let stranded: usize = self.stash.iter().map(VecDeque::len).sum();
+        self.stats.frames_dropped += stranded as u64;
+        for q in &mut self.stash {
+            q.clear();
+        }
     }
 
     fn flush_outboxes(&mut self) {
@@ -771,7 +1614,7 @@ impl Worker {
         };
         while let Some(frame) = self.outbox[dest].pop_front() {
             match tx.try_send(frame) {
-                Ok(()) => self.stats.frames_sent += 1,
+                Ok(()) => {}
                 Err(TrySendError::Full(frame)) => {
                     // Bounded channel pushed back: park the frame and
                     // retry on the next loop iteration.
@@ -807,7 +1650,12 @@ mod tests {
     }
 
     fn loaded(workers: u32) -> NodeRuntime {
-        let mut rt = NodeRuntime::start(RuntimeConfig::new(8, workers).seed(42)).unwrap();
+        loaded_faulted(workers, FaultPlan::default())
+    }
+
+    fn loaded_faulted(workers: u32, plan: FaultPlan) -> NodeRuntime {
+        let mut rt =
+            NodeRuntime::start_faulted(RuntimeConfig::new(8, workers).seed(42), plan).unwrap();
         for (id, kws) in [
             (1, "a"),
             (2, "a b"),
@@ -858,6 +1706,10 @@ mod tests {
         let mut rt = loaded(2);
         assert!(matches!(
             rt.superset_search(&set("a"), 0),
+            Err(Error::ZeroThreshold)
+        ));
+        assert!(matches!(
+            rt.superset_search_ft(&set("a"), 0, &FtSearchOptions::default()),
             Err(Error::ZeroThreshold)
         ));
         rt.shutdown().assert_conserved();
@@ -955,6 +1807,19 @@ mod tests {
     }
 
     #[test]
+    fn idle_workers_block_instead_of_spinning() {
+        let rt = NodeRuntime::start(RuntimeConfig::new(8, 4)).unwrap();
+        // Long enough that a 1 ms poll loop would rack up ~100 wakeups
+        // per worker; a blocking worker records none.
+        std::thread::sleep(Duration::from_millis(120));
+        let report = rt.shutdown();
+        report.assert_conserved();
+        for w in &report.workers {
+            assert_eq!(w.wakeups, 0, "worker {} busy-waited while idle", w.worker);
+        }
+    }
+
+    #[test]
     fn tiny_channels_still_complete_under_backpressure() {
         // Capacity 1 forces constant try_send rejections; the outbox
         // discipline must still deliver everything.
@@ -969,5 +1834,120 @@ mod tests {
         assert_eq!(out.len(), 200);
         let report = rt.shutdown();
         report.assert_conserved();
+    }
+
+    #[test]
+    fn ft_search_matches_sequential_on_a_clean_runtime() {
+        let mut rt = loaded(4);
+        let out = rt
+            .superset_search_ft(&set("a"), usize::MAX - 1, &FtSearchOptions::default())
+            .unwrap();
+        assert!(out.complete);
+        assert_eq!(out.attempts, 1);
+        let cov = out.coverage.expect("coordinator answered");
+        assert_eq!(cov.vertices_reached, cov.subcube_vertices);
+        assert!(cov.skipped.is_empty());
+        let mut ids: Vec<u64> = out.matches.iter().map(|m| m.object.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+        rt.shutdown().assert_conserved();
+    }
+
+    #[test]
+    fn ft_search_survives_frame_loss_with_redelegation() {
+        // 10% drop + 5% duplicate + 5% delay on the traversal path.
+        let plan = FaultPlan::lossy(9, 100, 50, 50);
+        let mut rt = loaded_faulted(4, plan);
+        let out = rt
+            .superset_search_ft(&set("a"), usize::MAX - 1, &FtSearchOptions::default())
+            .unwrap();
+        // Recall must be total even though a few (empty) vertices may
+        // have exhausted their retry budget and been written off.
+        let mut ids: Vec<u64> = out.matches.iter().map(|m| m.object.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+        let cov = out.coverage.expect("coordinator answered");
+        assert_eq!(
+            cov.vertices_reached + cov.vertices_skipped,
+            cov.subcube_vertices,
+            "coverage accounting must be exact: {cov:?}"
+        );
+        let report = rt.shutdown();
+        report.assert_conserved();
+        assert!(
+            report.total_dropped() + report.total_duplicated() > 0,
+            "the plan should actually have injected faults: {report:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_frames_do_not_double_count_results() {
+        // Duplicate a third of all traversal frames; dedup at the
+        // coordinator must keep the result set exact.
+        let plan = FaultPlan::lossy(5, 0, 333, 0);
+        let mut rt = loaded_faulted(4, plan);
+        let out = rt
+            .superset_search_ft(&set("a"), usize::MAX - 1, &FtSearchOptions::default())
+            .unwrap();
+        assert!(out.complete);
+        let mut ids: Vec<u64> = out.matches.iter().map(|m| m.object.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+        let report = rt.shutdown();
+        report.assert_conserved();
+        assert!(report.total_duplicated() > 0);
+    }
+
+    #[test]
+    fn crashed_worker_is_respawned_and_recovers_state() {
+        // Crash the worker owning object 2's vertex on its first
+        // query-path frame: its in-memory tables (which provably hold
+        // data) vanish mid-traversal, and the supervisor must replay
+        // its shard before the retried query can see every object.
+        let hasher = KeywordHasher::new(8, 42).unwrap();
+        let victim = ShardMap::new(4, 42).owner_of(hasher.vertex_for(&set("a b")).bits());
+        let plan = FaultPlan::default().crash(victim, 1);
+        let mut rt = loaded_faulted(4, plan);
+        let opts = FtSearchOptions {
+            base_timeout_ms: 15,
+            attempt_timeout_ms: 2_000,
+            ..FtSearchOptions::default()
+        };
+        let out = rt
+            .superset_search_ft(&set("a"), usize::MAX - 1, &opts)
+            .unwrap();
+        assert!(out.complete, "recovery must restore full recall: {out:?}");
+        let mut ids: Vec<u64> = out.matches.iter().map(|m| m.object.raw()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+        let report = rt.shutdown();
+        report.assert_conserved();
+        assert_eq!(report.supervisor.respawns, 1, "{report:?}");
+        assert!(report.supervisor.replayed_frames > 0);
+    }
+
+    #[test]
+    fn degraded_outcome_reports_no_coverage_when_nobody_answers() {
+        // Crash every worker's first query frame with no retries and a
+        // tiny client budget: the root coordinator dies, the respawn
+        // has no chance to finish in time, and the client must return
+        // an honest empty degraded outcome instead of hanging.
+        let mut plan = FaultPlan::default();
+        for w in 0..4 {
+            plan = plan.crash(w, 1);
+        }
+        let mut rt = loaded_faulted(4, plan);
+        let opts = FtSearchOptions {
+            attempts: 1,
+            attempt_timeout_ms: 40,
+            ..FtSearchOptions::default()
+        };
+        let out = rt
+            .superset_search_ft(&set("a"), usize::MAX - 1, &opts)
+            .unwrap();
+        assert!(!out.complete);
+        assert!(out.matches.is_empty());
+        assert!(out.coverage.is_none());
+        rt.shutdown().assert_conserved();
     }
 }

@@ -25,7 +25,7 @@
 
 use std::fmt;
 
-use hyperdex_core::{Keyword, KeywordSet};
+use hyperdex_core::{Keyword, KeywordSet, RecoveryStrategy};
 
 /// Upper bound on a frame body; larger declared lengths are rejected
 /// before any allocation ([`WireError::Oversized`]).
@@ -78,6 +78,10 @@ pub enum WireMsg {
     TCont {
         /// Correlation id of the driving query.
         query_id: u64,
+        /// The scanned vertex. Sequential coordination has exactly one
+        /// visit outstanding, but the fault-tolerant coordinator keeps
+        /// many in flight — replies must name their vertex.
+        bits: u64,
         /// Matches as `(object id, extra keyword count)` pairs.
         objects: Vec<(u64, u32)>,
         /// SBT child contacts `(vertex bits, dimension)`.
@@ -128,6 +132,55 @@ pub enum WireMsg {
     },
     /// Client → worker: flush outboxes and exit the event loop.
     Shutdown,
+    /// Client → root owner: start a *fault-tolerant* superset search
+    /// (§3.4). The receiving worker coordinates the traversal with
+    /// deadlines, retries, and the named recovery strategy.
+    FtQuery {
+        /// Client-assigned correlation id.
+        query_id: u64,
+        /// The queried keyword set `K`.
+        keywords: KeywordSet,
+        /// Results wanted (the paper's `c`).
+        threshold: u64,
+        /// Recovery behaviour on a missed deadline.
+        strategy: RecoveryStrategy,
+        /// Retransmissions per child before declaring it dead.
+        max_retries: u32,
+        /// First-attempt deadline in milliseconds; doubles per retry.
+        base_timeout_ms: u64,
+    },
+    /// Coordinator → client: the fault-tolerant search finished, with
+    /// its exact coverage accounting.
+    FtQueryDone {
+        /// Correlation id of the finished query.
+        query_id: u64,
+        /// All matches, truncated to the threshold.
+        objects: Vec<(u64, u32)>,
+        /// Vertices in the query's induced subcube.
+        subcube: u64,
+        /// Distinct vertices that answered.
+        reached: u64,
+        /// Retransmissions after a missed deadline.
+        retries: u64,
+        /// Children declared dead after the retry budget ran out.
+        timeouts: u64,
+        /// Dead children whose subtrees were re-delegated.
+        redelegations: u64,
+        /// `T_QUERY` transmissions, including retransmissions.
+        queries_sent: u64,
+        /// Continuation messages the coordinator received.
+        conts: u64,
+        /// Continuations that carried at least one fresh result.
+        result_messages: u64,
+        /// Bits of the vertices given up on, sorted ascending.
+        skipped: Vec<u64>,
+    },
+    /// Supervisor → respawned worker: the journal replay for its shard
+    /// is complete; parked frames may now be processed.
+    RepairDone {
+        /// The recovering worker's index.
+        worker: u32,
+    },
 }
 
 const TAG_INSERT: u8 = 0;
@@ -141,6 +194,9 @@ const TAG_HANDOFF: u8 = 7;
 const TAG_FLUSH: u8 = 8;
 const TAG_FLUSH_ACK: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
+const TAG_FT_QUERY: u8 = 11;
+const TAG_FT_QUERY_DONE: u8 = 12;
+const TAG_REPAIR_DONE: u8 = 13;
 
 /// The `via_dim` byte that stands for `None`.
 const DIM_NONE: u8 = 0xFF;
@@ -174,6 +230,8 @@ pub enum WireError {
     /// A keyword failed [`Keyword::new`]'s validation (empty after
     /// normalization).
     BadKeyword,
+    /// An `FtQuery`'s strategy byte names no [`RecoveryStrategy`].
+    BadStrategy(u8),
 }
 
 impl fmt::Display for WireError {
@@ -191,6 +249,7 @@ impl fmt::Display for WireError {
             }
             WireError::BadUtf8 => write!(f, "keyword bytes are not valid UTF-8"),
             WireError::BadKeyword => write!(f, "keyword failed validation"),
+            WireError::BadStrategy(b) => write!(f, "unknown recovery strategy byte {b:#04x}"),
         }
     }
 }
@@ -236,11 +295,13 @@ impl WireMsg {
             }
             WireMsg::TCont {
                 query_id,
+                bits,
                 objects,
                 children,
             } => {
                 body.push(TAG_TCONT);
                 put_u64(&mut body, *query_id);
+                put_u64(&mut body, *bits);
                 put_u32(&mut body, objects.len() as u32);
                 for (id, extra) in objects {
                     put_u64(&mut body, *id);
@@ -296,6 +357,59 @@ impl WireMsg {
                 put_u32(&mut body, *worker);
             }
             WireMsg::Shutdown => body.push(TAG_SHUTDOWN),
+            WireMsg::FtQuery {
+                query_id,
+                keywords,
+                threshold,
+                strategy,
+                max_retries,
+                base_timeout_ms,
+            } => {
+                body.push(TAG_FT_QUERY);
+                put_u64(&mut body, *query_id);
+                put_u64(&mut body, *threshold);
+                body.push(strategy_byte(*strategy));
+                put_u32(&mut body, *max_retries);
+                put_u64(&mut body, *base_timeout_ms);
+                put_keywords(&mut body, keywords);
+            }
+            WireMsg::FtQueryDone {
+                query_id,
+                objects,
+                subcube,
+                reached,
+                retries,
+                timeouts,
+                redelegations,
+                queries_sent,
+                conts,
+                result_messages,
+                skipped,
+            } => {
+                body.push(TAG_FT_QUERY_DONE);
+                put_u64(&mut body, *query_id);
+                put_u64(&mut body, *subcube);
+                put_u64(&mut body, *reached);
+                put_u64(&mut body, *retries);
+                put_u64(&mut body, *timeouts);
+                put_u64(&mut body, *redelegations);
+                put_u64(&mut body, *queries_sent);
+                put_u64(&mut body, *conts);
+                put_u64(&mut body, *result_messages);
+                put_u32(&mut body, objects.len() as u32);
+                for (id, extra) in objects {
+                    put_u64(&mut body, *id);
+                    put_u32(&mut body, *extra);
+                }
+                put_u32(&mut body, skipped.len() as u32);
+                for bits in skipped {
+                    put_u64(&mut body, *bits);
+                }
+            }
+            WireMsg::RepairDone { worker } => {
+                body.push(TAG_REPAIR_DONE);
+                put_u32(&mut body, *worker);
+            }
         }
         debug_assert!(body.len() as u32 <= MAX_BODY_LEN);
         let mut frame = Vec::with_capacity(PREFIX_LEN + body.len());
@@ -380,6 +494,7 @@ fn decode_body(r: &mut Reader<'_>) -> Result<WireMsg, WireError> {
         }),
         TAG_TCONT => {
             let query_id = r.u64()?;
+            let bits = r.u64()?;
             let n = r.u32()? as usize;
             let mut objects = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
@@ -392,6 +507,7 @@ fn decode_body(r: &mut Reader<'_>) -> Result<WireMsg, WireError> {
             }
             Ok(WireMsg::TCont {
                 query_id,
+                bits,
                 objects,
                 children,
             })
@@ -439,7 +555,69 @@ fn decode_body(r: &mut Reader<'_>) -> Result<WireMsg, WireError> {
             worker: r.u32()?,
         }),
         TAG_SHUTDOWN => Ok(WireMsg::Shutdown),
+        TAG_FT_QUERY => Ok(WireMsg::FtQuery {
+            query_id: r.u64()?,
+            threshold: r.u64()?,
+            strategy: strategy_from_byte(r.u8()?)?,
+            max_retries: r.u32()?,
+            base_timeout_ms: r.u64()?,
+            keywords: get_keywords(r)?,
+        }),
+        TAG_FT_QUERY_DONE => {
+            let query_id = r.u64()?;
+            let subcube = r.u64()?;
+            let reached = r.u64()?;
+            let retries = r.u64()?;
+            let timeouts = r.u64()?;
+            let redelegations = r.u64()?;
+            let queries_sent = r.u64()?;
+            let conts = r.u64()?;
+            let result_messages = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                objects.push((r.u64()?, r.u32()?));
+            }
+            let n = r.u32()? as usize;
+            let mut skipped = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                skipped.push(r.u64()?);
+            }
+            Ok(WireMsg::FtQueryDone {
+                query_id,
+                objects,
+                subcube,
+                reached,
+                retries,
+                timeouts,
+                redelegations,
+                queries_sent,
+                conts,
+                result_messages,
+                skipped,
+            })
+        }
+        TAG_REPAIR_DONE => Ok(WireMsg::RepairDone { worker: r.u32()? }),
         other => Err(WireError::BadTag(other)),
+    }
+}
+
+fn strategy_byte(s: RecoveryStrategy) -> u8 {
+    match s {
+        RecoveryStrategy::Naive => 0,
+        RecoveryStrategy::RetryOnly => 1,
+        RecoveryStrategy::Redelegate => 2,
+        RecoveryStrategy::ReplicatedFailover => 3,
+    }
+}
+
+fn strategy_from_byte(b: u8) -> Result<RecoveryStrategy, WireError> {
+    match b {
+        0 => Ok(RecoveryStrategy::Naive),
+        1 => Ok(RecoveryStrategy::RetryOnly),
+        2 => Ok(RecoveryStrategy::Redelegate),
+        3 => Ok(RecoveryStrategy::ReplicatedFailover),
+        other => Err(WireError::BadStrategy(other)),
     }
 }
 
@@ -553,11 +731,13 @@ mod tests {
             },
             WireMsg::TCont {
                 query_id: 8,
+                bits: 0b1010_1100,
                 objects: vec![(1, 0), (99, 2)],
                 children: vec![(0b1110_1100, 4), (0b1010_1101, 0)],
             },
             WireMsg::TCont {
                 query_id: 10,
+                bits: 0,
                 objects: vec![],
                 children: vec![],
             },
@@ -587,6 +767,49 @@ mod tests {
                 worker: 7,
             },
             WireMsg::Shutdown,
+            WireMsg::FtQuery {
+                query_id: 21,
+                keywords: set("alpha beta"),
+                threshold: 40,
+                strategy: RecoveryStrategy::Redelegate,
+                max_retries: 2,
+                base_timeout_ms: 16,
+            },
+            WireMsg::FtQuery {
+                query_id: 22,
+                keywords: set("x"),
+                threshold: 1,
+                strategy: RecoveryStrategy::Naive,
+                max_retries: 0,
+                base_timeout_ms: 0,
+            },
+            WireMsg::FtQueryDone {
+                query_id: 21,
+                objects: vec![(4, 1), (5, 0)],
+                subcube: 8,
+                reached: 6,
+                retries: 3,
+                timeouts: 1,
+                redelegations: 1,
+                queries_sent: 11,
+                conts: 6,
+                result_messages: 2,
+                skipped: vec![0b0101, 0b0111],
+            },
+            WireMsg::FtQueryDone {
+                query_id: 22,
+                objects: vec![],
+                subcube: 1,
+                reached: 1,
+                retries: 0,
+                timeouts: 0,
+                redelegations: 0,
+                queries_sent: 1,
+                conts: 0,
+                result_messages: 0,
+                skipped: vec![],
+            },
+            WireMsg::RepairDone { worker: 3 },
         ]
     }
 
@@ -662,6 +885,26 @@ mod tests {
             Err(WireError::Oversized {
                 len: MAX_BODY_LEN + 1
             })
+        );
+    }
+
+    #[test]
+    fn bad_strategy_byte_is_rejected() {
+        let mut frame = WireMsg::FtQuery {
+            query_id: 1,
+            keywords: set("a"),
+            threshold: 1,
+            strategy: RecoveryStrategy::RetryOnly,
+            max_retries: 1,
+            base_timeout_ms: 1,
+        }
+        .encode();
+        // The strategy byte sits right after the tag and two u64s.
+        let strategy_at = PREFIX_LEN + 1 + 8 + 8;
+        frame[strategy_at] = 0x7F;
+        assert_eq!(
+            WireMsg::decode_exact(&frame),
+            Err(WireError::BadStrategy(0x7F))
         );
     }
 

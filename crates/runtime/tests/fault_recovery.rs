@@ -1,0 +1,234 @@
+//! Integration: the threaded runtime under injected faults.
+//!
+//! The ISSUE-6 contract: a worker crash mid-superset-scan is survived
+//! — the supervisor respawns the worker, replays its shard from the
+//! load journal, and the recovered query returns results byte-identical
+//! to an unfaulted run; lossy wires are absorbed by the shared
+//! fault-tolerant coordinator; and graded fault parity holds across a
+//! worker-count × fault-mode matrix, with frame conservation on every
+//! shutdown.
+//!
+//! CI fans this file across its fault matrix via two env vars:
+//! `HYPERDEX_RUNTIME_WORKERS` (comma-separated worker counts, default
+//! `2,4`) and `HYPERDEX_FAULT_MODE` (`crash`, `loss`, or `crash+loss`,
+//! default: all three).
+
+use hyperdex_core::{KeywordHasher, KeywordSet, ObjectId, RecoveryStrategy};
+use hyperdex_runtime::{
+    assert_fault_parity, FaultPlan, FtSearchOptions, NodeRuntime, RuntimeConfig, ShardMap,
+};
+use hyperdex_workload::{Corpus, CorpusConfig};
+
+const R: u8 = 8;
+const SEED: u64 = 42;
+
+const CORPUS: &[(u64, &str)] = &[
+    (1, "a"),
+    (2, "a b"),
+    (3, "a b c"),
+    (4, "a c"),
+    (5, "b c"),
+    (6, "a d e"),
+    (7, "x y"),
+    (8, "a b d"),
+];
+
+fn set(s: &str) -> KeywordSet {
+    KeywordSet::parse(s).unwrap()
+}
+
+/// Worker counts under test: the env override, or a small default
+/// ladder (CI's matrix passes `2` and `8`).
+fn worker_counts() -> Vec<u32> {
+    match std::env::var("HYPERDEX_RUNTIME_WORKERS") {
+        Ok(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .unwrap_or_else(|_| panic!("bad HYPERDEX_RUNTIME_WORKERS entry {s:?}"))
+            })
+            .collect(),
+        Err(_) => vec![2, 4],
+    }
+}
+
+/// Fault modes under test: the env override, or all three.
+fn fault_modes() -> Vec<String> {
+    match std::env::var("HYPERDEX_FAULT_MODE") {
+        Ok(raw) => vec![raw],
+        Err(_) => ["crash", "loss", "crash+loss"]
+            .into_iter()
+            .map(String::from)
+            .collect(),
+    }
+}
+
+/// The fault plan a mode names. Crashes target `victim`; loss is 8%
+/// drop + 4% duplicate + 4% delay on the traversal path.
+fn plan_for(mode: &str, fault_seed: u64, victim: u32) -> FaultPlan {
+    match mode {
+        "crash" => FaultPlan::default().crash(victim, 1),
+        "loss" => FaultPlan::lossy(fault_seed, 80, 40, 40),
+        "crash+loss" => FaultPlan::lossy(fault_seed, 80, 40, 40).crash(victim, 1),
+        other => panic!("unknown HYPERDEX_FAULT_MODE {other:?}"),
+    }
+}
+
+/// The worker owning object 2's home vertex — crashing it provably
+/// destroys indexed state, so recovery must actually replay the shard.
+fn data_owning_worker(workers: u32) -> u32 {
+    let hasher = KeywordHasher::new(R, SEED).unwrap();
+    ShardMap::new(workers, SEED).owner_of(hasher.vertex_for(&set("a b")).bits())
+}
+
+fn loaded(workers: u32, plan: FaultPlan) -> NodeRuntime {
+    let mut rt =
+        NodeRuntime::start_faulted(RuntimeConfig::new(R, workers).seed(SEED), plan).unwrap();
+    for &(id, kws) in CORPUS {
+        rt.insert(ObjectId::from_raw(id), set(kws)).unwrap();
+    }
+    rt.flush();
+    rt
+}
+
+/// Sorted `(id, extra_keywords)` pairs — the full observable payload of
+/// a search, so equality here is byte-identity of the result frames
+/// modulo arrival order.
+fn payload(rt: &mut NodeRuntime, opts: &FtSearchOptions) -> Vec<(u64, u32)> {
+    let out = rt
+        .superset_search_ft(&set("a"), usize::MAX - 1, opts)
+        .unwrap();
+    assert!(
+        out.complete,
+        "recovery should reach every vertex here: {:?}",
+        out.coverage
+    );
+    let mut pairs: Vec<(u64, u32)> = out
+        .matches
+        .iter()
+        .map(|m| (m.object.raw(), m.extra_keywords))
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Generous retry budget: with the fixed seeds below, every vertex is
+/// recovered and faulted runs must reproduce the unfaulted payload
+/// exactly.
+fn recovering_opts() -> FtSearchOptions {
+    FtSearchOptions {
+        strategy: RecoveryStrategy::Redelegate,
+        max_retries: 5,
+        base_timeout_ms: 20,
+        attempt_timeout_ms: 1_500,
+        attempts: 3,
+    }
+}
+
+#[test]
+fn faulted_runs_reproduce_the_unfaulted_payload_byte_for_byte() {
+    let opts = recovering_opts();
+    for workers in worker_counts() {
+        let mut clean = loaded(workers, FaultPlan::default());
+        let truth = payload(&mut clean, &opts);
+        assert!(!truth.is_empty());
+        clean.shutdown().assert_conserved();
+
+        for mode in fault_modes() {
+            let victim = data_owning_worker(workers);
+            let mut faulted = loaded(workers, plan_for(&mode, 0xFA17, victim));
+            let got = payload(&mut faulted, &opts);
+            assert_eq!(
+                got, truth,
+                "mode={mode} workers={workers}: faulted payload diverged"
+            );
+            let report = faulted.shutdown();
+            report.assert_conserved();
+            if mode.contains("crash") {
+                assert_eq!(report.supervisor.respawns, 1, "mode={mode}");
+                assert!(
+                    report.supervisor.replayed_frames > 0,
+                    "mode={mode}: crash of a data-owning worker must replay state"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_parity_holds_across_the_matrix() {
+    let corpus: Vec<(ObjectId, KeywordSet)> =
+        Corpus::generate(&CorpusConfig::pchome().with_objects(120), SEED)
+            .indexable()
+            .map(|(id, kw)| (id, kw.clone()))
+            .collect();
+    // Broad single-keyword probes: large subcubes, long traversals.
+    let mut queries: Vec<KeywordSet> = Vec::new();
+    for (_, kw) in corpus.iter().take(60) {
+        if kw.len() == 1 && !queries.contains(kw) {
+            queries.push(kw.clone());
+        }
+        if queries.len() == 3 {
+            break;
+        }
+    }
+    if queries.is_empty() {
+        queries.push(corpus[0].1.clone());
+    }
+
+    for workers in worker_counts() {
+        for mode in fault_modes() {
+            let victim = data_owning_worker(workers);
+            let plan = plan_for(&mode, 0xBEEF, victim);
+            let report = assert_fault_parity(
+                R,
+                SEED,
+                workers,
+                &plan,
+                &recovering_opts(),
+                &corpus,
+                &queries,
+            );
+            assert_eq!(
+                report.complete + report.partial + report.degraded,
+                queries.len(),
+                "mode={mode} workers={workers}"
+            );
+            assert_eq!(report.shutdown.in_flight(), 0);
+        }
+    }
+}
+
+#[test]
+fn duplicate_handoff_frames_are_idempotent() {
+    // The same bulk load delivered twice — every Handoff frame is a
+    // duplicate the second time — must change nothing: same inserts
+    // counted, same results returned.
+    let corpus: Vec<(ObjectId, KeywordSet)> = CORPUS
+        .iter()
+        .map(|&(id, k)| (ObjectId::from_raw(id), set(k)))
+        .collect();
+    let mut rt = NodeRuntime::start(RuntimeConfig::new(R, 4).seed(SEED)).unwrap();
+    rt.bulk_load(corpus.iter().map(|(id, k)| (*id, k))).unwrap();
+    rt.bulk_load(corpus.iter().map(|(id, k)| (*id, k))).unwrap();
+    rt.flush();
+
+    let mut ids: Vec<u64> = rt
+        .superset_search(&set("a"), usize::MAX - 1)
+        .unwrap()
+        .iter()
+        .map(|m| m.object.raw())
+        .collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+
+    let report = rt.shutdown();
+    report.assert_conserved();
+    let inserts: u64 = report.workers.iter().map(|w| w.inserts).sum();
+    assert_eq!(
+        inserts,
+        CORPUS.len() as u64,
+        "replayed handoffs must not re-count inserts"
+    );
+}
