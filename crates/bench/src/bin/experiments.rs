@@ -4,21 +4,23 @@
 //! experiments [EXPERIMENT ...] [--scale full|small] [--seed N] [--list]
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
-//!             availability churn prune throughput runtime faults all
-//!             (default: all)
+//!             availability churn prune throughput runtime faults net
+//!             all (default: all)
 //!
-//! `churn`, `prune`, `throughput`, `runtime`, and `faults`
+//! `churn`, `prune`, `throughput`, `runtime`, `faults`, and `net`
 //! additionally write their rows to `BENCH_churn.json` /
 //! `BENCH_prune.json` / `BENCH_throughput.json` / `BENCH_runtime.json`
-//! / `BENCH_faults.json` in the current directory, each stamped with
-//! the effective seed.
+//! / `BENCH_faults.json` / `BENCH_net.json` in the current directory,
+//! each stamped with the effective seed. `net` launches real
+//! `hyperdex-server` processes — build them first with
+//! `cargo build -p hyperdex-net`.
 //! A final table maps each experiment run to the artifact it produced.
 //! ```
 
 use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
-    ablation, availability, churn, eq1, faults, fig5, fig6, fig7, fig8, fig9, prune, runtime,
+    ablation, availability, churn, eq1, faults, fig5, fig6, fig7, fig8, fig9, net, prune, runtime,
     table1, throughput, xcheck,
 };
 use hyperdex_bench::report::Table;
@@ -26,10 +28,10 @@ use hyperdex_bench::{Scale, SharedContext};
 
 const USAGE: &str = "usage: experiments \
                      [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|throughput\
-                     |runtime|faults|all ...] [--scale full|small] [--seed N] [--list]";
+                     |runtime|faults|net|all ...] [--scale full|small] [--seed N] [--list]";
 
 /// Every experiment name with a one-line description, in run order.
-const EXPERIMENTS: [(&str, &str); 15] = [
+const EXPERIMENTS: [(&str, &str); 16] = [
     ("table1", "load distribution across index nodes"),
     ("fig5", "keyword-set size distribution"),
     ("fig6", "query popularity distribution"),
@@ -53,6 +55,10 @@ const EXPERIMENTS: [(&str, &str); 15] = [
     (
         "faults",
         "recall/latency under frame loss and worker crashes",
+    ),
+    (
+        "net",
+        "socket-mode qps/latency vs the in-process channel fabric",
     ),
 ];
 
@@ -195,6 +201,17 @@ fn main() -> ExitCode {
                 let rows = faults::run(&ctx);
                 let path = std::path::Path::new("BENCH_faults.json");
                 match faults::write_json(&rows, seed, path) {
+                    Ok(()) => artifact = path.display().to_string(),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "net" => {
+                let rows = net::run(&ctx);
+                let path = std::path::Path::new("BENCH_net.json");
+                match net::write_json(&rows, seed, path) {
                     Ok(()) => artifact = path.display().to_string(),
                     Err(e) => {
                         eprintln!("failed to write {}: {e}", path.display());

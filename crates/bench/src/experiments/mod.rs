@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod net;
 pub mod prune;
 pub mod runtime;
 pub mod table1;

@@ -97,7 +97,9 @@ impl RuntimeRow {
 }
 
 /// Builds one mix's request batch from a cell's corpus and query log.
-fn requests_for(mix: &str, corpus: &Corpus, log: &QueryLog) -> Vec<Request> {
+/// Shared with the `net` experiment so channel and socket modes replay
+/// byte-identical workloads.
+pub(crate) fn requests_for(mix: &str, corpus: &Corpus, log: &QueryLog) -> Vec<Request> {
     let broad = log.popular_of_size(1, 4);
     let narrow = log.popular_of_size(2, 4);
     let sets: Vec<&KeywordSet> = corpus.indexable().map(|(_, k)| k).collect();
@@ -150,7 +152,7 @@ fn requests_for(mix: &str, corpus: &Corpus, log: &QueryLog) -> Vec<Request> {
 
 /// The per-cell parity queries: broad and narrow popular sets, an
 /// early-stop threshold, and a guaranteed miss.
-fn parity_queries(log: &QueryLog) -> Vec<(KeywordSet, usize)> {
+pub(crate) fn parity_queries(log: &QueryLog) -> Vec<(KeywordSet, usize)> {
     let mut queries: Vec<(KeywordSet, usize)> = Vec::new();
     for kw in log.popular_of_size(1, 2) {
         queries.push((kw.clone(), usize::MAX - 1));

@@ -38,6 +38,23 @@ pub enum Error {
         /// The largest dimension the operation supports.
         max: u8,
     },
+    /// A network connection to a cluster endpoint was lost (refused,
+    /// reset, or closed mid-request) and could not be re-established
+    /// within the client's reconnect budget.
+    ConnectionLost {
+        /// The endpoint that went away, e.g. `127.0.0.1:7401`.
+        endpoint: String,
+        /// What the transport observed, e.g. "connection refused".
+        detail: String,
+    },
+    /// A request did not complete within its deadline. The connection
+    /// may still be healthy — the reply is simply late or lost.
+    Timeout {
+        /// What was being waited on, e.g. "pin reply" or "connect".
+        operation: String,
+        /// The deadline that expired, in milliseconds.
+        after_ms: u64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -62,6 +79,15 @@ impl fmt::Display for Error {
                     "cube dimension {r} exceeds the dense-sweep cap {max}: \
                      the operation touches all 2^r vertices"
                 )
+            }
+            Error::ConnectionLost { endpoint, detail } => {
+                write!(f, "connection to {endpoint} lost: {detail}")
+            }
+            Error::Timeout {
+                operation,
+                after_ms,
+            } => {
+                write!(f, "{operation} timed out after {after_ms} ms")
             }
         }
     }
@@ -96,6 +122,22 @@ mod tests {
         let too_large = Error::DimensionTooLarge { r: 17, max: 16 };
         assert!(too_large.to_string().contains("17"));
         assert!(too_large.to_string().contains("16"));
+    }
+
+    #[test]
+    fn net_errors_name_the_endpoint_and_deadline() {
+        let lost = Error::ConnectionLost {
+            endpoint: "127.0.0.1:7401".into(),
+            detail: "connection refused".into(),
+        };
+        assert!(lost.to_string().contains("127.0.0.1:7401"));
+        assert!(lost.to_string().contains("refused"));
+        let late = Error::Timeout {
+            operation: "pin reply".into(),
+            after_ms: 250,
+        };
+        assert!(late.to_string().contains("pin reply"));
+        assert!(late.to_string().contains("250"));
     }
 
     #[test]

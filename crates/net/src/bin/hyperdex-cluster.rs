@@ -1,0 +1,94 @@
+//! `hyperdex-cluster` — launch a small real cluster and run a demo
+//! workload end to end.
+//!
+//! ```text
+//! hyperdex-cluster [--servers N] [--workers W] [--r R] [--seed S]
+//! ```
+//!
+//! Spawns N `hyperdex-server` processes over loopback, loads a few
+//! objects, runs a pin and a superset search over TCP, and prints the
+//! cluster's frame-conservation report.
+
+use std::process::ExitCode;
+
+use hyperdex_core::{KeywordSet, ObjectId};
+use hyperdex_net::{Cluster, ClusterConfig};
+
+fn main() -> ExitCode {
+    let mut servers: u32 = 2;
+    let mut workers: u32 = 4;
+    let mut r: u8 = 12;
+    let mut seed: u64 = 42;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!("hyperdex-cluster: flag {flag} needs a value");
+            return ExitCode::FAILURE;
+        };
+        let ok = match flag.as_str() {
+            "--servers" => value.parse().map(|v| servers = v).is_ok(),
+            "--workers" => value.parse().map(|v| workers = v).is_ok(),
+            "--r" => value.parse().map(|v| r = v).is_ok(),
+            "--seed" => value.parse().map(|v| seed = v).is_ok(),
+            other => {
+                eprintln!("hyperdex-cluster: unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if !ok {
+            eprintln!("hyperdex-cluster: bad value for {flag}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let cluster = match Cluster::launch(ClusterConfig::new(r, seed, workers, servers)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("hyperdex-cluster: launch failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "cluster up: {servers} server(s) hosting {workers} worker shard(s) at {:?}",
+        cluster.addrs()
+    );
+
+    let corpus = [
+        (1, "rust systems programming"),
+        (2, "rust network protocols"),
+        (3, "distributed hash table"),
+        (4, "keyword search hypercube"),
+        (5, "rust distributed systems"),
+    ];
+    let run = || -> Result<(), hyperdex_core::Error> {
+        let mut client = cluster.client()?;
+        for (id, text) in corpus {
+            client.insert(ObjectId::from_raw(id), KeywordSet::parse(text)?)?;
+        }
+        client.flush()?;
+
+        let pin = client.pin_search(&KeywordSet::parse("distributed hash table")?)?;
+        println!("pin search {{distributed, hash, table}}: {pin:?}");
+        let matches = client.superset_search(&KeywordSet::parse("rust")?, 10)?;
+        println!("superset search {{rust}}: {} object(s)", matches.len());
+        for m in &matches {
+            println!("  {:?} (+{} extra keyword(s))", m.object, m.extra_keywords);
+        }
+
+        let report = cluster.shutdown(client)?;
+        report.assert_conserved();
+        println!(
+            "shutdown clean: {} frames sent / {} received / {} dropped / {} drained — conserved",
+            report.total_sent(),
+            report.total_received(),
+            report.total_dropped(),
+            report.supervisor.frames_drained,
+        );
+        Ok(())
+    };
+    if let Err(e) = run() {
+        eprintln!("hyperdex-cluster: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

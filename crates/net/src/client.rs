@@ -1,0 +1,696 @@
+//! The cluster client: typed errors, deadlines, and reconnection.
+//!
+//! [`NetClient`] speaks the same frame protocol as the in-process
+//! [`hyperdex_runtime::NodeRuntime`] handle, but over one TCP
+//! connection per server — and because sockets fail in ways channels
+//! cannot, every operation returns `Result` instead of panicking:
+//!
+//! * [`Error::Timeout`] — a request's deadline expired; the connection
+//!   may be healthy and the reply merely late.
+//! * [`Error::ConnectionLost`] — the connection to the server owning
+//!   the request died and could not be re-established within the
+//!   reconnect budget (attempts with exponential backoff).
+//!
+//! A background reader thread per connection decodes reply units and
+//! feeds one event channel; request methods drain it, matching replies
+//! by query id (stale replies from abandoned fault-tolerant attempts
+//! are discarded exactly like the in-process client). Routing is
+//! client-side: the client owns the same seeded [`KeywordHasher`] and
+//! [`ShardMap`] as the workers, computes each request's root worker,
+//! and writes to the server hosting it.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hyperdex_core::{CoverageReport, Error, KeywordHasher, KeywordSet, ObjectId};
+use hyperdex_runtime::runtime::{
+    BatchResult, FtSearchOptions, FtSearchOutcome, Request, RuntimeMatch,
+};
+use hyperdex_runtime::wire::WireMsg;
+use hyperdex_runtime::ShardMap;
+
+use crate::server::server_of;
+use crate::stream::{encode_unit, StreamDecoder, CLIENT_DEST};
+
+/// Client-side knobs: connection and request deadlines, reconnect
+/// budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Deadline for establishing one TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for one request's reply (per reply for multi-reply
+    /// barriers like flush).
+    pub request_timeout: Duration,
+    /// Connection attempts before a lost server is given up on.
+    pub reconnect_attempts: u32,
+    /// Sleep before the second reconnect attempt; doubles per attempt.
+    pub reconnect_backoff: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_secs(2),
+            request_timeout: Duration::from_secs(10),
+            reconnect_attempts: 4,
+            reconnect_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// What a connection reader reports to the request path.
+enum Event {
+    /// A decoded client-bound frame.
+    Frame(WireMsg),
+    /// The connection to `server` died (EOF, reset, or corrupt
+    /// stream).
+    Lost { server: usize, detail: String },
+}
+
+/// Connected client handle. Synchronous like the in-process handle;
+/// all I/O concurrency lives in the servers.
+pub struct NetClient {
+    hasher: KeywordHasher,
+    shards: ShardMap,
+    cfg: NetConfig,
+    addrs: Vec<String>,
+    conns: Vec<Option<TcpStream>>,
+    events_tx: Sender<Event>,
+    events_rx: Receiver<Event>,
+    /// Frames decoded but not yet consumed by a request.
+    pending: VecDeque<WireMsg>,
+    received: Arc<AtomicU64>,
+    readers: Vec<JoinHandle<()>>,
+    next_id: u64,
+    frames_sent: u64,
+}
+
+/// The client's half of the conservation ledger, produced by
+/// [`NetClient::shutdown`]. Call [`ClientClose::finish`] after the
+/// server processes have exited to get final counts.
+pub struct ClientClose {
+    frames_sent: u64,
+    received: Arc<AtomicU64>,
+    readers: Vec<JoinHandle<()>>,
+}
+
+impl ClientClose {
+    /// Joins the reader threads (they exit when the servers close
+    /// their sockets) and returns `(frames_sent, frames_received)`.
+    pub fn finish(self) -> (u64, u64) {
+        for handle in self.readers {
+            let _ = handle.join();
+        }
+        (self.frames_sent, self.received.load(Ordering::SeqCst))
+    }
+}
+
+impl NetClient {
+    /// Connects to every server of a cluster. `addrs` lists the
+    /// servers' listen addresses in cluster order; `total_workers`,
+    /// `r`, and `seed` must match the servers' configuration (they
+    /// determine routing).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConnectionLost`] when any server cannot be reached
+    /// within the connect timeout.
+    pub fn connect(
+        addrs: &[String],
+        r: u8,
+        seed: u64,
+        total_workers: u32,
+        cfg: NetConfig,
+    ) -> Result<NetClient, Error> {
+        let hasher = KeywordHasher::new(r, seed)?;
+        let shards = ShardMap::new(total_workers.max(1), seed);
+        let (events_tx, events_rx) = channel();
+        let received = Arc::new(AtomicU64::new(0));
+        let mut client = NetClient {
+            hasher,
+            shards,
+            cfg,
+            addrs: addrs.to_vec(),
+            conns: (0..addrs.len()).map(|_| None).collect(),
+            events_tx,
+            events_rx,
+            pending: VecDeque::new(),
+            received,
+            readers: Vec::new(),
+            next_id: 0,
+            frames_sent: 0,
+        };
+        for server in 0..addrs.len() {
+            let stream = client.open(server)?;
+            client.install(server, stream);
+        }
+        Ok(client)
+    }
+
+    /// Worker shards across the cluster.
+    pub fn workers(&self) -> u32 {
+        self.shards.workers()
+    }
+
+    /// Opens one connection: TCP connect within the deadline, then the
+    /// client hello.
+    fn open(&self, server: usize) -> Result<TcpStream, Error> {
+        let endpoint = self.addrs[server].clone();
+        let lost = |detail: String| Error::ConnectionLost {
+            endpoint: endpoint.clone(),
+            detail,
+        };
+        let addr = endpoint
+            .to_socket_addrs()
+            .map_err(|e| lost(e.to_string()))?
+            .next()
+            .ok_or_else(|| lost("address resolved to nothing".into()))?;
+        let mut stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)
+            .map_err(|e| lost(e.to_string()))?;
+        stream.set_nodelay(true).ok();
+        stream
+            .write_all(&CLIENT_DEST.to_le_bytes())
+            .map_err(|e| lost(e.to_string()))?;
+        Ok(stream)
+    }
+
+    /// Registers an opened connection: keeps the write half, spawns
+    /// the reader on a clone.
+    fn install(&mut self, server: usize, stream: TcpStream) {
+        let read_half = stream.try_clone().expect("clone stream");
+        let tx = self.events_tx.clone();
+        let received = Arc::clone(&self.received);
+        self.readers.push(
+            std::thread::Builder::new()
+                .name(format!("hyperdex-net-client-reader-{server}"))
+                .spawn(move || reader_loop(read_half, server, tx, received))
+                .expect("spawn client reader"),
+        );
+        self.conns[server] = Some(stream);
+    }
+
+    /// Re-establishes a lost connection: immediate first attempt, then
+    /// exponential backoff, up to the configured budget.
+    fn reconnect(&mut self, server: usize) -> Result<(), Error> {
+        let mut backoff = self.cfg.reconnect_backoff;
+        let mut last = String::from("no attempt made");
+        for attempt in 0..self.cfg.reconnect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match self.open(server) {
+                Ok(stream) => {
+                    self.install(server, stream);
+                    return Ok(());
+                }
+                Err(Error::ConnectionLost { detail, .. }) => last = detail,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(Error::ConnectionLost {
+            endpoint: self.addrs[server].clone(),
+            detail: format!(
+                "reconnect gave up after {} attempts: {last}",
+                self.cfg.reconnect_attempts.max(1)
+            ),
+        })
+    }
+
+    /// Drains reader events without blocking: frames queue up for the
+    /// next receive, losses mark their connection dead.
+    fn poll_events(&mut self) {
+        while let Ok(event) = self.events_rx.try_recv() {
+            match event {
+                Event::Frame(msg) => self.pending.push_back(msg),
+                Event::Lost { server, .. } => self.conns[server] = None,
+            }
+        }
+    }
+
+    /// Sends one frame to `worker`, reconnecting to its server if the
+    /// connection is gone.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConnectionLost`] when the server stays unreachable
+    /// through the reconnect budget.
+    fn send_frame(&mut self, worker: u32, msg: &WireMsg) -> Result<(), Error> {
+        self.poll_events();
+        let server = server_of(worker, self.addrs.len() as u32) as usize;
+        let unit = encode_unit(worker, &msg.encode());
+        if self.conns[server].is_none() {
+            self.reconnect(server)?;
+        }
+        let failed = match self.conns[server].as_mut() {
+            Some(stream) => stream.write_all(&unit).is_err(),
+            None => true,
+        };
+        if failed {
+            // The socket died under us; one reconnect cycle, then give
+            // up with a typed error.
+            self.conns[server] = None;
+            self.reconnect(server)?;
+            let stream = self.conns[server].as_mut().expect("just reconnected");
+            stream.write_all(&unit).map_err(|e| Error::ConnectionLost {
+                endpoint: self.addrs[server].clone(),
+                detail: e.to_string(),
+            })?;
+        }
+        self.frames_sent += 1;
+        Ok(())
+    }
+
+    /// Receives the next client-bound frame before `deadline`.
+    /// `awaiting` names the server whose reply we need: if that
+    /// connection dies while waiting, the wait fails fast with
+    /// [`Error::ConnectionLost`] instead of running out the clock.
+    fn recv_within(
+        &mut self,
+        deadline: Instant,
+        operation: &str,
+        awaiting: Option<usize>,
+    ) -> Result<WireMsg, Error> {
+        loop {
+            if let Some(msg) = self.pending.pop_front() {
+                return Ok(msg);
+            }
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                return Err(Error::Timeout {
+                    operation: operation.to_string(),
+                    after_ms: self.cfg.request_timeout.as_millis() as u64,
+                });
+            }
+            match self.events_rx.recv_timeout(wait) {
+                Ok(Event::Frame(msg)) => return Ok(msg),
+                Ok(Event::Lost { server, detail }) => {
+                    self.conns[server] = None;
+                    if awaiting == Some(server) {
+                        return Err(Error::ConnectionLost {
+                            endpoint: self.addrs[server].clone(),
+                            detail,
+                        });
+                    }
+                }
+                Err(_) => {
+                    return Err(Error::Timeout {
+                        operation: operation.to_string(),
+                        after_ms: self.cfg.request_timeout.as_millis() as u64,
+                    })
+                }
+            }
+        }
+    }
+
+    fn request_deadline(&self) -> Instant {
+        Instant::now() + self.cfg.request_timeout
+    }
+
+    fn owner_server(&self, worker: u32) -> usize {
+        server_of(worker, self.addrs.len() as u32) as usize
+    }
+
+    /// Routes one insert to the shard owning `F_h(K)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::EmptyKeywordSet`] for an empty set,
+    /// [`Error::ConnectionLost`] when the owner is unreachable.
+    pub fn insert(&mut self, object: ObjectId, keywords: KeywordSet) -> Result<(), Error> {
+        if keywords.is_empty() {
+            return Err(Error::EmptyKeywordSet);
+        }
+        let bits = self.hasher.vertex_for(&keywords).bits();
+        let owner = self.shards.owner_of(bits);
+        self.send_frame(
+            owner,
+            &WireMsg::Insert {
+                object: object.raw(),
+                keywords,
+            },
+        )
+    }
+
+    /// Drain barrier across every server: returns once each worker has
+    /// processed everything enqueued before this call.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] when any worker's ack misses the per-reply
+    /// deadline; connection errors as [`Error::ConnectionLost`].
+    pub fn flush(&mut self) -> Result<(), Error> {
+        self.next_id += 1;
+        let token = self.next_id;
+        for w in 0..self.workers() {
+            self.send_frame(w, &WireMsg::Flush { token })?;
+        }
+        let mut pending = self.workers();
+        while pending > 0 {
+            let deadline = self.request_deadline();
+            match self.recv_within(deadline, "flush ack", None)? {
+                WireMsg::FlushAck { token: t, .. } if t == token => pending -= 1,
+                // Stale replies of abandoned FT attempts are legal
+                // here; anything else is a protocol bug.
+                WireMsg::FtQueryDone { .. } | WireMsg::FlushAck { .. } => {}
+                other => panic!("unexpected frame during flush barrier: {other:?}"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Pin search (§3.2) over the wire: one request unit, one reply.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] on a late reply, [`Error::ConnectionLost`]
+    /// when the owning server is gone.
+    pub fn pin_search(&mut self, keywords: &KeywordSet) -> Result<Vec<ObjectId>, Error> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let bits = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(bits);
+        self.send_frame(
+            owner,
+            &WireMsg::Pin {
+                query_id: id,
+                keywords: keywords.clone(),
+            },
+        )?;
+        let deadline = self.request_deadline();
+        loop {
+            match self.recv_within(deadline, "pin reply", Some(self.owner_server(owner)))? {
+                WireMsg::PinResults { query_id, objects } if query_id == id => {
+                    return Ok(objects.into_iter().map(ObjectId::from_raw).collect())
+                }
+                WireMsg::FtQueryDone { .. } => {}
+                other => panic!("unexpected frame awaiting pin results: {other:?}"),
+            }
+        }
+    }
+
+    /// Superset search (§3.3), coordinated by the worker owning the
+    /// query root — possibly in a different process, with the SBT
+    /// traversal fanning out across the whole cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ZeroThreshold`] for a zero threshold, otherwise the
+    /// usual timeout/connection errors.
+    pub fn superset_search(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+    ) -> Result<Vec<RuntimeMatch>, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        self.next_id += 1;
+        let id = self.next_id;
+        let root = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(root);
+        self.send_frame(
+            owner,
+            &WireMsg::Query {
+                query_id: id,
+                keywords: keywords.clone(),
+                threshold: threshold as u64,
+            },
+        )?;
+        let deadline = self.request_deadline();
+        loop {
+            match self.recv_within(deadline, "superset reply", Some(self.owner_server(owner)))? {
+                WireMsg::QueryDone { query_id, objects } if query_id == id => {
+                    return Ok(objects
+                        .into_iter()
+                        .map(|(raw, extra)| RuntimeMatch {
+                            object: ObjectId::from_raw(raw),
+                            extra_keywords: extra,
+                        })
+                        .collect())
+                }
+                WireMsg::FtQueryDone { .. } => {}
+                other => panic!("unexpected frame awaiting query results: {other:?}"),
+            }
+        }
+    }
+
+    /// Fault-tolerant superset search over the wire, mirroring
+    /// [`hyperdex_runtime::NodeRuntime::superset_search_ft`]: the
+    /// coordinating worker retries and re-delegates; the client
+    /// re-issues the query when a whole attempt dies, and degrades to
+    /// an honest empty outcome when nobody ever answers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ZeroThreshold`] / [`Error::ZeroTimeout`] on bad
+    /// arguments, [`Error::ConnectionLost`] when the coordinator's
+    /// server is unreachable for the initial send.
+    pub fn superset_search_ft(
+        &mut self,
+        keywords: &KeywordSet,
+        threshold: usize,
+        opts: &FtSearchOptions,
+    ) -> Result<FtSearchOutcome, Error> {
+        if threshold == 0 {
+            return Err(Error::ZeroThreshold);
+        }
+        if opts.base_timeout_ms == 0 {
+            return Err(Error::ZeroTimeout);
+        }
+        let root = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(root);
+        let attempts = opts.attempts.max(1);
+        for attempt in 1..=attempts {
+            self.next_id += 1;
+            let id = self.next_id;
+            self.send_frame(
+                owner,
+                &WireMsg::FtQuery {
+                    query_id: id,
+                    keywords: keywords.clone(),
+                    threshold: threshold as u64,
+                    strategy: opts.strategy,
+                    max_retries: opts.max_retries,
+                    base_timeout_ms: opts.base_timeout_ms,
+                },
+            )?;
+            let deadline = Instant::now() + Duration::from_millis(opts.attempt_timeout_ms.max(1));
+            loop {
+                let msg = match self.recv_within(deadline, "FT reply", None) {
+                    Ok(msg) => msg,
+                    Err(Error::Timeout { .. }) => break,
+                    Err(other) => return Err(other),
+                };
+                match msg {
+                    WireMsg::FtQueryDone {
+                        query_id,
+                        objects,
+                        subcube,
+                        reached,
+                        retries,
+                        timeouts,
+                        redelegations,
+                        queries_sent,
+                        conts,
+                        result_messages,
+                        skipped,
+                    } if query_id == id => {
+                        let complete = skipped.is_empty();
+                        return Ok(FtSearchOutcome {
+                            matches: objects
+                                .into_iter()
+                                .map(|(raw, extra)| RuntimeMatch {
+                                    object: ObjectId::from_raw(raw),
+                                    extra_keywords: extra,
+                                })
+                                .collect(),
+                            complete,
+                            attempts: attempt,
+                            coverage: Some(CoverageReport {
+                                strategy: opts.strategy,
+                                subcube_vertices: subcube,
+                                vertices_reached: reached,
+                                vertices_skipped: skipped.len() as u64,
+                                skipped,
+                                queries_sent,
+                                conts,
+                                result_messages,
+                                retries,
+                                timeouts,
+                                redelegations,
+                                pruned_subtrees: 0,
+                                vertices_pruned: 0,
+                                failed_over: false,
+                                secondary_reached: 0,
+                                secondary_skipped: 0,
+                                elapsed: hyperdex_simnet::time::SimDuration::ZERO,
+                            }),
+                        });
+                    }
+                    // Stale completion of an abandoned attempt.
+                    WireMsg::FtQueryDone { .. } => {}
+                    other => panic!("unexpected frame awaiting FT results: {other:?}"),
+                }
+            }
+        }
+        Ok(FtSearchOutcome {
+            matches: Vec::new(),
+            complete: false,
+            attempts,
+            coverage: None,
+        })
+    }
+
+    /// Runs `requests` keeping up to `window` in flight across the
+    /// cluster — the socket-mode throughput path the bench measures.
+    ///
+    /// # Errors
+    ///
+    /// The usual timeout/connection errors; a timeout names the
+    /// longest-waiting request.
+    pub fn run_batch(
+        &mut self,
+        requests: &[Request],
+        window: usize,
+    ) -> Result<Vec<BatchResult>, Error> {
+        let window = window.max(1);
+        let mut out: Vec<Option<BatchResult>> = requests.iter().map(|_| None).collect();
+        let mut in_flight: HashMap<u64, (usize, Instant)> = HashMap::new();
+        let mut next = 0usize;
+        let mut completed = 0usize;
+        while completed < requests.len() {
+            while next < requests.len() && in_flight.len() < window {
+                self.next_id += 1;
+                let id = self.next_id;
+                let started = Instant::now();
+                match &requests[next] {
+                    Request::Pin(keywords) => {
+                        let bits = self.hasher.vertex_for(keywords).bits();
+                        let owner = self.shards.owner_of(bits);
+                        self.send_frame(
+                            owner,
+                            &WireMsg::Pin {
+                                query_id: id,
+                                keywords: keywords.clone(),
+                            },
+                        )?;
+                    }
+                    Request::Superset {
+                        keywords,
+                        threshold,
+                    } => {
+                        let bits = self.hasher.vertex_for(keywords).bits();
+                        let owner = self.shards.owner_of(bits);
+                        self.send_frame(
+                            owner,
+                            &WireMsg::Query {
+                                query_id: id,
+                                keywords: keywords.clone(),
+                                threshold: *threshold as u64,
+                            },
+                        )?;
+                    }
+                }
+                in_flight.insert(id, (next, started));
+                next += 1;
+            }
+            let deadline = self.request_deadline();
+            let (query_id, objects) = match self.recv_within(deadline, "batch reply", None)? {
+                WireMsg::PinResults { query_id, objects } => (
+                    query_id,
+                    objects.into_iter().map(ObjectId::from_raw).collect(),
+                ),
+                WireMsg::QueryDone { query_id, objects } => (
+                    query_id,
+                    objects
+                        .into_iter()
+                        .map(|(raw, _)| ObjectId::from_raw(raw))
+                        .collect::<Vec<ObjectId>>(),
+                ),
+                other => panic!("unexpected frame during batch: {other:?}"),
+            };
+            let (slot, started) = in_flight
+                .remove(&query_id)
+                .expect("completion for an in-flight request");
+            out[slot] = Some(BatchResult {
+                objects,
+                latency: started.elapsed(),
+            });
+            completed += 1;
+        }
+        Ok(out.into_iter().map(|r| r.expect("all completed")).collect())
+    }
+
+    /// Sends `Shutdown` to every worker and releases the connections.
+    /// The returned [`ClientClose`] yields the client's conservation
+    /// counters once the servers have exited.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConnectionLost`] when a shutdown frame cannot be
+    /// delivered.
+    pub fn shutdown(mut self) -> Result<ClientClose, Error> {
+        for w in 0..self.workers() {
+            self.send_frame(w, &WireMsg::Shutdown)?;
+        }
+        Ok(ClientClose {
+            frames_sent: self.frames_sent,
+            received: self.received,
+            readers: self.readers,
+        })
+    }
+}
+
+/// Decodes client-bound units off one connection into the shared event
+/// channel, reporting the connection's death as a final event.
+fn reader_loop(mut stream: TcpStream, server: usize, tx: Sender<Event>, received: Arc<AtomicU64>) {
+    use std::io::Read;
+    let mut dec = StreamDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    let detail = loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break "server closed the connection".to_string(),
+            Err(e) => break e.to_string(),
+            Ok(n) => n,
+        };
+        dec.push(&chunk[..n]);
+        loop {
+            match dec.next_unit() {
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(Event::Lost {
+                        server,
+                        detail: format!("corrupt stream: {e}"),
+                    });
+                    return;
+                }
+                Ok(Some(unit)) => {
+                    debug_assert_eq!(unit.dest, CLIENT_DEST, "worker-bound unit at the client");
+                    received.fetch_add(1, Ordering::SeqCst);
+                    match WireMsg::decode_exact(&unit.frame) {
+                        Ok(msg) => {
+                            if tx.send(Event::Frame(msg)).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Event::Lost {
+                                server,
+                                detail: format!("undecodable frame: {e}"),
+                            });
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    };
+    let _ = tx.send(Event::Lost { server, detail });
+}

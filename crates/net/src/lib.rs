@@ -1,0 +1,33 @@
+//! # hyperdex-net — the runtime over real sockets
+//!
+//! TCP deployment of the shared-nothing runtime: the same workers,
+//! frames, and conservation ledger as [`hyperdex_runtime`], spread
+//! across OS processes instead of threads. Built entirely on
+//! `std::net` — no external dependencies, loopback-friendly, offline.
+//!
+//! * [`stream`] — `[dest][frame]` units on the wire and a streaming
+//!   decoder tolerant of arbitrary partial reads.
+//! * [`server`] — the server process: worker shards behind a listener,
+//!   a directed mesh between servers, local crash supervision with
+//!   journal replay, and a plain-text conservation report at shutdown.
+//! * [`client`] — the client library: typed [`hyperdex_core::Error`]
+//!   results (`ConnectionLost`, `Timeout`), request deadlines, and
+//!   reconnect with exponential backoff.
+//! * [`cluster`] — multi-process launcher over loopback with a stdio
+//!   handshake, folding every process's counters into one
+//!   [`hyperdex_runtime::ShutdownReport`].
+//! * [`parity`] — the fourth parity executor: N real processes must
+//!   produce result sets identical to the direct engine, the
+//!   message-level sim, and the threaded runtime.
+
+pub mod client;
+pub mod cluster;
+pub mod parity;
+pub mod server;
+pub mod stream;
+
+pub use client::{ClientClose, NetClient, NetConfig};
+pub use cluster::{server_binary, Cluster, ClusterConfig};
+pub use parity::{assert_net_parity, NetParityReport};
+pub use server::{local_workers, server_of, ServerConfig};
+pub use stream::{StreamDecoder, Unit, CLIENT_DEST};

@@ -1,0 +1,633 @@
+//! The server process: one listener hosting one or more worker shards.
+//!
+//! A server is the [`hyperdex_runtime::worker`] event loop behind real
+//! sockets. Worker `w` of a `servers`-process cluster lives on server
+//! `w % servers`; frames between workers on the same server travel
+//! over in-process channels exactly like the threaded runtime, frames
+//! to remote workers (and replies to the client) cross TCP as
+//! `[dest][frame]` units ([`crate::stream`]).
+//!
+//! # Connection fabric
+//!
+//! Every server dials every other server once (a directed mesh: the
+//! dialed connection carries only frames *from* the dialer), and the
+//! client dials every server. Each inbound connection gets a reader
+//! thread that decodes units and delivers them to local worker inboxes
+//! with a **blocking** send — when a worker falls behind, its inbox
+//! fills, the reader stops reading, the kernel's receive window fills,
+//! and the remote writer blocks: TCP itself propagates the same
+//! backpressure the in-process fabric expresses with `try_send`.
+//! Outbound, each connection has a writer thread fed by a bounded
+//! queue; the thread drains the whole queue greedily and ships it as
+//! one `write` syscall, so the per-destination outbox coalescing the
+//! workers already do extends to the socket.
+//!
+//! # Recovery and accounting
+//!
+//! A local supervisor mirrors the in-process one: a crashed worker
+//! (scheduled via [`CrashPoint`]) is respawned on the same inbox,
+//! its shard replayed from a journal of the load frames this server
+//! received, and released with `RepairDone`. At shutdown the server
+//! prints a plain-text frame-conservation report (`WSTATS` per worker,
+//! one `SSTATS`, then `REPORT_END`) that the cluster launcher
+//! aggregates into the same [`hyperdex_runtime::ShutdownReport`] the
+//! other executors use.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hyperdex_core::KeywordHasher;
+use hyperdex_hypercube::Shape;
+use hyperdex_runtime::fault::{CrashPoint, FaultInjector, FaultPlan};
+use hyperdex_runtime::transport::{coalesce, count_frames, FlushStatus, Transport};
+use hyperdex_runtime::wire::WireMsg;
+use hyperdex_runtime::worker::{run_worker, ExitCause, WorkerContext, WorkerExit, WorkerStats};
+use hyperdex_runtime::{ShardMap, SupervisorStats};
+
+use crate::stream::{push_unit, StreamDecoder, CLIENT_DEST};
+
+/// Load frames this server received, for crash repair: `(dest worker,
+/// encoded frame)`.
+type Journal = Arc<Mutex<Vec<(u32, Vec<u8>)>>>;
+
+/// How one server process is shaped. All servers of a cluster share
+/// `r`, `seed`, `total_workers`, and `servers`; only `index` differs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This server's position in the cluster (`0..servers`).
+    pub index: u32,
+    /// Server processes in the cluster.
+    pub servers: u32,
+    /// Hypercube dimension `r`.
+    pub r: u8,
+    /// Seed for keyword hashing and shard placement.
+    pub seed: u64,
+    /// Worker shards across the whole cluster.
+    pub total_workers: u32,
+    /// Bound of every inbox channel and writer queue, in packets.
+    pub capacity: usize,
+    /// Optional scheduled crash of one local worker.
+    pub crash: Option<CrashPoint>,
+}
+
+/// The global worker indices hosted by server `index`.
+pub fn local_workers(total_workers: u32, servers: u32, index: u32) -> Vec<u32> {
+    (0..total_workers)
+        .filter(|w| w % servers == index)
+        .collect()
+}
+
+/// The server hosting worker `w`.
+pub fn server_of(worker: u32, servers: u32) -> u32 {
+    worker % servers.max(1)
+}
+
+/// The TCP fabric seen by one worker: local peers over channels,
+/// remote peers and the client over per-connection writer queues.
+struct MeshTransport {
+    own: u32,
+    servers: u32,
+    server_index: u32,
+    total: usize,
+    /// Per global worker: `Some` only for co-located workers (and
+    /// `None` at the owning worker's own slot).
+    inboxes: Vec<Option<SyncSender<Vec<u8>>>>,
+    /// Per server: the writer queue toward that server; `None` at our
+    /// own slot.
+    peers: Vec<Option<SyncSender<Vec<u8>>>>,
+    client: SyncSender<Vec<u8>>,
+}
+
+impl MeshTransport {
+    /// Builds one wire packet (`[dest][frame]` per queued frame) and
+    /// hands it to a writer queue without blocking.
+    fn flush_wire(
+        tx: &SyncSender<Vec<u8>>,
+        dest: u32,
+        queue: &mut VecDeque<Vec<u8>>,
+    ) -> FlushStatus {
+        let total: usize = queue.iter().map(|f| 4 + f.len()).sum();
+        let mut packet = Vec::with_capacity(total);
+        for frame in queue.iter() {
+            push_unit(&mut packet, dest, frame);
+        }
+        match tx.try_send(packet) {
+            Ok(()) => {
+                queue.clear();
+                FlushStatus::Done
+            }
+            Err(TrySendError::Full(_)) => FlushStatus::Full,
+            Err(TrySendError::Disconnected(_)) => {
+                // Writer gone: only possible once the run is over.
+                let dropped = queue.iter().map(|f| count_frames(f)).sum();
+                queue.clear();
+                FlushStatus::Closed {
+                    frames_dropped: dropped,
+                }
+            }
+        }
+    }
+}
+
+impl Transport for MeshTransport {
+    fn endpoints(&self) -> usize {
+        self.total + 1
+    }
+
+    fn flush(&mut self, dest: usize, queue: &mut VecDeque<Vec<u8>>) -> FlushStatus {
+        if queue.is_empty() {
+            return FlushStatus::Done;
+        }
+        if dest == self.total {
+            return MeshTransport::flush_wire(&self.client, CLIENT_DEST, queue);
+        }
+        let dest_w = dest as u32;
+        if server_of(dest_w, self.servers) == self.server_index {
+            // Co-located worker: raw coalesced packet over the channel,
+            // identical to the in-process fabric.
+            let Some(tx) = &self.inboxes[dest] else {
+                debug_assert!(dest_w == self.own, "missing inbox for local worker");
+                let dropped = queue.iter().map(|f| count_frames(f)).sum();
+                queue.clear();
+                return FlushStatus::Closed {
+                    frames_dropped: dropped,
+                };
+            };
+            while !queue.is_empty() {
+                let packet = coalesce(queue);
+                match tx.try_send(packet) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(packet)) => {
+                        queue.push_front(packet);
+                        return FlushStatus::Full;
+                    }
+                    Err(TrySendError::Disconnected(packet)) => {
+                        let dropped = count_frames(&packet)
+                            + queue.iter().map(|f| count_frames(f)).sum::<u64>();
+                        queue.clear();
+                        return FlushStatus::Closed {
+                            frames_dropped: dropped,
+                        };
+                    }
+                }
+            }
+            return FlushStatus::Done;
+        }
+        let peer = server_of(dest_w, self.servers) as usize;
+        let Some(tx) = &self.peers[peer] else {
+            debug_assert!(false, "remote dest mapped to own server");
+            let dropped = queue.iter().map(|f| count_frames(f)).sum();
+            queue.clear();
+            return FlushStatus::Closed {
+                frames_dropped: dropped,
+            };
+        };
+        MeshTransport::flush_wire(tx, dest_w, queue)
+    }
+}
+
+/// Everything needed to (re)spawn a local worker.
+struct NetSpawner {
+    cfg: ServerConfig,
+    shape: Shape,
+    hasher: KeywordHasher,
+    shards: ShardMap,
+    inbox_tx: Vec<Option<SyncSender<Vec<u8>>>>,
+    peer_tx: Vec<Option<SyncSender<Vec<u8>>>>,
+    client_tx: SyncSender<Vec<u8>>,
+    exit_tx: Sender<WorkerExit>,
+}
+
+impl NetSpawner {
+    fn spawn(
+        &self,
+        worker: u32,
+        inbox: Receiver<Vec<u8>>,
+        injector: Option<FaultInjector>,
+        repairing: bool,
+    ) -> JoinHandle<()> {
+        let mut inboxes = self.inbox_tx.clone();
+        inboxes[worker as usize] = None;
+        let transport = MeshTransport {
+            own: worker,
+            servers: self.cfg.servers,
+            server_index: self.cfg.index,
+            total: self.cfg.total_workers as usize,
+            inboxes,
+            peers: self.peer_tx.clone(),
+            client: self.client_tx.clone(),
+        };
+        let ctx = WorkerContext {
+            index: worker,
+            shape: self.shape,
+            hasher: self.hasher,
+            shards: self.shards,
+            injector,
+            repairing,
+        };
+        let exit_tx = self.exit_tx.clone();
+        std::thread::Builder::new()
+            .name(format!("hyperdex-net-worker-{worker}"))
+            .spawn(move || {
+                let exit = run_worker(ctx, Box::new(transport), inbox);
+                let _ = exit_tx.send(exit);
+            })
+            .expect("spawn worker thread")
+    }
+}
+
+/// Reads units off one inbound connection and delivers them to local
+/// worker inboxes. Blocking sends are the backpressure valve: a full
+/// inbox stalls this reader, which stalls the remote writer through
+/// TCP flow control.
+fn reader_loop(
+    mut stream: TcpStream,
+    inbox_tx: Vec<Option<SyncSender<Vec<u8>>>>,
+    journal: Option<Journal>,
+) {
+    let mut dec = StreamDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => n,
+        };
+        dec.push(&chunk[..n]);
+        loop {
+            match dec.next_unit() {
+                Ok(None) => break,
+                Err(_) => return, // corrupt stream: drop the connection
+                Ok(Some(unit)) => {
+                    let Some(tx) = inbox_tx.get(unit.dest as usize).and_then(|t| t.as_ref()) else {
+                        debug_assert!(false, "unit for non-local worker {}", unit.dest);
+                        continue;
+                    };
+                    if let Some(journal) = &journal {
+                        if matches!(
+                            WireMsg::decode_exact(&unit.frame),
+                            Ok(WireMsg::Insert { .. } | WireMsg::Handoff { .. })
+                        ) {
+                            journal
+                                .lock()
+                                .expect("journal lock")
+                                .push((unit.dest, unit.frame.clone()));
+                        }
+                    }
+                    if tx.send(unit.frame).is_err() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Drains a writer queue into one socket, greedily batching everything
+/// queued into a single `write` syscall. Exits when every sender is
+/// gone and the queue is empty (packets queued before disconnect are
+/// still delivered).
+fn writer_loop(rx: Receiver<Vec<u8>>, mut stream: TcpStream) {
+    let mut buf: Vec<u8> = Vec::new();
+    while let Ok(first) = rx.recv() {
+        buf.clear();
+        buf.extend_from_slice(&first);
+        while let Ok(more) = rx.try_recv() {
+            buf.extend_from_slice(&more);
+        }
+        if stream.write_all(&buf).is_err() {
+            return;
+        }
+    }
+}
+
+/// Dials `addr` until the peer's listener answers (peers of a cluster
+/// start concurrently, so the first attempts may race the bind).
+fn dial(addr: &str) -> io::Result<TcpStream> {
+    let mut last = None;
+    for _ in 0..100 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Runs one server to completion: dial the mesh, host the local
+/// shards, supervise crashes, and print the conservation report on
+/// stdout once every local worker has shut down cleanly.
+///
+/// `peer_addrs` lists every server's listen address in cluster order
+/// (including this server's own, which is ignored).
+///
+/// # Errors
+///
+/// Propagates socket errors from the mesh dial; everything after the
+/// fabric is up is handled by supervision.
+pub fn run(cfg: ServerConfig, listener: TcpListener, peer_addrs: &[String]) -> io::Result<()> {
+    let shape = Shape::new(cfg.r).expect("validated r");
+    let hasher = KeywordHasher::new(cfg.r, cfg.seed).expect("validated r");
+    let shards = ShardMap::new(cfg.total_workers.max(1), cfg.seed);
+    let local = local_workers(cfg.total_workers, cfg.servers, cfg.index);
+    let cap = cfg.capacity.max(1);
+
+    // Inboxes for local workers, addressed by global index.
+    let mut inbox_tx: Vec<Option<SyncSender<Vec<u8>>>> =
+        (0..cfg.total_workers).map(|_| None).collect();
+    let mut inbox_rx: HashMap<u32, Receiver<Vec<u8>>> = HashMap::new();
+    for &w in &local {
+        let (tx, rx) = sync_channel::<Vec<u8>>(cap);
+        inbox_tx[w as usize] = Some(tx);
+        inbox_rx.insert(w, rx);
+    }
+
+    // Writer queues: one per remote server, one for the client.
+    let mut peer_tx: Vec<Option<SyncSender<Vec<u8>>>> = (0..cfg.servers).map(|_| None).collect();
+    let mut peer_rx: Vec<Option<Receiver<Vec<u8>>>> = (0..cfg.servers).map(|_| None).collect();
+    for j in 0..cfg.servers {
+        if j != cfg.index {
+            let (tx, rx) = sync_channel::<Vec<u8>>(cap * local.len().max(1));
+            peer_tx[j as usize] = Some(tx);
+            peer_rx[j as usize] = Some(rx);
+        }
+    }
+    let (client_tx, client_rx) = sync_channel::<Vec<u8>>(cap * cfg.total_workers.max(1) as usize);
+
+    let journal: Option<Journal> = cfg
+        .crash
+        .is_some()
+        .then(|| Arc::new(Mutex::new(Vec::new())));
+
+    // Dial the mesh and start one writer per outbound connection.
+    let mut writers: Vec<JoinHandle<()>> = Vec::new();
+    for j in 0..cfg.servers {
+        if j == cfg.index {
+            continue;
+        }
+        let mut stream = dial(&peer_addrs[j as usize])?;
+        stream.set_nodelay(true).ok();
+        stream.write_all(&cfg.index.to_le_bytes())?;
+        let rx = peer_rx[j as usize].take().expect("created above");
+        writers.push(
+            std::thread::Builder::new()
+                .name(format!("hyperdex-net-writer-{}-{j}", cfg.index))
+                .spawn(move || writer_loop(rx, stream))
+                .expect("spawn writer thread"),
+        );
+    }
+
+    // Accept loop: mesh peers get a reader; the client connection gets
+    // a reader plus the client writer (replies flow back on the same
+    // socket).
+    let client_writer: Arc<Mutex<Option<JoinHandle<()>>>> = Arc::new(Mutex::new(None));
+    let pending_client_rx = Arc::new(Mutex::new(Some(client_rx)));
+    {
+        let inbox_tx = inbox_tx.clone();
+        let journal = journal.clone();
+        let client_writer = Arc::clone(&client_writer);
+        std::thread::Builder::new()
+            .name(format!("hyperdex-net-accept-{}", cfg.index))
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    let Ok(mut stream) = conn else { return };
+                    stream.set_nodelay(true).ok();
+                    let mut hello = [0u8; 4];
+                    if stream.read_exact(&mut hello).is_err() {
+                        continue;
+                    }
+                    if u32::from_le_bytes(hello) == CLIENT_DEST {
+                        if let Some(rx) = pending_client_rx.lock().expect("client rx").take() {
+                            let out = stream.try_clone().expect("clone client stream");
+                            let handle = std::thread::Builder::new()
+                                .name("hyperdex-net-client-writer".into())
+                                .spawn(move || writer_loop(rx, out))
+                                .expect("spawn client writer");
+                            *client_writer.lock().expect("writer slot") = Some(handle);
+                        }
+                    }
+                    let inbox_tx = inbox_tx.clone();
+                    let journal = journal.clone();
+                    std::thread::Builder::new()
+                        .name("hyperdex-net-reader".into())
+                        .spawn(move || reader_loop(stream, inbox_tx, journal))
+                        .expect("spawn reader thread");
+                }
+            })
+            .expect("spawn accept thread");
+    }
+
+    // Spawn the local shards.
+    let (exit_tx, exit_rx) = channel::<WorkerExit>();
+    let spawner = NetSpawner {
+        cfg: cfg.clone(),
+        shape,
+        hasher,
+        shards,
+        inbox_tx: inbox_tx.clone(),
+        peer_tx,
+        client_tx,
+        exit_tx,
+    };
+    for &w in &local {
+        let injector = cfg.crash.and_then(|c| {
+            (c.worker == w).then(|| {
+                FaultInjector::new(
+                    FaultPlan::default().crash(c.worker, c.after_query_frames),
+                    w,
+                )
+            })
+        });
+        let rx = inbox_rx.remove(&w).expect("inbox created");
+        spawner.spawn(w, rx, injector, false);
+    }
+    println!("READY");
+    io::stdout().flush().ok();
+
+    // Local supervision: merge exits, respawn + repair crashes.
+    let mut stats: HashMap<u32, WorkerStats> = local
+        .iter()
+        .map(|&w| {
+            (
+                w,
+                WorkerStats {
+                    worker: w,
+                    ..WorkerStats::default()
+                },
+            )
+        })
+        .collect();
+    let mut sup = SupervisorStats::default();
+    let mut exited: Vec<Receiver<Vec<u8>>> = Vec::new();
+    let mut live = local.len();
+    while live > 0 {
+        let Ok(exit) = exit_rx.recv() else { break };
+        let w = exit.stats.worker;
+        stats.get_mut(&w).expect("local worker").merge(&exit.stats);
+        match exit.cause {
+            ExitCause::Clean => {
+                exited.push(exit.inbox);
+                live -= 1;
+            }
+            ExitCause::Crashed => {
+                sup.respawns += 1;
+                // Respawn on the same inbox, then replay this shard's
+                // load frames and release it with RepairDone.
+                let tx = inbox_tx[w as usize].as_ref().expect("local inbox").clone();
+                spawner.spawn(w, exit.inbox, None, true);
+                if let Some(journal) = &journal {
+                    let entries = journal.lock().expect("journal lock");
+                    for (dest, frame) in entries.iter() {
+                        if *dest == w && tx.send(frame.clone()).is_ok() {
+                            sup.frames_sent += 1;
+                            sup.replayed_frames += 1;
+                        }
+                    }
+                }
+                if tx.send(WireMsg::RepairDone { worker: w }.encode()).is_ok() {
+                    sup.frames_sent += 1;
+                }
+            }
+        }
+    }
+    // Every local worker exited: drain their inboxes so conservation
+    // closes, then let the writer threads finish flushing.
+    for rx in &exited {
+        while let Ok(packet) = rx.try_recv() {
+            sup.frames_drained += count_frames(&packet);
+        }
+    }
+    drop(spawner);
+    for handle in writers {
+        let _ = handle.join();
+    }
+    if let Some(handle) = client_writer.lock().expect("writer slot").take() {
+        let _ = handle.join();
+    }
+
+    // Conservation report, parsed by the cluster launcher.
+    let mut lines = String::new();
+    let mut order: Vec<u32> = stats.keys().copied().collect();
+    order.sort_unstable();
+    for w in order {
+        let s = &stats[&w];
+        lines.push_str(&format!(
+            "WSTATS {} {} {} {} {} {} {} {} {} {} {}\n",
+            s.worker,
+            s.frames_sent,
+            s.frames_received,
+            s.backpressure_hits,
+            s.inserts,
+            s.scans,
+            s.queries_coordinated,
+            s.frames_dropped,
+            s.frames_duplicated,
+            s.frames_delayed,
+            s.wakeups,
+        ));
+    }
+    lines.push_str(&format!(
+        "SSTATS {} {} {} {}\nREPORT_END\n",
+        sup.respawns, sup.replayed_frames, sup.frames_sent, sup.frames_drained,
+    ));
+    print!("{lines}");
+    io::stdout().flush().ok();
+    Ok(())
+}
+
+/// Parses one `WSTATS` report line back into [`WorkerStats`].
+pub fn parse_wstats(line: &str) -> Option<WorkerStats> {
+    let mut it = line.strip_prefix("WSTATS ")?.split_whitespace();
+    let mut next = || it.next()?.parse::<u64>().ok();
+    Some(WorkerStats {
+        worker: next()? as u32,
+        frames_sent: next()?,
+        frames_received: next()?,
+        backpressure_hits: next()?,
+        inserts: next()?,
+        scans: next()?,
+        queries_coordinated: next()?,
+        frames_dropped: next()?,
+        frames_duplicated: next()?,
+        frames_delayed: next()?,
+        wakeups: next()?,
+    })
+}
+
+/// Parses one `SSTATS` report line back into [`SupervisorStats`].
+pub fn parse_sstats(line: &str) -> Option<SupervisorStats> {
+    let mut it = line.strip_prefix("SSTATS ")?.split_whitespace();
+    let mut next = || it.next()?.parse::<u64>().ok();
+    Some(SupervisorStats {
+        respawns: next()?,
+        replayed_frames: next()?,
+        frames_sent: next()?,
+        frames_drained: next()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workers_partition_across_servers() {
+        let all: Vec<Vec<u32>> = (0..3).map(|i| local_workers(8, 3, i)).collect();
+        let mut seen: Vec<u32> = all.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u32>>());
+        for (i, workers) in all.iter().enumerate() {
+            for &w in workers {
+                assert_eq!(server_of(w, 3), i as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn report_lines_roundtrip() {
+        let s = WorkerStats {
+            worker: 3,
+            frames_sent: 10,
+            frames_received: 11,
+            backpressure_hits: 1,
+            inserts: 2,
+            scans: 3,
+            queries_coordinated: 4,
+            frames_dropped: 5,
+            frames_duplicated: 6,
+            frames_delayed: 7,
+            wakeups: 8,
+        };
+        let line = format!(
+            "WSTATS {} {} {} {} {} {} {} {} {} {} {}",
+            s.worker,
+            s.frames_sent,
+            s.frames_received,
+            s.backpressure_hits,
+            s.inserts,
+            s.scans,
+            s.queries_coordinated,
+            s.frames_dropped,
+            s.frames_duplicated,
+            s.frames_delayed,
+            s.wakeups,
+        );
+        assert_eq!(parse_wstats(&line).unwrap(), s);
+        let sup = SupervisorStats {
+            respawns: 1,
+            replayed_frames: 2,
+            frames_sent: 3,
+            frames_drained: 4,
+        };
+        assert_eq!(parse_sstats("SSTATS 1 2 3 4").unwrap(), sup);
+        assert!(parse_wstats("WSTATS 1 2").is_none());
+        assert!(parse_sstats("garbage").is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Framing on the TCP wire and the streaming decoder.
+//!
+//! A connection carries a sequence of **units**:
+//!
+//! ```text
+//! [dest u32 LE][body_len u32 LE][tag u8][body]
+//! \-- routing --/\------ WireMsg frame ------/
+//! ```
+//!
+//! The trailing three fields are byte-identical to the in-process
+//! [`WireMsg`] frame (length prefix included), so a unit is just a
+//! frame with a routing header: peel off `dest` and the existing codec
+//! decodes the rest verbatim. `dest` is the global worker index, or
+//! [`CLIENT_DEST`] for client-bound replies.
+//!
+//! TCP gives a byte stream, not messages: one `read` may return half a
+//! header, three units and a torn fourth, or a single byte.
+//! [`StreamDecoder`] is a push-based incremental parser that accepts
+//! arbitrary read fragments and yields complete units — tolerant of
+//! every possible split point, which the robustness suite exercises
+//! exhaustively (every `WireMsg` variant, every byte boundary).
+
+use hyperdex_runtime::wire::{self, WireError};
+
+/// `dest` marking a unit for the client rather than a worker.
+pub const CLIENT_DEST: u32 = u32::MAX;
+
+/// Bytes of the routing header in front of each frame.
+pub const DEST_LEN: usize = 4;
+
+/// Appends one `[dest][frame]` unit to `out`. `frame` must be a
+/// complete encoded [`WireMsg`] (length prefix included).
+pub fn push_unit(out: &mut Vec<u8>, dest: u32, frame: &[u8]) {
+    out.extend_from_slice(&dest.to_le_bytes());
+    out.extend_from_slice(frame);
+}
+
+/// Encodes one unit into a fresh buffer.
+pub fn encode_unit(dest: u32, frame: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(DEST_LEN + frame.len());
+    push_unit(&mut out, dest, frame);
+    out
+}
+
+/// One decoded unit: where it goes and the complete `WireMsg` frame
+/// (length prefix included, ready for `WireMsg::decode_exact`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unit {
+    /// Global worker index, or [`CLIENT_DEST`].
+    pub dest: u32,
+    /// The encoded frame, byte-identical to what the sender encoded.
+    pub frame: Vec<u8>,
+}
+
+/// Incremental unit parser over an arbitrary byte stream.
+///
+/// Feed read fragments with [`StreamDecoder::push`], then drain
+/// complete units with [`StreamDecoder::next_unit`]. Bytes that do not
+/// yet form a complete unit stay buffered; a header that can never be
+/// valid (oversized length) surfaces as an error instead of a stall or
+/// a panic.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so every unit does
+    /// not trigger a memmove of the remainder.
+    start: usize,
+}
+
+impl StreamDecoder {
+    /// An empty decoder.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder::default()
+    }
+
+    /// Appends one read fragment (any length, including empty).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as units.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete unit, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] when the header announces a body larger
+    /// than [`wire::MAX_BODY_LEN`] — the stream is corrupt and cannot
+    /// be resynchronized.
+    pub fn next_unit(&mut self) -> Result<Option<Unit>, WireError> {
+        let pending = &self.buf[self.start..];
+        let header = DEST_LEN + wire::PREFIX_LEN;
+        if pending.len() < header {
+            return Ok(None);
+        }
+        let dest = u32::from_le_bytes(pending[..DEST_LEN].try_into().expect("4 bytes"));
+        let body_len = u32::from_le_bytes(pending[DEST_LEN..header].try_into().expect("4 bytes"));
+        if body_len > wire::MAX_BODY_LEN {
+            return Err(WireError::Oversized { len: body_len });
+        }
+        let unit_len = header + body_len as usize;
+        if pending.len() < unit_len {
+            return Ok(None);
+        }
+        let frame = pending[DEST_LEN..unit_len].to_vec();
+        self.start += unit_len;
+        Ok(Some(Unit { dest, frame }))
+    }
+
+    /// Reclaims consumed bytes once they dominate the buffer.
+    fn compact(&mut self) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperdex_runtime::wire::WireMsg;
+
+    #[test]
+    fn decodes_units_fed_one_byte_at_a_time() {
+        let frame = WireMsg::Flush { token: 77 }.encode();
+        let unit = encode_unit(3, &frame);
+        let mut dec = StreamDecoder::new();
+        for (i, b) in unit.iter().enumerate() {
+            dec.push(&[*b]);
+            let got = dec.next_unit().unwrap();
+            if i + 1 < unit.len() {
+                assert!(got.is_none(), "unit complete early at byte {i}");
+            } else {
+                let got = got.expect("complete");
+                assert_eq!(got.dest, 3);
+                assert_eq!(got.frame, frame);
+            }
+        }
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decodes_many_units_from_one_fragment() {
+        let mut stream = Vec::new();
+        for token in 0..5u64 {
+            push_unit(
+                &mut stream,
+                token as u32,
+                &WireMsg::Flush { token }.encode(),
+            );
+        }
+        let mut dec = StreamDecoder::new();
+        dec.push(&stream);
+        for token in 0..5u64 {
+            let unit = dec.next_unit().unwrap().expect("buffered");
+            assert_eq!(unit.dest, token as u32);
+            assert_eq!(
+                WireMsg::decode_exact(&unit.frame).unwrap(),
+                WireMsg::Flush { token }
+            );
+        }
+        assert!(dec.next_unit().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_is_an_error_not_a_stall() {
+        let mut dec = StreamDecoder::new();
+        let mut bad = 0u32.to_le_bytes().to_vec();
+        bad.extend_from_slice(&(wire::MAX_BODY_LEN + 1).to_le_bytes());
+        bad.push(0);
+        dec.push(&bad);
+        assert!(matches!(dec.next_unit(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn compaction_does_not_lose_a_torn_unit() {
+        let frame = WireMsg::Flush { token: 1 }.encode();
+        let unit = encode_unit(0, &frame);
+        let mut dec = StreamDecoder::new();
+        // Thousands of whole units (forces compaction), then a torn one
+        // split across pushes.
+        let mut stream = Vec::new();
+        for _ in 0..2000 {
+            stream.extend_from_slice(&unit);
+        }
+        dec.push(&stream);
+        let mut n = 0;
+        while dec.next_unit().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 2000);
+        dec.push(&unit[..5]);
+        assert!(dec.next_unit().unwrap().is_none());
+        dec.push(&unit[5..]);
+        let got = dec.next_unit().unwrap().expect("reassembled");
+        assert_eq!(got.frame, frame);
+    }
+}

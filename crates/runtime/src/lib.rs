@@ -23,9 +23,13 @@
 //! * [`shard`] — pure, seeded vertex → worker ownership.
 //! * [`fault`] — deterministic fault plans and the per-worker
 //!   injector.
-//! * [`runtime`] — worker event loops, the client handle, the
-//!   supervisor, the flush barrier, the shutdown/conservation
-//!   protocol.
+//! * [`transport`] — the fabric abstraction ([`Transport`]) with the
+//!   bounded-channel implementation and packet coalescing helpers;
+//!   `hyperdex-net` plugs a TCP mesh into the same trait.
+//! * [`worker`] — the shard-owning event loop, transport-agnostic so
+//!   the same code runs in-process and inside a server binary.
+//! * [`runtime`] — the client handle, the supervisor, the flush
+//!   barrier, the shutdown/conservation protocol.
 //! * [`parity`] — the runtime vs. simulator vs. direct-engine parity
 //!   harness used by tests and the `runtime` bench, including faulted
 //!   executions.
@@ -49,13 +53,17 @@ pub mod fault;
 pub mod parity;
 pub mod runtime;
 pub mod shard;
+pub mod transport;
 pub mod wire;
+pub mod worker;
 
 pub use fault::{CrashPoint, Fate, FaultInjector, FaultPlan};
 pub use parity::{assert_fault_parity, assert_sim_parity, FaultParityReport, ParityReport};
 pub use runtime::{
     BatchResult, FtSearchOptions, FtSearchOutcome, NodeRuntime, Request, RuntimeConfig,
-    RuntimeMatch, ShutdownReport, SupervisorStats, WorkerStats,
+    RuntimeMatch, ShutdownReport, SupervisorStats,
 };
 pub use shard::ShardMap;
+pub use transport::{coalesce, count_frames, take_frame, ChannelTransport, FlushStatus, Transport};
 pub use wire::{WireError, WireMsg};
+pub use worker::{run_worker, ExitCause, WorkerContext, WorkerExit, WorkerStats};

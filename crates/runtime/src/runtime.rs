@@ -72,23 +72,18 @@
 //! still buffered on an inbox after its worker exited. The parity
 //! harness and the bench assert it on every run, faulted or not.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
-use std::sync::mpsc::{
-    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
-};
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hyperdex_core::protocol::{scan_table, Step, SupersetCoordinator};
-use hyperdex_core::{
-    CoverageReport, Error, FtCmd, FtCoordinator, FtPolicy, IndexTable, KeywordHasher,
-    KeywordInterner, KeywordSet, ObjectId, RecoveryStrategy,
-};
-use hyperdex_hypercube::{Shape, Vertex};
+use hyperdex_core::{CoverageReport, Error, KeywordHasher, KeywordSet, ObjectId, RecoveryStrategy};
+use hyperdex_hypercube::Shape;
 
-use crate::fault::{Fate, FaultInjector, FaultPlan};
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::transport::{count_frames, take_frame, ChannelTransport};
+use crate::worker::{run_worker, ExitCause, WorkerContext, WorkerExit, WorkerStats};
 
 /// The insert journal: `(vertex bits, encoded frame)` per applied
 /// insert, shared between the client handle and the supervisor so a
@@ -131,56 +126,6 @@ impl RuntimeConfig {
     pub fn channel_capacity(mut self, frames: usize) -> RuntimeConfig {
         self.channel_capacity = frames.max(1);
         self
-    }
-}
-
-/// One worker's lifetime counters, returned when its thread exits.
-/// After a crash the supervisor merges the counters of every
-/// incarnation of the shard into one entry.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct WorkerStats {
-    /// The worker's shard index.
-    pub worker: u32,
-    /// Frames this worker decided to send (logical sends, before the
-    /// fault injector rolled their fate).
-    pub frames_sent: u64,
-    /// Frames received and decoded from the inbox.
-    pub frames_received: u64,
-    /// `try_send` rejections that parked a frame in an outbox.
-    pub backpressure_hits: u64,
-    /// Objects newly indexed on this shard.
-    pub inserts: u64,
-    /// Vertex scans served (local visits, `T_QUERY`s, and pins).
-    pub scans: u64,
-    /// Superset queries this worker coordinated (sequential + FT).
-    pub queries_coordinated: u64,
-    /// Frames the injector dropped, plus delay-stash remnants and
-    /// outbox/stash frames lost in a crash.
-    pub frames_dropped: u64,
-    /// Frames the injector delivered twice (counted once per extra
-    /// copy).
-    pub frames_duplicated: u64,
-    /// Frames the injector stashed behind a later send.
-    pub frames_delayed: u64,
-    /// Timed `recv` polls that expired without a frame. Zero on an
-    /// idle worker — idleness blocks, it doesn't spin.
-    pub wakeups: u64,
-}
-
-impl WorkerStats {
-    /// Folds another incarnation's counters into this entry.
-    fn merge(&mut self, other: &WorkerStats) {
-        debug_assert_eq!(self.worker, other.worker);
-        self.frames_sent += other.frames_sent;
-        self.frames_received += other.frames_received;
-        self.backpressure_hits += other.backpressure_hits;
-        self.inserts += other.inserts;
-        self.scans += other.scans;
-        self.queries_coordinated += other.queries_coordinated;
-        self.frames_dropped += other.frames_dropped;
-        self.frames_duplicated += other.frames_duplicated;
-        self.frames_delayed += other.frames_delayed;
-        self.wakeups += other.wakeups;
     }
 }
 
@@ -351,6 +296,8 @@ pub struct NodeRuntime {
     shards: ShardMap,
     to_worker: Vec<SyncSender<Vec<u8>>>,
     inbox: Receiver<Vec<u8>>,
+    /// Frames decoded out of a multi-frame packet, ahead of the inbox.
+    pending: VecDeque<WireMsg>,
     supervisor_tx: Sender<SupervisorEvent>,
     supervisor: Option<JoinHandle<(Vec<WorkerStats>, SupervisorStats)>>,
     journal: Option<Journal>,
@@ -428,6 +375,7 @@ impl NodeRuntime {
             shards,
             to_worker: worker_tx,
             inbox: client_rx,
+            pending: VecDeque::new(),
             supervisor_tx: event_tx,
             supervisor: Some(supervisor),
             journal,
@@ -786,8 +734,8 @@ impl NodeRuntime {
         // Drain stragglers buffered on the client inbox (none are
         // expected after the barrier, but every frame must be counted
         // for conservation to be exact).
-        while inbox.recv().is_ok() {
-            client_received += 1;
+        while let Ok(packet) = inbox.recv() {
+            client_received += count_frames(&packet);
         }
         ShutdownReport {
             client_sent,
@@ -816,23 +764,42 @@ impl NodeRuntime {
         self.client_sent += 1;
     }
 
+    /// Splits a fabric packet (one or more coalesced frames) into the
+    /// pending queue, counting every logical frame as received.
+    fn absorb_packet(&mut self, packet: &[u8]) {
+        let mut rest = packet;
+        while !rest.is_empty() {
+            let (frame, tail) = take_frame(rest).expect("workers emit well-formed frames");
+            rest = tail;
+            self.client_received += 1;
+            self.pending
+                .push_back(WireMsg::decode_exact(frame).expect("workers emit well-formed frames"));
+        }
+    }
+
     fn recv_frame(&mut self) -> WireMsg {
-        let frame = self.inbox.recv().expect("worker threads alive");
-        self.client_received += 1;
-        WireMsg::decode_exact(&frame).expect("workers emit well-formed frames")
+        loop {
+            if let Some(msg) = self.pending.pop_front() {
+                return msg;
+            }
+            let packet = self.inbox.recv().expect("worker threads alive");
+            self.absorb_packet(&packet);
+        }
     }
 
     fn recv_frame_within(&mut self, deadline: Instant) -> Option<WireMsg> {
-        let wait = deadline.saturating_duration_since(Instant::now());
-        if wait.is_zero() {
-            return None;
-        }
-        match self.inbox.recv_timeout(wait) {
-            Ok(frame) => {
-                self.client_received += 1;
-                Some(WireMsg::decode_exact(&frame).expect("workers emit well-formed frames"))
+        loop {
+            if let Some(msg) = self.pending.pop_front() {
+                return Some(msg);
             }
-            Err(_) => None,
+            let wait = deadline.saturating_duration_since(Instant::now());
+            if wait.is_zero() {
+                return None;
+            }
+            match self.inbox.recv_timeout(wait) {
+                Ok(packet) => self.absorb_packet(&packet),
+                Err(_) => return None,
+            }
         }
     }
 }
@@ -864,53 +831,23 @@ impl Spawner {
             .map(|(j, tx)| (j != index as usize).then(|| tx.clone()))
             .chain(std::iter::once(Some(self.client_tx.clone())))
             .collect();
-        let worker = Worker {
+        let ctx = WorkerContext {
             index,
             shape: self.shape,
             hasher: self.hasher,
             shards: self.shards,
-            tables: HashMap::new(),
-            interner: KeywordInterner::new(),
-            outbox: (0..links.len()).map(|_| VecDeque::new()).collect(),
-            stash: (0..links.len()).map(|_| VecDeque::new()).collect(),
-            links,
-            queries: HashMap::new(),
-            ft_queries: HashMap::new(),
-            timers: BinaryHeap::new(),
-            timer_seq: 0,
             injector,
-            repair: repairing.then(Vec::new),
-            stats: WorkerStats {
-                worker: index,
-                ..WorkerStats::default()
-            },
+            repairing,
         };
         let event_tx = self.event_tx.clone();
         std::thread::Builder::new()
             .name(format!("hyperdex-worker-{index}"))
             .spawn(move || {
-                let exit = worker.run(inbox);
+                let exit = run_worker(ctx, Box::new(ChannelTransport::new(links)), inbox);
                 let _ = event_tx.send(SupervisorEvent::Exited(exit));
             })
             .expect("spawn worker thread")
     }
-}
-
-/// Why a worker's event loop returned.
-enum ExitCause {
-    /// Processed `Shutdown` and flushed everything.
-    Clean,
-    /// Hit a scheduled crash point; in-memory state is gone.
-    Crashed,
-}
-
-/// A worker's parting message to the supervisor. The inbox `Receiver`
-/// rides along so the channel never disconnects: a respawned worker
-/// resumes the same address, and peers' `try_send`s keep landing.
-struct WorkerExit {
-    cause: ExitCause,
-    stats: WorkerStats,
-    inbox: Receiver<Vec<u8>>,
 }
 
 enum SupervisorEvent {
@@ -1008,8 +945,8 @@ fn supervise(
         }
         if shutting {
             for rx in exited.iter().flatten() {
-                while rx.try_recv().is_ok() {
-                    sup.frames_drained += 1;
+                while let Ok(packet) = rx.try_recv() {
+                    sup.frames_drained += count_frames(&packet);
                 }
             }
         }
@@ -1017,624 +954,11 @@ fn supervise(
     // All workers have exited: nothing can still be sending. One final
     // sweep closes the books.
     for rx in exited.iter().flatten() {
-        while rx.try_recv().is_ok() {
-            sup.frames_drained += 1;
+        while let Ok(packet) = rx.try_recv() {
+            sup.frames_drained += count_frames(&packet);
         }
     }
     (stats, sup)
-}
-
-/// In-progress sequential query on its coordinator worker.
-#[derive(Debug)]
-struct QueryState {
-    coord: SupersetCoordinator,
-    results: Vec<(u64, u32)>,
-    threshold: usize,
-}
-
-/// In-progress fault-tolerant query on its coordinator worker. Wraps
-/// the shared sans-I/O [`FtCoordinator`] machine; the worker supplies
-/// transport, wall-clock timers, local scans, and result dedup.
-struct FtQueryState {
-    core: FtCoordinator,
-    results: Vec<(u64, u32)>,
-    seen: HashSet<u64>,
-    threshold: usize,
-    /// Current timer generation per pending vertex; a heap entry whose
-    /// generation no longer matches is stale (cancelled or retried).
-    timer_gen: HashMap<u64, u64>,
-    conts: u64,
-    result_messages: u64,
-}
-
-impl FtQueryState {
-    /// Records scan results, deduplicating by object id (duplicate
-    /// frame delivery must not double-count toward the threshold —
-    /// mirrors the simulator's `ft_record`).
-    fn record(&mut self, objects: Vec<(u64, u32)>) -> usize {
-        let mut added = 0;
-        for (raw, extra) in objects {
-            if self.seen.insert(raw) {
-                self.results.push((raw, extra));
-                added += 1;
-            }
-        }
-        added
-    }
-}
-
-/// One shard-owning thread. `links[0..W]` address fellow workers
-/// (`None` at the worker's own slot), `links[W]` the client.
-struct Worker {
-    index: u32,
-    shape: Shape,
-    hasher: KeywordHasher,
-    shards: ShardMap,
-    tables: HashMap<u64, IndexTable>,
-    interner: KeywordInterner,
-    links: Vec<Option<SyncSender<Vec<u8>>>>,
-    outbox: Vec<VecDeque<Vec<u8>>>,
-    /// Injector-delayed frames, per destination; released behind the
-    /// next same-destination send.
-    stash: Vec<VecDeque<Vec<u8>>>,
-    queries: HashMap<u64, QueryState>,
-    ft_queries: HashMap<u64, FtQueryState>,
-    /// `(deadline, query_id, vertex bits, generation)` — min-heap by
-    /// deadline.
-    timers: BinaryHeap<Reverse<(Instant, u64, u64, u64)>>,
-    timer_seq: u64,
-    injector: Option<FaultInjector>,
-    /// `Some` while repairing after a respawn: parked frames awaiting
-    /// `RepairDone`.
-    repair: Option<Vec<WireMsg>>,
-    stats: WorkerStats,
-}
-
-impl Worker {
-    fn client_slot(&self) -> usize {
-        self.links.len() - 1
-    }
-
-    fn run(mut self, inbox: Receiver<Vec<u8>>) -> WorkerExit {
-        let mut shutting_down = false;
-        loop {
-            self.fire_expired_timers();
-            self.flush_outboxes();
-            if shutting_down && self.outboxes_empty() {
-                break;
-            }
-            // Pick the cheapest wait that can't stall anything: poll
-            // only while parked frames need re-flushing, sleep until
-            // the earliest FT deadline when one is armed, and block
-            // outright when idle (zero wakeups, zero CPU).
-            let recv = if !self.outboxes_empty() || shutting_down {
-                inbox.recv_timeout(Duration::from_millis(1))
-            } else if let Some(deadline) = self.next_timer_deadline() {
-                let wait = deadline.saturating_duration_since(Instant::now());
-                if wait.is_zero() {
-                    continue;
-                }
-                inbox.recv_timeout(wait)
-            } else {
-                inbox.recv().map_err(|_| RecvTimeoutError::Disconnected)
-            };
-            let frame = match recv {
-                Ok(frame) => frame,
-                Err(RecvTimeoutError::Timeout) => {
-                    self.stats.wakeups += 1;
-                    continue;
-                }
-                Err(RecvTimeoutError::Disconnected) => break,
-            };
-            self.stats.frames_received += 1;
-            let msg = WireMsg::decode_exact(&frame).expect("runtime peers emit well-formed frames");
-            if matches!(msg, WireMsg::Shutdown) {
-                shutting_down = true;
-                // Delayed frames still stashed will never be released;
-                // account them as dropped so conservation closes.
-                self.abandon_stash();
-                continue;
-            }
-            if self.is_query_path(&msg)
-                && self
-                    .injector
-                    .as_mut()
-                    .is_some_and(FaultInjector::should_crash)
-            {
-                return self.crash(inbox);
-            }
-            if let Some(parked) = self.repair.as_mut() {
-                match msg {
-                    WireMsg::RepairDone { worker } => {
-                        debug_assert_eq!(worker, self.index, "misrouted RepairDone");
-                        let backlog = self.repair.take().expect("repair mode");
-                        for parked_msg in backlog {
-                            self.handle(parked_msg);
-                        }
-                    }
-                    // Load frames restore state — exactly what repair
-                    // is replaying — and are idempotent; apply them.
-                    WireMsg::Insert { .. } | WireMsg::Handoff { .. } => self.handle(msg),
-                    other => parked.push(other),
-                }
-                continue;
-            }
-            self.handle(msg);
-        }
-        self.abandon_stash();
-        WorkerExit {
-            cause: ExitCause::Clean,
-            stats: self.stats,
-            inbox,
-        }
-    }
-
-    /// Crash-stop: everything in memory is lost. Frames parked in
-    /// outboxes or the delay stash were promised to the network but
-    /// will never leave — count them dropped so conservation closes.
-    fn crash(mut self, inbox: Receiver<Vec<u8>>) -> WorkerExit {
-        let lost: usize = self.outbox.iter().map(VecDeque::len).sum::<usize>()
-            + self.stash.iter().map(VecDeque::len).sum::<usize>();
-        self.stats.frames_dropped += lost as u64;
-        WorkerExit {
-            cause: ExitCause::Crashed,
-            stats: self.stats,
-            inbox,
-        }
-    }
-
-    /// Frames that count toward a crash point: the traversal and
-    /// lookup path, not loads or control.
-    fn is_query_path(&self, msg: &WireMsg) -> bool {
-        matches!(
-            msg,
-            WireMsg::Query { .. }
-                | WireMsg::FtQuery { .. }
-                | WireMsg::TQuery { .. }
-                | WireMsg::TCont { .. }
-                | WireMsg::Pin { .. }
-        )
-    }
-
-    fn handle(&mut self, msg: WireMsg) {
-        match msg {
-            WireMsg::Insert { object, keywords } => {
-                let kw = self.interner.intern(keywords);
-                let bits = self.hasher.vertex_for(&kw).bits();
-                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted insert");
-                if self
-                    .tables
-                    .entry(bits)
-                    .or_default()
-                    .insert_arc(kw, ObjectId::from_raw(object))
-                {
-                    self.stats.inserts += 1;
-                }
-            }
-            WireMsg::Handoff { bits, entries } => {
-                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted handoff");
-                let table = self.tables.entry(bits).or_default();
-                for (set, objects) in entries {
-                    let kw = self.interner.intern(set);
-                    for raw in objects {
-                        if table.insert_arc(Arc::clone(&kw), ObjectId::from_raw(raw)) {
-                            self.stats.inserts += 1;
-                        }
-                    }
-                }
-            }
-            WireMsg::Query {
-                query_id,
-                keywords,
-                threshold,
-            } => {
-                self.stats.queries_coordinated += 1;
-                let kw = self.interner.intern(keywords);
-                let root = self.hasher.vertex_for(&kw);
-                debug_assert_eq!(
-                    self.shards.owner_of(root.bits()),
-                    self.index,
-                    "query routed to a non-root worker"
-                );
-                let mut state = QueryState {
-                    coord: SupersetCoordinator::new(root, kw, threshold as usize),
-                    results: Vec::new(),
-                    threshold: threshold as usize,
-                };
-                if !self.drive(query_id, &mut state) {
-                    self.queries.insert(query_id, state);
-                }
-            }
-            WireMsg::FtQuery {
-                query_id,
-                keywords,
-                threshold,
-                strategy,
-                max_retries,
-                base_timeout_ms,
-            } => {
-                self.stats.queries_coordinated += 1;
-                let kw = self.interner.intern(keywords);
-                let root = self.hasher.vertex_for(&kw);
-                debug_assert_eq!(
-                    self.shards.owner_of(root.bits()),
-                    self.index,
-                    "FT query routed to a non-root worker"
-                );
-                let mut state = FtQueryState {
-                    core: FtCoordinator::new(
-                        root,
-                        kw,
-                        threshold.max(1) as usize,
-                        FtPolicy {
-                            strategy,
-                            max_retries,
-                            base_timeout: base_timeout_ms.max(1),
-                        },
-                    ),
-                    results: Vec::new(),
-                    seen: HashSet::new(),
-                    threshold: threshold.max(1) as usize,
-                    timer_gen: HashMap::new(),
-                    conts: 0,
-                    result_messages: 0,
-                };
-                let mut cmds = Vec::new();
-                state.core.start(&mut cmds);
-                self.ft_exec(query_id, &mut state, cmds);
-                self.ft_settle(query_id, state);
-            }
-            WireMsg::TQuery {
-                query_id,
-                bits,
-                keywords,
-                remaining,
-                via_dim,
-                coord,
-            } => {
-                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted T_QUERY");
-                self.stats.scans += 1;
-                let found = scan_table(self.tables.get(&bits), &keywords, remaining as usize);
-                let vertex =
-                    Vertex::from_bits(self.shape, bits).expect("coordinators stay in the cube");
-                // Lemma 3.2: children derive from bits + arrival dim.
-                let children = SupersetCoordinator::children_of(vertex, via_dim);
-                let objects = found
-                    .iter()
-                    .map(|r| (r.object.raw(), r.extra_keywords))
-                    .collect();
-                self.send(
-                    coord as usize,
-                    &WireMsg::TCont {
-                        query_id,
-                        bits,
-                        objects,
-                        children,
-                    },
-                );
-            }
-            WireMsg::TCont {
-                query_id,
-                bits,
-                objects,
-                children,
-            } => {
-                if let Some(mut state) = self.ft_queries.remove(&query_id) {
-                    state.conts += 1;
-                    let added = state.record(objects);
-                    if added > 0 {
-                        state.result_messages += 1;
-                    }
-                    let mut cmds = Vec::new();
-                    state
-                        .core
-                        .on_reply(bits, added, &children, |_, _| false, &mut cmds);
-                    self.ft_exec(query_id, &mut state, cmds);
-                    self.ft_settle(query_id, state);
-                } else if let Some(mut state) = self.queries.remove(&query_id) {
-                    let found = objects.len();
-                    state.results.extend(objects);
-                    state.coord.record_visit(found, children);
-                    if !self.drive(query_id, &mut state) {
-                        self.queries.insert(query_id, state);
-                    }
-                }
-                // else: a duplicate or post-completion continuation —
-                // injected faults make these normal; drop it.
-            }
-            WireMsg::Pin { query_id, keywords } => {
-                self.stats.scans += 1;
-                let bits = self.hasher.vertex_for(&keywords).bits();
-                debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted pin");
-                let objects = self
-                    .tables
-                    .get(&bits)
-                    .map(|t| t.objects_with(&keywords).map(|o| o.raw()).collect())
-                    .unwrap_or_default();
-                let client = self.client_slot();
-                self.send(client, &WireMsg::PinResults { query_id, objects });
-            }
-            WireMsg::Flush { token } => {
-                let client = self.client_slot();
-                let worker = self.index;
-                self.send(client, &WireMsg::FlushAck { token, worker });
-            }
-            // A RepairDone outside repair mode is a duplicate (repair
-            // frames are reliable, so this should not happen).
-            WireMsg::RepairDone { .. } => {
-                debug_assert!(false, "RepairDone outside repair mode");
-            }
-            // Client-bound and control frames never reach a worker's
-            // handler (Shutdown is intercepted in the loop).
-            WireMsg::QueryDone { .. }
-            | WireMsg::FtQueryDone { .. }
-            | WireMsg::PinResults { .. }
-            | WireMsg::FlushAck { .. } => {
-                debug_assert!(false, "client-bound frame delivered to a worker");
-            }
-            WireMsg::Shutdown => unreachable!("intercepted by the event loop"),
-        }
-    }
-
-    /// Advances one sequential query until it finishes (results to the
-    /// client; returns `true`) or suspends on a remote visit
-    /// (`T_QUERY` sent; returns `false`).
-    fn drive(&mut self, query_id: u64, state: &mut QueryState) -> bool {
-        loop {
-            match state.coord.next_step() {
-                Step::Finished => {
-                    state.results.truncate(state.threshold);
-                    let objects = std::mem::take(&mut state.results);
-                    let client = self.client_slot();
-                    self.send(client, &WireMsg::QueryDone { query_id, objects });
-                    return true;
-                }
-                Step::Visit { bits, via_dim } => {
-                    let owner = self.shards.owner_of(bits);
-                    if owner == self.index {
-                        self.stats.scans += 1;
-                        let found = scan_table(
-                            self.tables.get(&bits),
-                            state.coord.keywords(),
-                            state.coord.remaining(),
-                        );
-                        let vertex =
-                            Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
-                        let count = found.len();
-                        state
-                            .results
-                            .extend(found.iter().map(|r| (r.object.raw(), r.extra_keywords)));
-                        state
-                            .coord
-                            .record_visit(count, SupersetCoordinator::children_of(vertex, via_dim));
-                    } else {
-                        let keywords: KeywordSet = (**state.coord.keywords()).clone();
-                        self.send(
-                            owner as usize,
-                            &WireMsg::TQuery {
-                                query_id,
-                                bits,
-                                keywords,
-                                remaining: state.coord.remaining() as u64,
-                                via_dim,
-                                coord: self.index,
-                            },
-                        );
-                        return false;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Executes a batch of [`FtCmd`]s from the shared machine: local
-    /// scans run inline (their replies may emit more commands, hence
-    /// the work queue), remote visits become `T_QUERY` frames with a
-    /// wall-clock deadline.
-    fn ft_exec(&mut self, query_id: u64, state: &mut FtQueryState, cmds: Vec<FtCmd>) {
-        let mut queue: VecDeque<FtCmd> = cmds.into();
-        while let Some(cmd) = queue.pop_front() {
-            match cmd {
-                // The runtime's requester is the client, which cannot
-                // coordinate; and the root scan is always local to this
-                // worker, so the root can never time out here.
-                FtCmd::Promote => debug_assert!(false, "root cannot die on its own coordinator"),
-                FtCmd::Cancel { bits } => {
-                    state.timer_gen.remove(&bits);
-                }
-                FtCmd::Send {
-                    bits,
-                    via_dim,
-                    attempt: _,
-                    timeout,
-                } => {
-                    let owner = self.shards.owner_of(bits);
-                    if owner == self.index {
-                        self.stats.scans += 1;
-                        let kw = Arc::clone(state.core.keywords());
-                        let found = scan_table(self.tables.get(&bits), &kw, state.core.remaining());
-                        let vertex =
-                            Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
-                        let added = state.record(
-                            found
-                                .iter()
-                                .map(|r| (r.object.raw(), r.extra_keywords))
-                                .collect(),
-                        );
-                        let children = SupersetCoordinator::children_of(vertex, via_dim);
-                        let mut more = Vec::new();
-                        state
-                            .core
-                            .on_reply(bits, added, &children, |_, _| false, &mut more);
-                        queue.extend(more);
-                    } else {
-                        let keywords: KeywordSet = (**state.core.keywords()).clone();
-                        self.send(
-                            owner as usize,
-                            &WireMsg::TQuery {
-                                query_id,
-                                bits,
-                                keywords,
-                                remaining: state.core.remaining() as u64,
-                                via_dim,
-                                coord: self.index,
-                            },
-                        );
-                        if let Some(ms) = timeout {
-                            self.timer_seq += 1;
-                            let gen = self.timer_seq;
-                            state.timer_gen.insert(bits, gen);
-                            self.timers.push(Reverse((
-                                Instant::now() + Duration::from_millis(ms),
-                                query_id,
-                                bits,
-                                gen,
-                            )));
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Re-files an in-progress FT query, or completes it when nothing
-    /// is left in flight.
-    fn ft_settle(&mut self, query_id: u64, mut state: FtQueryState) {
-        if state.core.in_flight() > 0 {
-            self.ft_queries.insert(query_id, state);
-            return;
-        }
-        let cov = state.core.finish();
-        state.results.truncate(state.threshold);
-        let client = self.client_slot();
-        self.send(
-            client,
-            &WireMsg::FtQueryDone {
-                query_id,
-                objects: state.results,
-                subcube: cov.subcube_vertices,
-                reached: cov.reached,
-                retries: cov.retries,
-                timeouts: cov.timeouts,
-                redelegations: cov.redelegations,
-                queries_sent: cov.queries_sent,
-                conts: state.conts,
-                result_messages: state.result_messages,
-                skipped: cov.skipped,
-            },
-        );
-    }
-
-    fn next_timer_deadline(&self) -> Option<Instant> {
-        self.timers.peek().map(|Reverse((deadline, ..))| *deadline)
-    }
-
-    /// Fires every expired FT deadline through the shared machine.
-    /// Heap entries whose generation no longer matches the query's
-    /// current one are stale (answered or already retried) and skip.
-    fn fire_expired_timers(&mut self) {
-        loop {
-            let now = Instant::now();
-            match self.timers.peek() {
-                Some(Reverse((deadline, ..))) if *deadline <= now => {}
-                _ => return,
-            }
-            let Reverse((_, query_id, bits, gen)) = self.timers.pop().expect("peeked");
-            let Some(mut state) = self.ft_queries.remove(&query_id) else {
-                continue;
-            };
-            if state.timer_gen.get(&bits) != Some(&gen) {
-                self.ft_queries.insert(query_id, state);
-                continue;
-            }
-            state.timer_gen.remove(&bits);
-            let mut cmds = Vec::new();
-            state.core.on_timeout(bits, |_, _| false, &mut cmds);
-            self.ft_exec(query_id, &mut state, cmds);
-            self.ft_settle(query_id, state);
-        }
-    }
-
-    /// Queues one frame for `dest`, rolling its fate when the fault
-    /// injector covers it (worker→worker traversal frames only).
-    fn send(&mut self, dest: usize, msg: &WireMsg) {
-        self.stats.frames_sent += 1;
-        let frame = msg.encode();
-        let injectable = dest != self.client_slot()
-            && matches!(msg, WireMsg::TQuery { .. } | WireMsg::TCont { .. });
-        if injectable {
-            if let Some(injector) = &mut self.injector {
-                match injector.fate(dest as u32) {
-                    Fate::Deliver => {}
-                    Fate::Drop => {
-                        self.stats.frames_dropped += 1;
-                        return;
-                    }
-                    Fate::Duplicate => {
-                        self.stats.frames_duplicated += 1;
-                        self.outbox[dest].push_back(frame.clone());
-                    }
-                    Fate::Delay => {
-                        self.stats.frames_delayed += 1;
-                        self.stash[dest].push_back(frame);
-                        return;
-                    }
-                }
-            }
-        }
-        self.outbox[dest].push_back(frame);
-        // A delivered frame releases anything stashed for this
-        // destination *behind* it — delay == reorder.
-        while let Some(stashed) = self.stash[dest].pop_front() {
-            self.outbox[dest].push_back(stashed);
-        }
-        self.flush_outbox(dest);
-    }
-
-    /// Writes off frames still sitting in the delay stash (shutdown or
-    /// crash): they were counted as sent but will never travel.
-    fn abandon_stash(&mut self) {
-        let stranded: usize = self.stash.iter().map(VecDeque::len).sum();
-        self.stats.frames_dropped += stranded as u64;
-        for q in &mut self.stash {
-            q.clear();
-        }
-    }
-
-    fn flush_outboxes(&mut self) {
-        for dest in 0..self.outbox.len() {
-            self.flush_outbox(dest);
-        }
-    }
-
-    fn flush_outbox(&mut self, dest: usize) {
-        let Some(tx) = &self.links[dest] else {
-            debug_assert!(self.outbox[dest].is_empty(), "frames addressed to self");
-            return;
-        };
-        while let Some(frame) = self.outbox[dest].pop_front() {
-            match tx.try_send(frame) {
-                Ok(()) => {}
-                Err(TrySendError::Full(frame)) => {
-                    // Bounded channel pushed back: park the frame and
-                    // retry on the next loop iteration.
-                    self.stats.backpressure_hits += 1;
-                    self.outbox[dest].push_front(frame);
-                    return;
-                }
-                Err(TrySendError::Disconnected(_)) => {
-                    // Only possible after the barrier, when no protocol
-                    // frame can still be pending; drop silently.
-                    debug_assert!(false, "send to a disconnected endpoint");
-                    return;
-                }
-            }
-        }
-    }
-
-    fn outboxes_empty(&self) -> bool {
-        self.outbox.iter().all(VecDeque::is_empty)
-    }
 }
 
 #[cfg(test)]
