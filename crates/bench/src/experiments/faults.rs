@@ -32,7 +32,7 @@ use std::time::Instant;
 use hyperdex_core::{
     HypercubeIndex, KeywordHasher, KeywordSet, ObjectId, RecoveryStrategy, SupersetQuery,
 };
-use hyperdex_runtime::{FaultPlan, FtSearchOptions, NodeRuntime, RuntimeConfig, ShardMap};
+use hyperdex_runtime::{FaultPlan, FtSearchOptions, NodeRuntime, RuntimeConfig};
 use hyperdex_workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};
 
 use crate::report::{f, json_series, section, Table};
@@ -173,10 +173,13 @@ pub fn run(ctx: &SharedContext) -> Vec<FaultsRow> {
         .collect();
 
     // The crash victim provably owns indexed state: the home vertex of
-    // the first corpus object.
+    // the first corpus object, located under the placement policy the
+    // runtime will actually use.
     let hasher = KeywordHasher::new(FAULTS_R, cell_seed).expect("valid r");
-    let victim =
-        ShardMap::new(FAULTS_WORKERS, cell_seed).owner_of(hasher.vertex_for(&entries[0].1).bits());
+    let victim = RuntimeConfig::new(FAULTS_R, FAULTS_WORKERS)
+        .seed(cell_seed)
+        .shard_map()
+        .owner_of(hasher.vertex_for(&entries[0].1).bits());
 
     let mut rows = Vec::new();
     for &loss in &LOSS_PER_MILLE {

@@ -4,29 +4,38 @@
 //! The shared-nothing runtime claims that sharding the hypercube's
 //! vertices across worker threads buys throughput without changing a
 //! single result. This sweep measures both halves of the claim across
-//! **worker count**, **corpus size**, and **query mix**:
+//! **worker count**, **corpus size**, **query mix**, and **shard
+//! policy** (legacy uniform hash vs. prefix locality):
 //!
-//! * before anything is timed, every `(corpus, workers)` cell runs
-//!   [`hyperdex_runtime::assert_sim_parity`] — runtime vs. message
-//!   simulator vs. direct engine, set-identical results per query plus
-//!   frame conservation at shutdown, or the bench panics (non-zero
-//!   exit under the CI smoke job);
+//! * before anything is timed, every `(corpus, workers, policy)` cell
+//!   runs [`hyperdex_runtime::assert_sim_parity_with`] — runtime vs.
+//!   message simulator vs. direct engine, set-identical results per
+//!   query plus frame conservation at shutdown, or the bench panics
+//!   (non-zero exit under the CI smoke job);
 //! * then each query mix is replayed through
 //!   [`hyperdex_runtime::NodeRuntime::run_batch`] with a fixed
 //!   in-flight window — one untimed warmup pass, then the best of
 //!   three timed passes — reporting queries/second and p50/p99
 //!   per-request latency.
 //!
-//! Wall-clock numbers are reported, never asserted — CI boxes are
-//! noisy, so the scaling claim is carried by the checked-in
-//! `BENCH_runtime.json` artifact, whose frame counts *are*
-//! deterministic and double as a regression surface.
+//! Most wall-clock numbers are reported, not asserted — CI boxes are
+//! noisy — but the issue-8 regression bar *is* enforced in-run: under
+//! the prefix policy the scan mix at the widest worker count `w` must
+//! stay within the locality envelope of `w`× the 1-worker frame
+//! volume — the point-to-point floor is 2(regions−1)+2 frames per
+//! query against a 2-frame baseline, so the ratio is bounded by `w`
+//! and measures ~5.5 at `w = 8` versus 22–64× before locality
+//! sharding (deterministic, always checked) — and must beat the
+//! 1-worker throughput (checked in optimized builds on hosts with at
+//! least `w` cores, where the claim is meaningful). Everything else
+//! is carried by the checked-in `BENCH_runtime.json` artifact, whose
+//! frame counts are deterministic and double as a regression surface.
 
 use std::path::Path;
 use std::time::Instant;
 
 use hyperdex_core::{KeywordSet, ObjectId};
-use hyperdex_runtime::{assert_sim_parity, NodeRuntime, Request, RuntimeConfig};
+use hyperdex_runtime::{assert_sim_parity_with, NodeRuntime, Request, RuntimeConfig, ShardPolicy};
 use hyperdex_workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};
 
 use crate::report::{f, json_series, section, Table};
@@ -34,6 +43,8 @@ use crate::{Scale, SharedContext};
 
 /// Worker-thread counts swept (the thread-count axis).
 pub const WORKER_COUNTS: [u32; 4] = [1, 2, 4, 8];
+/// Shard-placement policies swept (the locality axis).
+pub const POLICIES: [ShardPolicy; 2] = [ShardPolicy::Hash, ShardPolicy::Prefix];
 /// Corpus sizes swept at full scale.
 pub const CORPUS_SIZES_FULL: [usize; 2] = [16_000, 64_000];
 /// Corpus sizes swept at small scale (CI smoke). Sharding only pays
@@ -63,6 +74,8 @@ pub struct RuntimeRow {
     pub corpus_size: usize,
     /// Query-mix name (one of [`MIXES`]).
     pub mix: &'static str,
+    /// Shard-placement policy name (one of [`POLICIES`]).
+    pub policy: &'static str,
     /// Worker threads.
     pub workers: u32,
     /// Requests replayed through the batch window.
@@ -74,21 +87,28 @@ pub struct RuntimeRow {
     /// 99th-percentile per-request latency, microseconds.
     pub p99_us: f64,
     /// Total frames sent over the run (deterministic for a fixed seed,
-    /// corpus, and worker count; conservation-checked at shutdown).
+    /// corpus, policy, and worker count; conservation-checked at
+    /// shutdown).
     pub frames: u64,
+    /// This cell's frames over the 1-worker frames of the same
+    /// `(corpus, mix, policy)` — the fan-out factor sharding costs.
+    /// Deterministic, so it doubles as a regression surface.
+    pub frames_vs_single: f64,
     /// This cell's qps over the 1-worker qps of the same `(corpus,
-    /// mix)` — > 1 ⇒ the extra threads paid for themselves.
+    /// mix, policy)` — > 1 ⇒ the extra threads paid for themselves.
     pub speedup: f64,
 }
 
 impl RuntimeRow {
     /// The deterministic (seed-reproducible) projection of the row —
     /// everything except the wall-clock numbers.
-    pub fn deterministic_key(&self) -> (u8, usize, &'static str, u32, usize, u64) {
+    #[allow(clippy::type_complexity)]
+    pub fn deterministic_key(&self) -> (u8, usize, &'static str, &'static str, u32, usize, u64) {
         (
             self.r,
             self.corpus_size,
             self.mix,
+            self.policy,
             self.workers,
             self.requests,
             self.frames,
@@ -195,103 +215,164 @@ pub fn run(ctx: &SharedContext) -> Vec<RuntimeRow> {
         let entries: Vec<(ObjectId, KeywordSet)> =
             corpus.indexable().map(|(id, k)| (id, k.clone())).collect();
 
-        // Parity first, untimed: every worker count must return
-        // set-identical results to the simulator and the direct
+        // Parity first, untimed: every worker count × policy must
+        // return set-identical results to the simulator and the direct
         // engine, and conserve frames.
         let checks = parity_queries(&log);
         for &workers in &WORKER_COUNTS {
-            let report = assert_sim_parity(RUNTIME_R, cell_seed, workers, &entries, &checks);
-            assert_eq!(report.shutdown.in_flight(), 0);
+            for policy in POLICIES {
+                let report = assert_sim_parity_with(
+                    RUNTIME_R, cell_seed, workers, policy, &entries, &checks,
+                );
+                assert_eq!(report.shutdown.in_flight(), 0);
+            }
         }
         println!(
-            "parity: {} objects × {} queries × workers {WORKER_COUNTS:?} — ok",
+            "parity: {} objects × {} queries × workers {WORKER_COUNTS:?} × \
+             policies [hash, prefix] — ok",
             entries.len(),
             checks.len()
         );
 
         for mix in MIXES {
             let requests = requests_for(mix, &corpus, &log);
-            for &workers in &WORKER_COUNTS {
-                let mut rt =
-                    NodeRuntime::start(RuntimeConfig::new(RUNTIME_R, workers).seed(cell_seed))
-                        .expect("valid r");
-                rt.bulk_load(entries.iter().map(|(id, k)| (*id, k)))
-                    .expect("non-empty sets");
-                rt.flush();
+            for policy in POLICIES {
+                for &workers in &WORKER_COUNTS {
+                    let mut rt = NodeRuntime::start(
+                        RuntimeConfig::new(RUNTIME_R, workers)
+                            .seed(cell_seed)
+                            .policy(policy),
+                    )
+                    .expect("valid r");
+                    rt.bulk_load(entries.iter().map(|(id, k)| (*id, k)))
+                        .expect("non-empty sets");
+                    rt.flush();
 
-                // One warmup pass, then the best of REPS timed passes.
-                rt.run_batch(&requests, WINDOW);
-                let mut best_qps = 0.0f64;
-                let mut best_lat: Vec<f64> = Vec::new();
-                for _ in 0..REPS {
-                    let t0 = Instant::now();
-                    let batch = rt.run_batch(&requests, WINDOW);
-                    let secs = t0.elapsed().as_secs_f64();
-                    let qps = if secs == 0.0 {
-                        f64::INFINITY
-                    } else {
-                        requests.len() as f64 / secs
-                    };
-                    if qps >= best_qps {
-                        best_qps = qps;
-                        best_lat = batch
-                            .iter()
-                            .map(|b| b.latency.as_secs_f64() * 1e6)
-                            .collect();
+                    // One warmup pass, then the best of REPS timed passes.
+                    rt.run_batch(&requests, WINDOW);
+                    let mut best_qps = 0.0f64;
+                    let mut best_lat: Vec<f64> = Vec::new();
+                    for _ in 0..REPS {
+                        let t0 = Instant::now();
+                        let batch = rt.run_batch(&requests, WINDOW);
+                        let secs = t0.elapsed().as_secs_f64();
+                        let qps = if secs == 0.0 {
+                            f64::INFINITY
+                        } else {
+                            requests.len() as f64 / secs
+                        };
+                        if qps >= best_qps {
+                            best_qps = qps;
+                            best_lat = batch
+                                .iter()
+                                .map(|b| b.latency.as_secs_f64() * 1e6)
+                                .collect();
+                        }
                     }
+                    best_lat.sort_by(|a, b| a.total_cmp(b));
+                    let pct = |p: f64| best_lat[((best_lat.len() - 1) as f64 * p) as usize];
+
+                    let report = rt.shutdown();
+                    report.assert_conserved();
+
+                    rows.push(RuntimeRow {
+                        r: RUNTIME_R,
+                        corpus_size: n,
+                        mix,
+                        policy: policy.name(),
+                        workers,
+                        requests: requests.len(),
+                        qps: best_qps,
+                        p50_us: pct(0.50),
+                        p99_us: pct(0.99),
+                        frames: report.total_sent(),
+                        // Both filled in below from the 1-worker
+                        // baseline of the same (corpus, mix, policy).
+                        frames_vs_single: 0.0,
+                        speedup: 0.0,
+                    });
                 }
-                best_lat.sort_by(|a, b| a.total_cmp(b));
-                let pct = |p: f64| best_lat[((best_lat.len() - 1) as f64 * p) as usize];
-
-                let report = rt.shutdown();
-                report.assert_conserved();
-
-                rows.push(RuntimeRow {
-                    r: RUNTIME_R,
-                    corpus_size: n,
-                    mix,
-                    workers,
-                    requests: requests.len(),
-                    qps: best_qps,
-                    p50_us: pct(0.50),
-                    p99_us: pct(0.99),
-                    frames: report.total_sent(),
-                    speedup: 0.0, // filled in below from the 1-worker baseline
-                });
             }
         }
     }
 
-    // Speedup over the 1-worker run of the same (corpus, mix).
-    let baselines: Vec<(usize, &'static str, f64)> = rows
+    // Speedup and frame fan-out over the 1-worker run of the same
+    // (corpus, mix, policy).
+    let baselines: Vec<(usize, &'static str, &'static str, f64, u64)> = rows
         .iter()
         .filter(|r| r.workers == 1)
-        .map(|r| (r.corpus_size, r.mix, r.qps))
+        .map(|r| (r.corpus_size, r.mix, r.policy, r.qps, r.frames))
         .collect();
     for row in &mut rows {
-        let base = baselines
+        let (_, _, _, base_qps, base_frames) = *baselines
             .iter()
-            .find(|(n, m, _)| *n == row.corpus_size && *m == row.mix)
-            .expect("1-worker baseline exists")
-            .2;
-        row.speedup = if base == 0.0 { 0.0 } else { row.qps / base };
+            .find(|(n, m, p, ..)| *n == row.corpus_size && *m == row.mix && *p == row.policy)
+            .expect("1-worker baseline exists");
+        row.speedup = if base_qps == 0.0 {
+            0.0
+        } else {
+            row.qps / base_qps
+        };
+        row.frames_vs_single = if base_frames == 0 {
+            0.0
+        } else {
+            row.frames as f64 / base_frames as f64
+        };
     }
 
+    // The issue-8 regression bar, asserted in-run so the CI bench
+    // smoke fails the build on a locality regression: under the prefix
+    // policy at the widest worker count, scans must beat the 1-worker
+    // baseline and stay within the locality envelope on frames. The
+    // envelope is the point-to-point floor: a query spanning R prefix
+    // regions needs one dispatch and one reply per cross-region edge
+    // (2(R-1) frames) plus Query/QueryDone, R ≤ 2^⌈log2 w⌉ ≤ 2w, and
+    // the 1-worker baseline pays 2 frames per query — so the ratio is
+    // bounded by w. (Measured: ~5.5 at w = 8, versus 22-64× for the
+    // hash policy or per-vertex dispatch.) The frame bound is
+    // deterministic and always enforced; the wall-clock half only
+    // means something in an optimized build on a host that actually
+    // has `widest` cores — w threads on fewer cores can only
+    // timeslice, never scale.
+    let widest = *WORKER_COUNTS.last().expect("non-empty sweep");
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for row in rows.iter().filter(|r| {
+        r.policy == ShardPolicy::Prefix.name() && r.mix == "scan" && r.workers == widest
+    }) {
+        assert!(
+            row.frames_vs_single <= widest as f64,
+            "scan frame fan-out regressed: {row:?}"
+        );
+        #[cfg(not(debug_assertions))]
+        if cores >= widest as usize {
+            assert!(
+                row.speedup > 1.0,
+                "scan no longer scales at {widest} workers on {cores} cores: {row:?}"
+            );
+        }
+    }
+    #[cfg(debug_assertions)]
+    let _ = cores;
+
     let mut table = Table::new([
-        "r", "objects", "mix", "workers", "requests", "qps", "p50 µs", "p99 µs", "frames",
-        "speedup",
+        "r", "objects", "mix", "policy", "workers", "requests", "qps", "p50 µs", "p99 µs",
+        "frames", "f×1w", "speedup",
     ]);
     for row in &rows {
         table.row([
             row.r.to_string(),
             row.corpus_size.to_string(),
             row.mix.to_string(),
+            row.policy.to_string(),
             row.workers.to_string(),
             row.requests.to_string(),
             f(row.qps, 0),
             f(row.p50_us, 1),
             f(row.p99_us, 1),
             row.frames.to_string(),
+            f(row.frames_vs_single, 2),
             f(row.speedup, 2),
         ]);
     }
@@ -307,21 +388,29 @@ pub fn run(ctx: &SharedContext) -> Vec<RuntimeRow> {
     println!("\n### JSON series (vs worker count)\n");
     for &n in &corpus_sizes {
         for mix in MIXES {
-            let points: Vec<(f64, f64)> = rows
-                .iter()
-                .filter(|row| row.corpus_size == n && row.mix == mix)
-                .map(|row| (f64::from(row.workers), row.qps))
-                .collect();
-            println!(
-                "{}",
-                json_series(
-                    "runtime_qps",
-                    &[("objects", n.to_string()), ("mix", mix.to_string())],
-                    "workers",
-                    "queries/sec",
-                    &points,
-                )
-            );
+            for policy in POLICIES {
+                let points: Vec<(f64, f64)> = rows
+                    .iter()
+                    .filter(|row| {
+                        row.corpus_size == n && row.mix == mix && row.policy == policy.name()
+                    })
+                    .map(|row| (f64::from(row.workers), row.qps))
+                    .collect();
+                println!(
+                    "{}",
+                    json_series(
+                        "runtime_qps",
+                        &[
+                            ("objects", n.to_string()),
+                            ("mix", mix.to_string()),
+                            ("policy", policy.name().to_string()),
+                        ],
+                        "workers",
+                        "queries/sec",
+                        &points,
+                    )
+                );
+            }
         }
     }
     rows
@@ -338,18 +427,21 @@ pub fn write_json(rows: &[RuntimeRow], seed: u64, path: &Path) -> std::io::Resul
         .iter()
         .map(|r| {
             format!(
-                "{{\"r\":{},\"corpus_size\":{},\"mix\":\"{}\",\"workers\":{},\
-                 \"requests\":{},\"qps\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},\
-                 \"frames\":{},\"speedup\":{:.4}}}",
+                "{{\"r\":{},\"corpus_size\":{},\"mix\":\"{}\",\"policy\":\"{}\",\
+                 \"workers\":{},\"requests\":{},\"qps\":{:.2},\"p50_us\":{:.2},\
+                 \"p99_us\":{:.2},\"frames\":{},\"frames_vs_single\":{:.4},\
+                 \"speedup\":{:.4}}}",
                 r.r,
                 r.corpus_size,
                 r.mix,
+                r.policy,
                 r.workers,
                 r.requests,
                 r.qps,
                 r.p50_us,
                 r.p99_us,
                 r.frames,
+                r.frames_vs_single,
                 r.speedup,
             )
         })
@@ -367,7 +459,7 @@ mod tests {
         let rows = run(&ctx);
         assert_eq!(
             rows.len(),
-            CORPUS_SIZES_SMALL.len() * MIXES.len() * WORKER_COUNTS.len()
+            CORPUS_SIZES_SMALL.len() * MIXES.len() * POLICIES.len() * WORKER_COUNTS.len()
         );
         for row in &rows {
             assert!(row.requests > 0, "empty batch in {row:?}");
@@ -376,6 +468,7 @@ mod tests {
             assert!(row.frames > 0, "{row:?}");
             if row.workers == 1 {
                 assert!((row.speedup - 1.0).abs() < 1e-9, "{row:?}");
+                assert!((row.frames_vs_single - 1.0).abs() < 1e-9, "{row:?}");
             }
         }
         // Wall-clock rates vary run to run; the frame counts must not.
@@ -391,12 +484,14 @@ mod tests {
             r: 8,
             corpus_size: 1_000,
             mix: "scan",
+            policy: "prefix",
             workers: 4,
             requests: 96,
             qps: 1234.5,
             p50_us: 800.0,
             p99_us: 2500.0,
             frames: 42_000,
+            frames_vs_single: 1.25,
             speedup: 2.5,
         };
         let dir = std::env::temp_dir().join("hyperdex_runtime_json_test");
@@ -406,7 +501,9 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read");
         assert!(text.starts_with("{\"seed\":42,\"rows\":[\n"));
         assert!(text.contains("\"mix\":\"scan\""));
+        assert!(text.contains("\"policy\":\"prefix\""));
         assert!(text.contains("\"qps\":1234.50"));
+        assert!(text.contains("\"frames_vs_single\":1.2500"));
         assert!(text.contains("\"speedup\":2.5000"));
         assert!(text.trim_end().ends_with("]}"));
     }

@@ -169,6 +169,27 @@ impl SupersetCoordinator {
         }
     }
 
+    /// Drains every currently-issuable visit into `out` — the root
+    /// (`None`) if it has not been issued yet, then the whole frontier
+    /// in FIFO order — without latching `done`. This is the batched
+    /// counterpart of [`SupersetCoordinator::next_step`]: a driver that
+    /// dispatches visits concurrently (grouping them by owner) takes
+    /// the frontier as one burst and keeps folding replies with
+    /// [`SupersetCoordinator::record_visit`] while visits are still
+    /// outstanding, whereas `next_step` would misread the momentarily
+    /// empty frontier as termination. Emits nothing once the machine
+    /// is done or the budget is exhausted.
+    pub fn drain_frontier(&mut self, out: &mut Vec<(u64, Option<u8>)>) {
+        if self.done || self.remaining == 0 {
+            return;
+        }
+        if !self.root_issued {
+            self.root_issued = true;
+            out.push((self.root_bits, None));
+        }
+        out.extend(self.frontier.drain(..).map(|(bits, dim)| (bits, Some(dim))));
+    }
+
     /// Folds one node's answer back in: `found` results consume budget,
     /// its SBT children join the frontier. (When the budget reaches
     /// zero the machine is done; queued children are never visited.)
@@ -812,6 +833,52 @@ mod tests {
         coord.record_visit(1, SupersetCoordinator::children_of(v, via_dim));
         assert!(coord.is_done());
         assert_eq!(coord.next_step(), Step::Finished);
+    }
+
+    #[test]
+    fn drain_frontier_matches_sequential_visit_order() {
+        // The batched drive's dispatch order must equal the sequential
+        // machine's visit order when every visit returns no results
+        // (the unthresholded case): drain bursts, fold in burst order.
+        let shape = Shape::new(6).unwrap();
+        let hasher = crate::hashing::KeywordHasher::new(6, 0).unwrap();
+        let kw = Arc::new(set("a"));
+        let root = hasher.vertex_for(&kw);
+
+        let mut seq = SupersetCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1);
+        let mut sequential = Vec::new();
+        loop {
+            match seq.next_step() {
+                Step::Finished => break,
+                Step::Visit { bits, via_dim } => {
+                    sequential.push(bits);
+                    let v = Vertex::from_bits(shape, bits).unwrap();
+                    seq.record_visit(0, SupersetCoordinator::children_of(v, via_dim));
+                }
+            }
+        }
+
+        let mut coord = SupersetCoordinator::new(root, Arc::clone(&kw), usize::MAX - 1);
+        let mut batched = Vec::new();
+        let mut burst = Vec::new();
+        loop {
+            coord.drain_frontier(&mut burst);
+            if burst.is_empty() {
+                break;
+            }
+            assert!(!coord.is_done(), "drain_frontier never latches done");
+            for (bits, via_dim) in burst.drain(..) {
+                batched.push(bits);
+                let v = Vertex::from_bits(shape, bits).unwrap();
+                coord.record_visit(0, SupersetCoordinator::children_of(v, via_dim));
+            }
+        }
+        assert_eq!(batched, sequential);
+
+        // Once stopped, the drain emits nothing more.
+        coord.stop();
+        coord.drain_frontier(&mut burst);
+        assert!(burst.is_empty());
     }
 
     #[test]

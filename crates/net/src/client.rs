@@ -33,7 +33,7 @@ use hyperdex_runtime::runtime::{
     BatchResult, FtSearchOptions, FtSearchOutcome, Request, RuntimeMatch,
 };
 use hyperdex_runtime::wire::WireMsg;
-use hyperdex_runtime::ShardMap;
+use hyperdex_runtime::{ShardMap, ShardPolicy};
 
 use crate::server::server_of;
 use crate::stream::{encode_unit, StreamDecoder, CLIENT_DEST};
@@ -112,10 +112,10 @@ impl ClientClose {
 }
 
 impl NetClient {
-    /// Connects to every server of a cluster. `addrs` lists the
-    /// servers' listen addresses in cluster order; `total_workers`,
-    /// `r`, and `seed` must match the servers' configuration (they
-    /// determine routing).
+    /// Connects to every server of a cluster under the default
+    /// [`ShardPolicy`]. `addrs` lists the servers' listen addresses in
+    /// cluster order; `total_workers`, `r`, and `seed` must match the
+    /// servers' configuration (they determine routing).
     ///
     /// # Errors
     ///
@@ -128,8 +128,27 @@ impl NetClient {
         total_workers: u32,
         cfg: NetConfig,
     ) -> Result<NetClient, Error> {
+        NetClient::connect_with(addrs, r, seed, total_workers, ShardPolicy::default(), cfg)
+    }
+
+    /// [`NetClient::connect`] with an explicit placement policy — the
+    /// client computes the same vertex → worker map as the servers, so
+    /// a policy mismatch would misroute every insert.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConnectionLost`] when any server cannot be reached
+    /// within the connect timeout.
+    pub fn connect_with(
+        addrs: &[String],
+        r: u8,
+        seed: u64,
+        total_workers: u32,
+        policy: ShardPolicy,
+        cfg: NetConfig,
+    ) -> Result<NetClient, Error> {
         let hasher = KeywordHasher::new(r, seed)?;
-        let shards = ShardMap::new(total_workers.max(1), seed);
+        let shards = ShardMap::with_policy(policy, r, total_workers.max(1), seed);
         let (events_tx, events_rx) = channel();
         let received = Arc::new(AtomicU64::new(0));
         let mut client = NetClient {
@@ -395,8 +414,15 @@ impl NetClient {
         }
     }
 
-    /// Superset search (§3.3), coordinated by the worker owning the
-    /// query root — possibly in a different process, with the SBT
+    /// Coordinator for sequential query `id`: round-robin across the
+    /// cluster's workers, mirroring the in-process runtime so a
+    /// popular root prefix never serializes a mix on one worker.
+    fn coordinator_for(&self, id: u64) -> u32 {
+        (id % u64::from(self.shards.workers())) as u32
+    }
+
+    /// Superset search (§3.3), coordinated by a round-robin-chosen
+    /// worker — possibly in a different process, with the SBT
     /// traversal fanning out across the whole cluster.
     ///
     /// # Errors
@@ -413,8 +439,7 @@ impl NetClient {
         }
         self.next_id += 1;
         let id = self.next_id;
-        let root = self.hasher.vertex_for(keywords).bits();
-        let owner = self.shards.owner_of(root);
+        let owner = self.coordinator_for(id);
         self.send_frame(
             owner,
             &WireMsg::Query {
@@ -586,8 +611,7 @@ impl NetClient {
                         keywords,
                         threshold,
                     } => {
-                        let bits = self.hasher.vertex_for(keywords).bits();
-                        let owner = self.shards.owner_of(bits);
+                        let owner = self.coordinator_for(id);
                         self.send_frame(
                             owner,
                             &WireMsg::Query {

@@ -25,7 +25,7 @@ use std::process::{Child, ChildStdout, Command, Stdio};
 
 use hyperdex_core::Error;
 use hyperdex_runtime::fault::CrashPoint;
-use hyperdex_runtime::{ShutdownReport, SupervisorStats, WorkerStats};
+use hyperdex_runtime::{ShardPolicy, ShutdownReport, SupervisorStats, WorkerStats};
 
 use crate::client::{NetClient, NetConfig};
 use crate::server::{parse_sstats, parse_wstats, server_of};
@@ -45,6 +45,9 @@ pub struct ClusterConfig {
     pub servers: u32,
     /// Inbox and writer-queue bound, in packets.
     pub capacity: usize,
+    /// Vertex → worker placement, shared by every server and the
+    /// client.
+    pub policy: ShardPolicy,
     /// Optional scheduled crash, exercised end-to-end over TCP.
     pub crash: Option<CrashPoint>,
     /// Explicit path to the `hyperdex-server` binary; resolved via
@@ -63,6 +66,7 @@ impl ClusterConfig {
             total_workers,
             servers,
             capacity: 64,
+            policy: ShardPolicy::default(),
             crash: None,
             server_bin: None,
             net: NetConfig::default(),
@@ -161,6 +165,8 @@ impl Cluster {
                 .arg(cfg.total_workers.to_string())
                 .arg("--capacity")
                 .arg(cfg.capacity.to_string())
+                .arg("--policy")
+                .arg(cfg.policy.name())
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());
@@ -210,11 +216,12 @@ impl Cluster {
     ///
     /// [`Error::ConnectionLost`] when a server is unreachable.
     pub fn client(&self) -> Result<NetClient, Error> {
-        NetClient::connect(
+        NetClient::connect_with(
             &self.addrs,
             self.cfg.r,
             self.cfg.seed,
             self.cfg.total_workers,
+            self.cfg.policy,
             self.cfg.net,
         )
     }

@@ -47,7 +47,7 @@ use hyperdex_runtime::fault::{CrashPoint, FaultInjector, FaultPlan};
 use hyperdex_runtime::transport::{coalesce, count_frames, FlushStatus, Transport};
 use hyperdex_runtime::wire::WireMsg;
 use hyperdex_runtime::worker::{run_worker, ExitCause, WorkerContext, WorkerExit, WorkerStats};
-use hyperdex_runtime::{ShardMap, SupervisorStats};
+use hyperdex_runtime::{ShardMap, ShardPolicy, SupervisorStats};
 
 use crate::stream::{push_unit, StreamDecoder, CLIENT_DEST};
 
@@ -71,6 +71,9 @@ pub struct ServerConfig {
     pub total_workers: u32,
     /// Bound of every inbox channel and writer queue, in packets.
     pub capacity: usize,
+    /// Vertex → worker placement. Every server and the client must
+    /// agree, like `r` and `seed`.
+    pub policy: ShardPolicy,
     /// Optional scheduled crash of one local worker.
     pub crash: Option<CrashPoint>,
 }
@@ -335,7 +338,7 @@ fn dial(addr: &str) -> io::Result<TcpStream> {
 pub fn run(cfg: ServerConfig, listener: TcpListener, peer_addrs: &[String]) -> io::Result<()> {
     let shape = Shape::new(cfg.r).expect("validated r");
     let hasher = KeywordHasher::new(cfg.r, cfg.seed).expect("validated r");
-    let shards = ShardMap::new(cfg.total_workers.max(1), cfg.seed);
+    let shards = ShardMap::with_policy(cfg.policy, cfg.r, cfg.total_workers.max(1), cfg.seed);
     let local = local_workers(cfg.total_workers, cfg.servers, cfg.index);
     let cap = cfg.capacity.max(1);
 
@@ -519,7 +522,7 @@ pub fn run(cfg: ServerConfig, listener: TcpListener, peer_addrs: &[String]) -> i
     for w in order {
         let s = &stats[&w];
         lines.push_str(&format!(
-            "WSTATS {} {} {} {} {} {} {} {} {} {} {}\n",
+            "WSTATS {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
             s.worker,
             s.frames_sent,
             s.frames_received,
@@ -531,6 +534,8 @@ pub fn run(cfg: ServerConfig, listener: TcpListener, peer_addrs: &[String]) -> i
             s.frames_duplicated,
             s.frames_delayed,
             s.wakeups,
+            s.batch_frames_sent,
+            s.batch_entries_sent,
         ));
     }
     lines.push_str(&format!(
@@ -558,6 +563,8 @@ pub fn parse_wstats(line: &str) -> Option<WorkerStats> {
         frames_duplicated: next()?,
         frames_delayed: next()?,
         wakeups: next()?,
+        batch_frames_sent: next()?,
+        batch_entries_sent: next()?,
     })
 }
 
@@ -604,9 +611,11 @@ mod tests {
             frames_duplicated: 6,
             frames_delayed: 7,
             wakeups: 8,
+            batch_frames_sent: 9,
+            batch_entries_sent: 27,
         };
         let line = format!(
-            "WSTATS {} {} {} {} {} {} {} {} {} {} {}",
+            "WSTATS {} {} {} {} {} {} {} {} {} {} {} {} {}",
             s.worker,
             s.frames_sent,
             s.frames_received,
@@ -618,6 +627,8 @@ mod tests {
             s.frames_duplicated,
             s.frames_delayed,
             s.wakeups,
+            s.batch_frames_sent,
+            s.batch_entries_sent,
         );
         assert_eq!(parse_wstats(&line).unwrap(), s);
         let sup = SupervisorStats {

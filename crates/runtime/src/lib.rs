@@ -58,12 +58,14 @@ pub mod wire;
 pub mod worker;
 
 pub use fault::{CrashPoint, Fate, FaultInjector, FaultPlan};
-pub use parity::{assert_fault_parity, assert_sim_parity, FaultParityReport, ParityReport};
+pub use parity::{
+    assert_fault_parity, assert_sim_parity, assert_sim_parity_with, FaultParityReport, ParityReport,
+};
 pub use runtime::{
     BatchResult, FtSearchOptions, FtSearchOutcome, NodeRuntime, Request, RuntimeConfig,
     RuntimeMatch, ShutdownReport, SupervisorStats,
 };
-pub use shard::ShardMap;
+pub use shard::{ShardMap, ShardPolicy};
 pub use transport::{coalesce, count_frames, take_frame, ChannelTransport, FlushStatus, Transport};
 pub use wire::{WireError, WireMsg};
 pub use worker::{run_worker, ExitCause, WorkerContext, WorkerExit, WorkerStats};

@@ -89,7 +89,7 @@ use crate::worker::{run_worker, ExitCause, WorkerContext, WorkerExit, WorkerStat
 /// insert, shared between the client handle and the supervisor so a
 /// respawned worker's shard can be replayed.
 type Journal = Arc<Mutex<Vec<(u64, Vec<u8>)>>>;
-use crate::shard::ShardMap;
+use crate::shard::{ShardMap, ShardPolicy};
 use crate::wire::WireMsg;
 
 /// How a [`NodeRuntime`] is shaped.
@@ -103,16 +103,22 @@ pub struct RuntimeConfig {
     pub workers: u32,
     /// Bound of every inbox channel, in frames.
     pub channel_capacity: usize,
+    /// Vertex → worker placement. Defaults to [`ShardPolicy::Prefix`]
+    /// (locality-preserving); [`ShardPolicy::Hash`] is the legacy
+    /// scatter, kept selectable so benches report both.
+    pub policy: ShardPolicy,
 }
 
 impl RuntimeConfig {
-    /// A config with the default seed (0) and channel bound (256).
+    /// A config with the default seed (0), channel bound (256), and
+    /// prefix shard placement.
     pub fn new(r: u8, workers: u32) -> RuntimeConfig {
         RuntimeConfig {
             r,
             seed: 0,
             workers,
             channel_capacity: 256,
+            policy: ShardPolicy::default(),
         }
     }
 
@@ -126,6 +132,20 @@ impl RuntimeConfig {
     pub fn channel_capacity(mut self, frames: usize) -> RuntimeConfig {
         self.channel_capacity = frames.max(1);
         self
+    }
+
+    /// Overrides the shard placement policy.
+    pub fn policy(mut self, policy: ShardPolicy) -> RuntimeConfig {
+        self.policy = policy;
+        self
+    }
+
+    /// The [`ShardMap`] this config's runtime routes with — exposed so
+    /// tests and benches can compute ownership (e.g. pick a crash
+    /// victim that provably holds data) without duplicating the
+    /// construction recipe.
+    pub fn shard_map(&self) -> ShardMap {
+        ShardMap::with_policy(self.policy, self.r, self.workers.max(1), self.seed)
     }
 }
 
@@ -330,7 +350,7 @@ impl NodeRuntime {
         let hasher = KeywordHasher::new(cfg.r, cfg.seed)?;
         let shape = Shape::new(cfg.r)?;
         let workers = cfg.workers.max(1);
-        let shards = ShardMap::new(workers, cfg.seed);
+        let shards = cfg.shard_map();
         let cap = cfg.channel_capacity.max(1);
 
         let mut worker_tx = Vec::with_capacity(workers as usize);
@@ -509,8 +529,7 @@ impl NodeRuntime {
         }
         self.next_id += 1;
         let id = self.next_id;
-        let root_bits = self.hasher.vertex_for(keywords).bits();
-        let owner = self.shards.owner_of(root_bits);
+        let owner = self.coordinator_for(id);
         self.send_frame(
             owner,
             &WireMsg::Query {
@@ -637,6 +656,15 @@ impl NodeRuntime {
         })
     }
 
+    /// Coordinator for sequential query `id`: plain round-robin. Any
+    /// worker can coordinate any query — the root's region reaches its
+    /// owner as a delegated batch like every other region — and
+    /// spreading coordinators keeps one popular root prefix from
+    /// serializing a whole mix on a single thread.
+    fn coordinator_for(&self, id: u64) -> u32 {
+        (id % self.to_worker.len() as u64) as u32
+    }
+
     /// Runs `requests` keeping up to `window` of them in flight — the
     /// throughput path: queries rooted on different workers make
     /// progress concurrently while the client collects completions.
@@ -668,8 +696,7 @@ impl NodeRuntime {
                         keywords,
                         threshold,
                     } => {
-                        let bits = self.hasher.vertex_for(keywords).bits();
-                        let owner = self.shards.owner_of(bits);
+                        let owner = self.coordinator_for(id);
                         self.send_frame(
                             owner,
                             &WireMsg::Query {
@@ -973,6 +1000,17 @@ mod tests {
         ObjectId::from_raw(n)
     }
 
+    const CORPUS: &[(u64, &str)] = &[
+        (1, "a"),
+        (2, "a b"),
+        (3, "a b c"),
+        (4, "a c"),
+        (5, "b c"),
+        (6, "a d e"),
+        (7, "x y"),
+        (8, "a b d"),
+    ];
+
     fn loaded(workers: u32) -> NodeRuntime {
         loaded_faulted(workers, FaultPlan::default())
     }
@@ -980,16 +1018,7 @@ mod tests {
     fn loaded_faulted(workers: u32, plan: FaultPlan) -> NodeRuntime {
         let mut rt =
             NodeRuntime::start_faulted(RuntimeConfig::new(8, workers).seed(42), plan).unwrap();
-        for (id, kws) in [
-            (1, "a"),
-            (2, "a b"),
-            (3, "a b c"),
-            (4, "a c"),
-            (5, "b c"),
-            (6, "a d e"),
-            (7, "x y"),
-            (8, "a b d"),
-        ] {
+        for &(id, kws) in CORPUS {
             rt.insert(oid(id), set(kws)).unwrap();
         }
         rt.flush();
@@ -1131,6 +1160,71 @@ mod tests {
     }
 
     #[test]
+    fn batch_frames_count_once_but_deliver_many_entries() {
+        // Under the hash policy almost every SBT hop is remote, so a
+        // broad scan must form multi-entry batches. One batch frame is
+        // one ledger frame on both sides — conservation closes — while
+        // the entry counter records the logical traversal volume the
+        // batching collapsed.
+        let mut rt =
+            NodeRuntime::start(RuntimeConfig::new(8, 4).seed(42).policy(ShardPolicy::Hash))
+                .unwrap();
+        for &(id, kws) in CORPUS {
+            rt.insert(ObjectId::from_raw(id), set(kws)).unwrap();
+        }
+        rt.flush();
+        let mut ids: Vec<u64> = rt
+            .superset_search(&set("a"), usize::MAX - 1)
+            .unwrap()
+            .iter()
+            .map(|m| m.object.raw())
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+        let report = rt.shutdown();
+        report.assert_conserved();
+        let batch_frames: u64 = report.workers.iter().map(|w| w.batch_frames_sent).sum();
+        let batch_entries: u64 = report.workers.iter().map(|w| w.batch_entries_sent).sum();
+        assert!(batch_frames > 0, "broad scan across shards must batch");
+        assert!(
+            batch_entries > batch_frames,
+            "batches must aggregate ({batch_entries} entries in {batch_frames} frames)"
+        );
+    }
+
+    #[test]
+    fn prefix_policy_cuts_scan_frames_versus_hash() {
+        // The point of the locality policy, asserted at runtime scale:
+        // the same broad scan ships fewer frames under prefix sharding
+        // than under hash sharding at the same worker count.
+        let frames_under = |policy: ShardPolicy| {
+            let mut rt =
+                NodeRuntime::start(RuntimeConfig::new(8, 8).seed(42).policy(policy)).unwrap();
+            for &(id, kws) in CORPUS {
+                rt.insert(ObjectId::from_raw(id), set(kws)).unwrap();
+            }
+            rt.flush();
+            let mut ids: Vec<u64> = rt
+                .superset_search(&set("a"), usize::MAX - 1)
+                .unwrap()
+                .iter()
+                .map(|m| m.object.raw())
+                .collect();
+            ids.sort_unstable();
+            assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
+            let report = rt.shutdown();
+            report.assert_conserved();
+            report.total_sent()
+        };
+        let hash = frames_under(ShardPolicy::Hash);
+        let prefix = frames_under(ShardPolicy::Prefix);
+        assert!(
+            prefix < hash,
+            "prefix sharding must ship fewer frames ({prefix} vs {hash})"
+        );
+    }
+
+    #[test]
     fn idle_workers_block_instead_of_spinning() {
         let rt = NodeRuntime::start(RuntimeConfig::new(8, 4)).unwrap();
         // Long enough that a 1 ms poll loop would rack up ~100 wakeups
@@ -1229,7 +1323,10 @@ mod tests {
         // data) vanish mid-traversal, and the supervisor must replay
         // its shard before the retried query can see every object.
         let hasher = KeywordHasher::new(8, 42).unwrap();
-        let victim = ShardMap::new(4, 42).owner_of(hasher.vertex_for(&set("a b")).bits());
+        let victim = RuntimeConfig::new(8, 4)
+            .seed(42)
+            .shard_map()
+            .owner_of(hasher.vertex_for(&set("a b")).bits());
         let plan = FaultPlan::default().crash(victim, 1);
         let mut rt = loaded_faulted(4, plan);
         let opts = FtSearchOptions {

@@ -87,6 +87,37 @@ pub enum WireMsg {
         /// SBT child contacts `(vertex bits, dimension)`.
         children: Vec<(u64, u8)>,
     },
+    /// Coordinator → vertex owner: visit several SBT nodes of one
+    /// query in a single frame (frontier aggregation). All entries
+    /// share the query's keywords and the coordinator's result budget
+    /// at dispatch time; each entry carries its own vertex and arrival
+    /// dimension. Batch entries are never traversal roots — the root
+    /// is always owned by its own coordinator — so the dimension is a
+    /// plain byte. One batch frame counts as **one** frame in the
+    /// conservation ledger; per-entry volume is tracked by the
+    /// worker's `batch_entries_sent` counter.
+    TQueryBatch {
+        /// Correlation id of the driving query.
+        query_id: u64,
+        /// The queried keyword set.
+        keywords: KeywordSet,
+        /// Results still wanted when the batch was dispatched.
+        remaining: u64,
+        /// Worker index of the coordinator (where to send the reply).
+        coord: u32,
+        /// The vertices to scan, as `(bits, via_dim)` pairs in
+        /// dispatch order.
+        entries: Vec<(u64, u8)>,
+    },
+    /// Vertex owner → coordinator: the replies to a whole
+    /// [`WireMsg::TQueryBatch`], one entry per scanned vertex, in the
+    /// batch's order.
+    TContBatch {
+        /// Correlation id of the driving query.
+        query_id: u64,
+        /// Per-vertex replies.
+        entries: Vec<BatchReply>,
+    },
     /// Coordinator → client: the search finished.
     QueryDone {
         /// Correlation id of the finished query.
@@ -183,6 +214,11 @@ pub enum WireMsg {
     },
 }
 
+/// One scanned vertex's reply inside a [`WireMsg::TContBatch`]:
+/// `(bits, objects, children)` — the same payload a standalone
+/// [`WireMsg::TCont`] carries for that vertex.
+pub type BatchReply = (u64, Vec<(u64, u32)>, Vec<(u64, u8)>);
+
 const TAG_INSERT: u8 = 0;
 const TAG_QUERY: u8 = 1;
 const TAG_TQUERY: u8 = 2;
@@ -197,6 +233,8 @@ const TAG_SHUTDOWN: u8 = 10;
 const TAG_FT_QUERY: u8 = 11;
 const TAG_FT_QUERY_DONE: u8 = 12;
 const TAG_REPAIR_DONE: u8 = 13;
+const TAG_TQUERY_BATCH: u8 = 14;
+const TAG_TCONT_BATCH: u8 = 15;
 
 /// The `via_dim` byte that stands for `None`.
 const DIM_NONE: u8 = 0xFF;
@@ -260,12 +298,23 @@ impl WireMsg {
     /// Serializes the message into a complete frame (length prefix
     /// included).
     pub fn encode(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(32);
+        let mut frame = Vec::with_capacity(64);
+        self.encode_into(&mut frame);
+        frame
+    }
+
+    /// Serializes the message into `frame` (cleared first), producing
+    /// the same bytes as [`WireMsg::encode`]. Hot send paths reuse one
+    /// scratch buffer across frames instead of allocating per frame.
+    pub fn encode_into(&self, frame: &mut Vec<u8>) {
+        frame.clear();
+        frame.resize(PREFIX_LEN, 0);
+        let body = frame;
         match self {
             WireMsg::Insert { object, keywords } => {
                 body.push(TAG_INSERT);
-                put_u64(&mut body, *object);
-                put_keywords(&mut body, keywords);
+                put_u64(body, *object);
+                put_keywords(body, keywords);
             }
             WireMsg::Query {
                 query_id,
@@ -273,9 +322,9 @@ impl WireMsg {
                 threshold,
             } => {
                 body.push(TAG_QUERY);
-                put_u64(&mut body, *query_id);
-                put_u64(&mut body, *threshold);
-                put_keywords(&mut body, keywords);
+                put_u64(body, *query_id);
+                put_u64(body, *threshold);
+                put_keywords(body, keywords);
             }
             WireMsg::TQuery {
                 query_id,
@@ -286,12 +335,12 @@ impl WireMsg {
                 coord,
             } => {
                 body.push(TAG_TQUERY);
-                put_u64(&mut body, *query_id);
-                put_u64(&mut body, *bits);
-                put_u64(&mut body, *remaining);
+                put_u64(body, *query_id);
+                put_u64(body, *bits);
+                put_u64(body, *remaining);
                 body.push(via_dim.unwrap_or(DIM_NONE));
-                put_u32(&mut body, *coord);
-                put_keywords(&mut body, keywords);
+                put_u32(body, *coord);
+                put_keywords(body, keywords);
             }
             WireMsg::TCont {
                 query_id,
@@ -300,61 +349,97 @@ impl WireMsg {
                 children,
             } => {
                 body.push(TAG_TCONT);
-                put_u64(&mut body, *query_id);
-                put_u64(&mut body, *bits);
-                put_u32(&mut body, objects.len() as u32);
+                put_u64(body, *query_id);
+                put_u64(body, *bits);
+                put_u32(body, objects.len() as u32);
                 for (id, extra) in objects {
-                    put_u64(&mut body, *id);
-                    put_u32(&mut body, *extra);
+                    put_u64(body, *id);
+                    put_u32(body, *extra);
                 }
-                put_u16(&mut body, children.len() as u16);
+                put_u16(body, children.len() as u16);
                 for (bits, dim) in children {
-                    put_u64(&mut body, *bits);
+                    put_u64(body, *bits);
                     body.push(*dim);
+                }
+            }
+            WireMsg::TQueryBatch {
+                query_id,
+                keywords,
+                remaining,
+                coord,
+                entries,
+            } => {
+                body.push(TAG_TQUERY_BATCH);
+                put_u64(body, *query_id);
+                put_u64(body, *remaining);
+                put_u32(body, *coord);
+                put_keywords(body, keywords);
+                put_u16(body, entries.len() as u16);
+                for (bits, dim) in entries {
+                    put_u64(body, *bits);
+                    body.push(*dim);
+                }
+            }
+            WireMsg::TContBatch { query_id, entries } => {
+                body.push(TAG_TCONT_BATCH);
+                put_u64(body, *query_id);
+                put_u16(body, entries.len() as u16);
+                for (bits, objects, children) in entries {
+                    put_u64(body, *bits);
+                    put_u32(body, objects.len() as u32);
+                    for (id, extra) in objects {
+                        put_u64(body, *id);
+                        put_u32(body, *extra);
+                    }
+                    put_u16(body, children.len() as u16);
+                    for (bits, dim) in children {
+                        put_u64(body, *bits);
+                        body.push(*dim);
+                    }
                 }
             }
             WireMsg::QueryDone { query_id, objects } => {
                 body.push(TAG_QUERY_DONE);
-                put_u64(&mut body, *query_id);
-                put_u32(&mut body, objects.len() as u32);
+                put_u64(body, *query_id);
+                put_u32(body, objects.len() as u32);
                 for (id, extra) in objects {
-                    put_u64(&mut body, *id);
-                    put_u32(&mut body, *extra);
+                    put_u64(body, *id);
+                    put_u32(body, *extra);
                 }
             }
             WireMsg::Pin { query_id, keywords } => {
                 body.push(TAG_PIN);
-                put_u64(&mut body, *query_id);
-                put_keywords(&mut body, keywords);
+                put_u64(body, *query_id);
+                put_keywords(body, keywords);
             }
             WireMsg::PinResults { query_id, objects } => {
                 body.push(TAG_PIN_RESULTS);
-                put_u64(&mut body, *query_id);
-                put_u32(&mut body, objects.len() as u32);
+                put_u64(body, *query_id);
+                put_u32(body, objects.len() as u32);
                 for id in objects {
-                    put_u64(&mut body, *id);
+                    put_u64(body, *id);
                 }
             }
             WireMsg::Handoff { bits, entries } => {
                 body.push(TAG_HANDOFF);
-                put_u64(&mut body, *bits);
-                put_u32(&mut body, entries.len() as u32);
+                put_u64(body, *bits);
+                put_u32(body, entries.len() as u32);
                 for (set, objects) in entries {
-                    put_keywords(&mut body, set);
-                    put_u32(&mut body, objects.len() as u32);
+                    put_keywords(body, set);
+                    put_u32(body, objects.len() as u32);
                     for id in objects {
-                        put_u64(&mut body, *id);
+                        put_u64(body, *id);
                     }
                 }
             }
             WireMsg::Flush { token } => {
                 body.push(TAG_FLUSH);
-                put_u64(&mut body, *token);
+                put_u64(body, *token);
             }
             WireMsg::FlushAck { token, worker } => {
                 body.push(TAG_FLUSH_ACK);
-                put_u64(&mut body, *token);
-                put_u32(&mut body, *worker);
+                put_u64(body, *token);
+                put_u32(body, *worker);
             }
             WireMsg::Shutdown => body.push(TAG_SHUTDOWN),
             WireMsg::FtQuery {
@@ -366,12 +451,12 @@ impl WireMsg {
                 base_timeout_ms,
             } => {
                 body.push(TAG_FT_QUERY);
-                put_u64(&mut body, *query_id);
-                put_u64(&mut body, *threshold);
+                put_u64(body, *query_id);
+                put_u64(body, *threshold);
                 body.push(strategy_byte(*strategy));
-                put_u32(&mut body, *max_retries);
-                put_u64(&mut body, *base_timeout_ms);
-                put_keywords(&mut body, keywords);
+                put_u32(body, *max_retries);
+                put_u64(body, *base_timeout_ms);
+                put_keywords(body, keywords);
             }
             WireMsg::FtQueryDone {
                 query_id,
@@ -387,35 +472,33 @@ impl WireMsg {
                 skipped,
             } => {
                 body.push(TAG_FT_QUERY_DONE);
-                put_u64(&mut body, *query_id);
-                put_u64(&mut body, *subcube);
-                put_u64(&mut body, *reached);
-                put_u64(&mut body, *retries);
-                put_u64(&mut body, *timeouts);
-                put_u64(&mut body, *redelegations);
-                put_u64(&mut body, *queries_sent);
-                put_u64(&mut body, *conts);
-                put_u64(&mut body, *result_messages);
-                put_u32(&mut body, objects.len() as u32);
+                put_u64(body, *query_id);
+                put_u64(body, *subcube);
+                put_u64(body, *reached);
+                put_u64(body, *retries);
+                put_u64(body, *timeouts);
+                put_u64(body, *redelegations);
+                put_u64(body, *queries_sent);
+                put_u64(body, *conts);
+                put_u64(body, *result_messages);
+                put_u32(body, objects.len() as u32);
                 for (id, extra) in objects {
-                    put_u64(&mut body, *id);
-                    put_u32(&mut body, *extra);
+                    put_u64(body, *id);
+                    put_u32(body, *extra);
                 }
-                put_u32(&mut body, skipped.len() as u32);
+                put_u32(body, skipped.len() as u32);
                 for bits in skipped {
-                    put_u64(&mut body, *bits);
+                    put_u64(body, *bits);
                 }
             }
             WireMsg::RepairDone { worker } => {
                 body.push(TAG_REPAIR_DONE);
-                put_u32(&mut body, *worker);
+                put_u32(body, *worker);
             }
         }
-        debug_assert!(body.len() as u32 <= MAX_BODY_LEN);
-        let mut frame = Vec::with_capacity(PREFIX_LEN + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&body);
-        frame
+        let body_len = (body.len() - PREFIX_LEN) as u32;
+        debug_assert!(body_len <= MAX_BODY_LEN);
+        body[..PREFIX_LEN].copy_from_slice(&body_len.to_le_bytes());
     }
 
     /// Parses one frame from the front of `buf`, returning the message
@@ -598,6 +681,44 @@ fn decode_body(r: &mut Reader<'_>) -> Result<WireMsg, WireError> {
             })
         }
         TAG_REPAIR_DONE => Ok(WireMsg::RepairDone { worker: r.u32()? }),
+        TAG_TQUERY_BATCH => {
+            let query_id = r.u64()?;
+            let remaining = r.u64()?;
+            let coord = r.u32()?;
+            let keywords = get_keywords(r)?;
+            let n = r.u16()? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((r.u64()?, r.u8()?));
+            }
+            Ok(WireMsg::TQueryBatch {
+                query_id,
+                keywords,
+                remaining,
+                coord,
+                entries,
+            })
+        }
+        TAG_TCONT_BATCH => {
+            let query_id = r.u64()?;
+            let n = r.u16()? as usize;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let bits = r.u64()?;
+                let m = r.u32()? as usize;
+                let mut objects = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    objects.push((r.u64()?, r.u32()?));
+                }
+                let c = r.u16()? as usize;
+                let mut children = Vec::with_capacity(c);
+                for _ in 0..c {
+                    children.push((r.u64()?, r.u8()?));
+                }
+                entries.push((bits, objects, children));
+            }
+            Ok(WireMsg::TContBatch { query_id, entries })
+        }
         other => Err(WireError::BadTag(other)),
     }
 }
@@ -810,6 +931,31 @@ mod tests {
                 skipped: vec![],
             },
             WireMsg::RepairDone { worker: 3 },
+            WireMsg::TQueryBatch {
+                query_id: 30,
+                keywords: set("alpha beta"),
+                remaining: 17,
+                coord: 2,
+                entries: vec![(0b1010_1100, 5), (0b1010_1101, 0), (0b1110_1100, 4)],
+            },
+            WireMsg::TQueryBatch {
+                query_id: 31,
+                keywords: set("x"),
+                remaining: 1,
+                coord: 0,
+                entries: vec![],
+            },
+            WireMsg::TContBatch {
+                query_id: 30,
+                entries: vec![
+                    (0b1010_1100, vec![(1, 0), (99, 2)], vec![(0b1011_1100, 4)]),
+                    (0b1010_1101, vec![], vec![]),
+                ],
+            },
+            WireMsg::TContBatch {
+                query_id: 31,
+                entries: vec![],
+            },
         ]
     }
 
@@ -824,6 +970,17 @@ mod tests {
             let (back2, used) = WireMsg::decode(&frame).unwrap();
             assert_eq!(back2, msg);
             assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer_and_matches_encode() {
+        // One scratch buffer across every exemplar, in both growing
+        // and shrinking order: the bytes must equal a fresh encode.
+        let mut scratch = Vec::new();
+        for msg in exemplars().iter().chain(exemplars().iter().rev()) {
+            msg.encode_into(&mut scratch);
+            assert_eq!(scratch, msg.encode(), "{msg:?}");
         }
     }
 

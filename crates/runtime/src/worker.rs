@@ -21,7 +21,7 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hyperdex_core::protocol::{scan_table, Step, SupersetCoordinator};
+use hyperdex_core::protocol::{scan_table, SupersetCoordinator};
 use hyperdex_core::{
     FtCmd, FtCoordinator, FtPolicy, IndexTable, KeywordHasher, KeywordInterner, KeywordSet,
     ObjectId,
@@ -32,6 +32,16 @@ use crate::fault::{Fate, FaultInjector};
 use crate::shard::ShardMap;
 use crate::transport::{count_frames, take_frame, FlushStatus, Transport};
 use crate::wire::WireMsg;
+
+/// Self-owned visits run from the in-worker queue in slices of this
+/// many scans per loop iteration, so a deep local subtree cannot
+/// starve the inbox (the loop polls for frames between slices).
+const LOCAL_WORK_BUDGET: usize = 32;
+
+/// Retained encode/packet buffers. Inbound packets are recycled into
+/// the frame send path, so a steady one-in-one-out worker (the pin
+/// mix) stops allocating per frame.
+const FRAME_POOL_CAP: usize = 32;
 
 /// One worker's lifetime counters, returned when its thread exits.
 /// After a crash the supervisor merges the counters of every
@@ -65,6 +75,13 @@ pub struct WorkerStats {
     /// Timed `recv` polls that expired without a frame. Zero on an
     /// idle worker — idleness blocks, it doesn't spin.
     pub wakeups: u64,
+    /// Batch frames (`TQueryBatch`/`TContBatch`) among `frames_sent`.
+    /// Each counts **once** in the frame ledger no matter how many
+    /// entries it aggregates.
+    pub batch_frames_sent: u64,
+    /// Logical per-vertex entries carried inside those batch frames —
+    /// the traversal volume the batching collapsed.
+    pub batch_entries_sent: u64,
 }
 
 impl WorkerStats {
@@ -81,6 +98,8 @@ impl WorkerStats {
         self.frames_duplicated += other.frames_duplicated;
         self.frames_delayed += other.frames_delayed;
         self.wakeups += other.wakeups;
+        self.batch_frames_sent += other.batch_frames_sent;
+        self.batch_entries_sent += other.batch_entries_sent;
     }
 }
 
@@ -145,6 +164,8 @@ pub fn run_worker(
         stash: (0..endpoints).map(|_| VecDeque::new()).collect(),
         queries: HashMap::new(),
         ft_queries: HashMap::new(),
+        local_work: VecDeque::new(),
+        frame_pool: Vec::new(),
         timers: BinaryHeap::new(),
         timer_seq: 0,
         injector: ctx.injector,
@@ -158,11 +179,32 @@ pub fn run_worker(
 }
 
 /// In-progress sequential query on its coordinator worker.
+///
+/// The batched drive keeps many visits outstanding at once, but the
+/// fold order is pinned: `pending` records the dispatch order (which
+/// equals the sequential machine's visit order), and replies park in
+/// `replies` until their vertex reaches the front. Folding strictly
+/// in dispatch order, truncating each reply to the budget live at
+/// fold time, makes the batched traversal result-identical to the
+/// one-visit-at-a-time machine — including under a binding threshold.
+/// One folded visit: the vertex's matching objects plus its frontier
+/// children as `(bits, via_dim)` pairs.
+type VisitReply = (Vec<(u64, u32)>, Vec<(u64, u8)>);
+
 #[derive(Debug)]
 struct QueryState {
     coord: SupersetCoordinator,
     results: Vec<(u64, u32)>,
     threshold: usize,
+    /// Dispatched, not-yet-folded vertices in dispatch order.
+    pending: VecDeque<u64>,
+    /// Replies that arrived out of order, keyed by vertex bits.
+    replies: HashMap<u64, VisitReply>,
+    /// Cross-cut children a remote expansion already forwarded to
+    /// their owner on this query's behalf (chained delegation): their
+    /// replies arrive unsolicited, so the dispatcher must not ship a
+    /// second visit when they surface in the frontier.
+    predelegated: HashSet<u64>,
 }
 
 /// In-progress fault-tolerant query on its coordinator worker. Wraps
@@ -212,6 +254,13 @@ struct Worker {
     stash: Vec<VecDeque<Vec<u8>>>,
     queries: HashMap<u64, QueryState>,
     ft_queries: HashMap<u64, FtQueryState>,
+    /// Self-owned visits awaiting a local scan, as `(query_id, bits,
+    /// via_dim)` — the fast path that skips encode/decode entirely.
+    /// Entries whose query has since completed are skipped on pop.
+    local_work: VecDeque<(u64, u64, Option<u8>)>,
+    /// Recycled buffers for [`Worker::send`]'s `encode_into` and
+    /// consumed inbox packets (capped at [`FRAME_POOL_CAP`]).
+    frame_pool: Vec<Vec<u8>>,
     /// `(deadline, query_id, vertex bits, generation)` — min-heap by
     /// deadline.
     timers: BinaryHeap<Reverse<(Instant, u64, u64, u64)>>,
@@ -232,15 +281,27 @@ impl Worker {
         let mut shutting_down = false;
         loop {
             self.fire_expired_timers();
+            self.run_local_work();
             self.flush_outboxes();
-            if shutting_down && self.outboxes_empty() {
+            if shutting_down && self.outboxes_empty() && self.local_work.is_empty() {
                 break;
             }
-            // Pick the cheapest wait that can't stall anything: poll
-            // only while parked frames need re-flushing, sleep until
-            // the earliest FT deadline when one is armed, and block
-            // outright when idle (zero wakeups, zero CPU).
-            let recv = if !self.outboxes_empty() || shutting_down {
+            // Pick the cheapest wait that can't stall anything: drain
+            // the inbox without waiting while local work is queued
+            // (the fast path must not starve peers), poll only while
+            // parked frames need re-flushing, sleep until the earliest
+            // FT deadline when one is armed, and block outright when
+            // idle (zero wakeups, zero CPU).
+            let recv = if !self.local_work.is_empty() {
+                match inbox.try_recv() {
+                    Ok(packet) => Ok(packet),
+                    // Not a wakeup: the loop turn does local scans.
+                    Err(std::sync::mpsc::TryRecvError::Empty) => continue,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        Err(RecvTimeoutError::Disconnected)
+                    }
+                }
+            } else if !self.outboxes_empty() || shutting_down {
                 inbox.recv_timeout(Duration::from_millis(1))
             } else if let Some(deadline) = self.next_timer_deadline() {
                 let wait = deadline.saturating_duration_since(Instant::now());
@@ -308,6 +369,7 @@ impl Worker {
                 }
                 self.handle(msg);
             }
+            self.recycle(packet);
         }
         self.abandon_stash();
         WorkerExit {
@@ -344,7 +406,9 @@ impl Worker {
             WireMsg::Query { .. }
                 | WireMsg::FtQuery { .. }
                 | WireMsg::TQuery { .. }
+                | WireMsg::TQueryBatch { .. }
                 | WireMsg::TCont { .. }
+                | WireMsg::TContBatch { .. }
                 | WireMsg::Pin { .. }
         )
     }
@@ -381,18 +445,19 @@ impl Worker {
                 keywords,
                 threshold,
             } => {
+                // Any worker coordinates: the client round-robins
+                // sequential queries, and a remote root region is
+                // delegated to its owner like every other region.
                 self.stats.queries_coordinated += 1;
                 let kw = self.interner.intern(keywords);
                 let root = self.hasher.vertex_for(&kw);
-                debug_assert_eq!(
-                    self.shards.owner_of(root.bits()),
-                    self.index,
-                    "query routed to a non-root worker"
-                );
                 let mut state = QueryState {
                     coord: SupersetCoordinator::new(root, kw, threshold as usize),
                     results: Vec::new(),
                     threshold: threshold as usize,
+                    pending: VecDeque::new(),
+                    replies: HashMap::new(),
+                    predelegated: HashSet::new(),
                 };
                 if !self.drive(query_id, &mut state) {
                     self.queries.insert(query_id, state);
@@ -466,6 +531,86 @@ impl Worker {
                     },
                 );
             }
+            WireMsg::TQueryBatch {
+                query_id,
+                keywords,
+                remaining,
+                coord,
+                entries,
+            } => {
+                // Expand each entry's whole locally-owned subtree
+                // region right here: a discovered child that this
+                // worker also owns is scanned immediately instead of
+                // bouncing through the coordinator, so one delegation
+                // covers the region and the per-query frame count is
+                // bounded by the number of ownership cuts, not the
+                // subcube size. The reply still carries one entry per
+                // vertex (with its full child list), and the
+                // coordinator folds them in sequential dispatch order
+                // — the traversal's observable behaviour is identical
+                // to per-vertex hops. Scans run against the shared
+                // budget; the coordinator re-truncates each reply to
+                // its live budget at fold time, so over-scanning here
+                // is safe.
+                let mut queue: VecDeque<(u64, u8)> = entries.into();
+                let mut replies = Vec::with_capacity(queue.len());
+                // Cross-cut children grouped per owner in discovery
+                // order (deterministic), forwarded straight to their
+                // owners below — chained delegation — so the region
+                // pipeline is one hop per ownership cut instead of a
+                // coordinator round trip per cut.
+                let mut forwards: Vec<(u32, Vec<(u64, u8)>)> = Vec::new();
+                while let Some((bits, via_dim)) = queue.pop_front() {
+                    debug_assert_eq!(
+                        self.shards.owner_of(bits),
+                        self.index,
+                        "misrouted batch entry"
+                    );
+                    self.stats.scans += 1;
+                    let found = scan_table(self.tables.get(&bits), &keywords, remaining as usize);
+                    let vertex =
+                        Vertex::from_bits(self.shape, bits).expect("coordinators stay in the cube");
+                    let children = SupersetCoordinator::children_of(vertex, Some(via_dim));
+                    for &(child, dim) in &children {
+                        let owner = self.shards.owner_of(child);
+                        if owner == self.index {
+                            queue.push_back((child, dim));
+                        } else if owner != coord {
+                            // The coordinator's own children stay in
+                            // the reply only: it runs them through its
+                            // local fast path when they surface.
+                            match forwards.iter_mut().find(|(o, _)| *o == owner) {
+                                Some((_, group)) => group.push((child, dim)),
+                                None => forwards.push((owner, vec![(child, dim)])),
+                            }
+                        }
+                    }
+                    let objects = found
+                        .iter()
+                        .map(|r| (r.object.raw(), r.extra_keywords))
+                        .collect();
+                    replies.push((bits, objects, children));
+                }
+                for (owner, group) in forwards {
+                    self.send(
+                        owner as usize,
+                        &WireMsg::TQueryBatch {
+                            query_id,
+                            keywords: keywords.clone(),
+                            remaining,
+                            coord,
+                            entries: group,
+                        },
+                    );
+                }
+                self.send(
+                    coord as usize,
+                    &WireMsg::TContBatch {
+                        query_id,
+                        entries: replies,
+                    },
+                );
+            }
             WireMsg::TCont {
                 query_id,
                 bits,
@@ -485,15 +630,40 @@ impl Worker {
                     self.ft_exec(query_id, &mut state, cmds);
                     self.ft_settle(query_id, state);
                 } else if let Some(mut state) = self.queries.remove(&query_id) {
-                    let found = objects.len();
-                    state.results.extend(objects);
-                    state.coord.record_visit(found, children);
+                    state.replies.insert(bits, (objects, children));
                     if !self.drive(query_id, &mut state) {
                         self.queries.insert(query_id, state);
                     }
                 }
                 // else: a duplicate or post-completion continuation —
                 // injected faults make these normal; drop it.
+            }
+            WireMsg::TContBatch { query_id, entries } => {
+                if let Some(mut state) = self.queries.remove(&query_id) {
+                    let mut listed: Vec<u64> = Vec::new();
+                    for (bits, objects, children) in entries {
+                        listed.extend(children.iter().map(|&(child, _)| child));
+                        state.replies.insert(bits, (objects, children));
+                    }
+                    // A remote child this batch lists but does not
+                    // answer (here or in an already-parked reply) was
+                    // forwarded onward by the expanding worker; its
+                    // reply arrives unsolicited, so mark it
+                    // dispatch-exempt. Our own children go through the
+                    // local fast path as usual.
+                    for child in listed {
+                        if self.shards.owner_of(child) != self.index
+                            && !state.replies.contains_key(&child)
+                        {
+                            state.predelegated.insert(child);
+                        }
+                    }
+                    if !self.drive(query_id, &mut state) {
+                        self.queries.insert(query_id, state);
+                    }
+                }
+                // else: duplicate or post-completion (threshold met
+                // mid-burst) — drop, like a stray TCont.
             }
             WireMsg::Pin { query_id, keywords } => {
                 self.stats.scans += 1;
@@ -529,53 +699,170 @@ impl Worker {
         }
     }
 
-    /// Advances one sequential query until it finishes (results to the
-    /// client; returns `true`) or suspends on a remote visit
-    /// (`T_QUERY` sent; returns `false`).
+    /// Advances one batched sequential query: folds buffered replies
+    /// strictly in dispatch order, then — once the whole outstanding
+    /// wave has folded — dispatches the next frontier at once,
+    /// self-owned visits onto the local work queue, remote visits
+    /// grouped per owner into `TQueryBatch` frames. Returns `true`
+    /// when the query finished (`QueryDone` sent), `false` while
+    /// visits are outstanding.
     fn drive(&mut self, query_id: u64, state: &mut QueryState) -> bool {
         loop {
-            match state.coord.next_step() {
-                Step::Finished => {
-                    state.results.truncate(state.threshold);
-                    let objects = std::mem::take(&mut state.results);
-                    let client = self.client_slot();
-                    self.send(client, &WireMsg::QueryDone { query_id, objects });
-                    return true;
-                }
-                Step::Visit { bits, via_dim } => {
-                    let owner = self.shards.owner_of(bits);
-                    if owner == self.index {
-                        self.stats.scans += 1;
-                        let found = scan_table(
-                            self.tables.get(&bits),
-                            state.coord.keywords(),
-                            state.coord.remaining(),
-                        );
-                        let vertex =
-                            Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
-                        let count = found.len();
-                        state
-                            .results
-                            .extend(found.iter().map(|r| (r.object.raw(), r.extra_keywords)));
-                        state
-                            .coord
-                            .record_visit(count, SupersetCoordinator::children_of(vertex, via_dim));
-                    } else {
-                        let keywords: KeywordSet = (**state.coord.keywords()).clone();
-                        self.send(
-                            owner as usize,
-                            &WireMsg::TQuery {
-                                query_id,
-                                bits,
-                                keywords,
-                                remaining: state.coord.remaining() as u64,
-                                via_dim,
-                                coord: self.index,
-                            },
-                        );
-                        return false;
+            // Fold in dispatch order only — a reply for a later vertex
+            // parks until everything dispatched before it has folded,
+            // which reproduces the sequential machine's budget
+            // accounting exactly.
+            while !state.coord.is_done() {
+                let Some(&bits) = state.pending.front() else {
+                    break;
+                };
+                let Some((objects, children)) = state.replies.remove(&bits) else {
+                    break;
+                };
+                state.pending.pop_front();
+                // The scan ran under the budget live at dispatch (or
+                // scan) time, which is ≥ the budget live now; the scan
+                // order is deterministic, so the fold-time prefix is
+                // exactly what a sequential visit would have returned.
+                let take = objects.len().min(state.coord.remaining());
+                state.results.extend(objects.into_iter().take(take));
+                state.coord.record_visit(take, children);
+            }
+            if state.coord.is_done() {
+                // Threshold met: replies still in flight (or parked,
+                // or queued locally) are discarded on arrival.
+                self.finish_query(query_id, state);
+                return true;
+            }
+            if !state.pending.is_empty() {
+                // Wave barrier: the next frontier ships only once
+                // every visit from the current one has folded, so
+                // burst composition — and with it the batch-frame
+                // count — is a pure function of the traversal, never
+                // of reply arrival timing.
+                return false;
+            }
+            let mut burst = Vec::new();
+            state.coord.drain_frontier(&mut burst);
+            if burst.is_empty() {
+                // Frontier exhausted, nothing outstanding: the
+                // traversal covered its subcube.
+                self.finish_query(query_id, state);
+                return true;
+            }
+            self.dispatch_burst(query_id, state, burst);
+        }
+    }
+
+    /// Ships one frontier burst: `pending` records the burst order,
+    /// self-owned vertices queue for the local fast path, and remote
+    /// vertices group per owner into `TQueryBatch` frames. Vertices
+    /// whose reply is already parked — delivered ahead of time by a
+    /// remote worker's eager region expansion — enter `pending` but
+    /// are never re-dispatched.
+    fn dispatch_burst(
+        &mut self,
+        query_id: u64,
+        state: &mut QueryState,
+        burst: Vec<(u64, Option<u8>)>,
+    ) {
+        let remaining = state.coord.remaining() as u64;
+        // Insertion-ordered grouping keeps frame emission (and thus
+        // the bench's frame counts) deterministic.
+        let mut groups: Vec<(u32, Vec<(u64, u8)>)> = Vec::new();
+        for (bits, via_dim) in burst {
+            state.pending.push_back(bits);
+            if state.replies.contains_key(&bits) {
+                // Already answered by the owning worker's eager
+                // expansion; the fold loop will consume it in order.
+                state.predelegated.remove(&bits);
+                continue;
+            }
+            if state.predelegated.remove(&bits) {
+                // A remote expansion already forwarded this visit to
+                // its owner; the reply is on its way unsolicited.
+                continue;
+            }
+            let owner = self.shards.owner_of(bits);
+            if owner == self.index {
+                self.local_work.push_back((query_id, bits, via_dim));
+                continue;
+            }
+            match via_dim {
+                Some(dim) => match groups.iter_mut().find(|(o, _)| *o == owner) {
+                    Some((_, entries)) => entries.push((bits, dim)),
+                    None => groups.push((owner, vec![(bits, dim)])),
+                },
+                // Only the traversal root lacks a dimension. An
+                // arrival dim of `r` spans every free dim below it —
+                // exactly the root's frontier — so the root rides the
+                // same batch path and its region expands eagerly at
+                // the owner like any other.
+                None => {
+                    let dim = self.shape.r();
+                    match groups.iter_mut().find(|(o, _)| *o == owner) {
+                        Some((_, entries)) => entries.push((bits, dim)),
+                        None => groups.push((owner, vec![(bits, dim)])),
                     }
                 }
+            }
+        }
+        for (owner, entries) in groups {
+            // Always a batch, even for a single entry: the batch
+            // handler eagerly expands the receiver's whole region, so
+            // a lone cross-cut edge still delegates the subtree below
+            // it instead of bouncing every child through here.
+            let keywords: KeywordSet = (**state.coord.keywords()).clone();
+            self.send(
+                owner as usize,
+                &WireMsg::TQueryBatch {
+                    query_id,
+                    keywords,
+                    remaining,
+                    coord: self.index,
+                    entries,
+                },
+            );
+        }
+    }
+
+    /// Completes one sequential query: truncates to the threshold and
+    /// ships `QueryDone` to the client.
+    fn finish_query(&mut self, query_id: u64, state: &mut QueryState) {
+        state.coord.stop();
+        state.results.truncate(state.threshold);
+        let objects = std::mem::take(&mut state.results);
+        let client = self.client_slot();
+        self.send(client, &WireMsg::QueryDone { query_id, objects });
+    }
+
+    /// Runs up to [`LOCAL_WORK_BUDGET`] queued self-owned visits: scan
+    /// inline (no encode/decode), park the reply, re-drive the query.
+    /// Entries whose query has completed (threshold met while they
+    /// waited) are skipped, mirroring a dropped late continuation.
+    fn run_local_work(&mut self) {
+        for _ in 0..LOCAL_WORK_BUDGET {
+            let Some((query_id, bits, via_dim)) = self.local_work.pop_front() else {
+                return;
+            };
+            let Some(mut state) = self.queries.remove(&query_id) else {
+                continue;
+            };
+            self.stats.scans += 1;
+            let found = scan_table(
+                self.tables.get(&bits),
+                state.coord.keywords(),
+                state.coord.remaining(),
+            );
+            let vertex = Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
+            let children = SupersetCoordinator::children_of(vertex, via_dim);
+            let objects = found
+                .iter()
+                .map(|r| (r.object.raw(), r.extra_keywords))
+                .collect();
+            state.replies.insert(bits, (objects, children));
+            if !self.drive(query_id, &mut state) {
+                self.queries.insert(query_id, state);
             }
         }
     }
@@ -715,9 +1002,24 @@ impl Worker {
     /// single fabric operation per destination.
     fn send(&mut self, dest: usize, msg: &WireMsg) {
         self.stats.frames_sent += 1;
-        let frame = msg.encode();
+        if let WireMsg::TQueryBatch { entries, .. } = msg {
+            self.stats.batch_frames_sent += 1;
+            self.stats.batch_entries_sent += entries.len() as u64;
+        }
+        if let WireMsg::TContBatch { entries, .. } = msg {
+            self.stats.batch_frames_sent += 1;
+            self.stats.batch_entries_sent += entries.len() as u64;
+        }
+        let mut frame = self.frame_pool.pop().unwrap_or_default();
+        msg.encode_into(&mut frame);
         let injectable = dest != self.client_slot()
-            && matches!(msg, WireMsg::TQuery { .. } | WireMsg::TCont { .. });
+            && matches!(
+                msg,
+                WireMsg::TQuery { .. }
+                    | WireMsg::TQueryBatch { .. }
+                    | WireMsg::TCont { .. }
+                    | WireMsg::TContBatch { .. }
+            );
         if injectable {
             if let Some(injector) = &mut self.injector {
                 match injector.fate(dest as u32) {
@@ -743,6 +1045,14 @@ impl Worker {
         // destination *behind* it — delay == reorder.
         while let Some(stashed) = self.stash[dest].pop_front() {
             self.outbox[dest].push_back(stashed);
+        }
+    }
+
+    /// Returns a consumed packet buffer to the pool so the next
+    /// [`Worker::send`] encodes into it instead of allocating.
+    fn recycle(&mut self, buf: Vec<u8>) {
+        if self.frame_pool.len() < FRAME_POOL_CAP {
+            self.frame_pool.push(buf);
         }
     }
 

@@ -15,7 +15,7 @@
 
 use hyperdex_core::{KeywordHasher, KeywordSet, ObjectId, RecoveryStrategy};
 use hyperdex_runtime::{
-    assert_fault_parity, FaultPlan, FtSearchOptions, NodeRuntime, RuntimeConfig, ShardMap,
+    assert_fault_parity, FaultPlan, FtSearchOptions, NodeRuntime, RuntimeConfig,
 };
 use hyperdex_workload::{Corpus, CorpusConfig};
 
@@ -77,9 +77,14 @@ fn plan_for(mode: &str, fault_seed: u64, victim: u32) -> FaultPlan {
 
 /// The worker owning object 2's home vertex — crashing it provably
 /// destroys indexed state, so recovery must actually replay the shard.
+/// Built via [`RuntimeConfig::shard_map`] so the victim tracks the
+/// runtime's actual placement policy.
 fn data_owning_worker(workers: u32) -> u32 {
     let hasher = KeywordHasher::new(R, SEED).unwrap();
-    ShardMap::new(workers, SEED).owner_of(hasher.vertex_for(&set("a b")).bits())
+    RuntimeConfig::new(R, workers)
+        .seed(SEED)
+        .shard_map()
+        .owner_of(hasher.vertex_for(&set("a b")).bits())
 }
 
 fn loaded(workers: u32, plan: FaultPlan) -> NodeRuntime {

@@ -67,6 +67,20 @@ fn exemplars() -> Vec<WireMsg> {
             result_messages: 12,
             skipped: vec![0b111, 0b1011],
         },
+        WireMsg::TQueryBatch {
+            query_id: 9,
+            keywords: set("alpha"),
+            remaining: 12,
+            coord: 1,
+            entries: vec![(0b1100, 2), (0b1010, 1), (0b1001, 0)],
+        },
+        WireMsg::TContBatch {
+            query_id: 9,
+            entries: vec![
+                (0b1100, vec![(4, 1), (5, 0)], vec![(0b1101, 0)]),
+                (0b1010, vec![], vec![]),
+            ],
+        },
         WireMsg::RepairDone { worker: 3 },
         WireMsg::Shutdown,
     ]
@@ -85,7 +99,7 @@ proptest! {
     /// `Truncated`/`BadLength`-class errors), never panics, and never
     /// "succeeds" with a different message.
     #[test]
-    fn truncations_of_valid_frames_are_rejected(which in 0usize..9, cut in 0usize..200) {
+    fn truncations_of_valid_frames_are_rejected(which in 0usize..11, cut in 0usize..200) {
         let msgs = exemplars();
         let encoded = msgs[which % msgs.len()].encode();
         if cut < encoded.len() {
@@ -97,7 +111,7 @@ proptest! {
     /// decodes (the flip landed in a value field) or is rejected —
     /// never a panic, and never a frame-length escape.
     #[test]
-    fn bit_flips_never_panic(which in 0usize..9, byte in 0usize..200, bit in 0u8..8) {
+    fn bit_flips_never_panic(which in 0usize..11, byte in 0usize..200, bit in 0u8..8) {
         let msgs = exemplars();
         let mut encoded = msgs[which % msgs.len()].encode();
         let len = encoded.len();
