@@ -23,9 +23,10 @@ use std::path::Path;
 use std::time::Instant;
 
 use hyperdex_core::{KeywordSet, ObjectId};
+use hyperdex_net::client::NetConfig;
 use hyperdex_net::cluster::{server_binary, Cluster, ClusterConfig};
 use hyperdex_net::parity::assert_net_parity;
-use hyperdex_runtime::{NodeRuntime, RuntimeConfig};
+use hyperdex_runtime::{NodeRuntime, RuntimeConfig, ShardPolicy};
 use hyperdex_workload::{Corpus, CorpusConfig, QueryLog, QueryLogConfig};
 
 use crate::experiments::runtime::{parity_queries, requests_for};
@@ -39,10 +40,11 @@ pub const MIXES: [&str; 3] = ["pin", "scan", "mixed"];
 
 /// Cube dimension (same scan-heavy regime as the runtime sweep).
 const NET_R: u8 = 8;
-/// Requests kept in flight by both modes' `run_batch`.
-const WINDOW: usize = 32;
 /// Timed repetitions per mode; the best one is reported.
 const REPS: usize = 3;
+
+/// Shard placement both modes run under; recorded per row.
+const POLICY: ShardPolicy = ShardPolicy::Prefix;
 
 /// Objects indexed per scale. One size per scale — each cell pays
 /// real process launches, so the sweep axis is cluster size, not
@@ -59,8 +61,12 @@ pub struct NetRow {
     pub corpus_size: usize,
     /// Query-mix name (one of [`MIXES`]).
     pub mix: &'static str,
+    /// Shard-placement policy name (both modes).
+    pub policy: &'static str,
     /// Server processes (= worker shards).
     pub servers: u32,
+    /// Requests kept in flight per connection (`HYPERDEX_NET_WINDOW`).
+    pub window: usize,
     /// Requests replayed through the batch window.
     pub requests: usize,
     /// Socket-mode completed requests per second.
@@ -127,6 +133,17 @@ fn best_of(mut run: impl FnMut() -> Vec<f64>, requests: usize) -> (f64, Vec<f64>
 pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
     section("Net — socket-mode throughput vs. the in-process channel fabric");
     let bin = server_binary().expect("hyperdex-server binary (cargo build -p hyperdex-net)");
+    // `HYPERDEX_NET_SMOKE=1` shrinks the sweep to the CI throughput
+    // smoke: pin mix only, {1, 2} processes, small corpus — enough to
+    // catch a transport regression without a full bench run.
+    let smoke = std::env::var("HYPERDEX_NET_SMOKE").is_ok_and(|v| v == "1");
+    let sizes: &[u32] = if smoke {
+        &CLUSTER_SIZES[..2]
+    } else {
+        &CLUSTER_SIZES
+    };
+    let mixes: &[&'static str] = if smoke { &MIXES[..1] } else { &MIXES };
+    let window = NetConfig::default().window;
     let objects = match ctx.scale {
         Scale::Full => OBJECTS_FULL,
         Scale::Small => OBJECTS_SMALL,
@@ -144,7 +161,7 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
     // Parity first, untimed: every cluster size must agree with the
     // direct engine, the sim, and the threaded runtime.
     let checks = parity_queries(&log);
-    for &servers in &CLUSTER_SIZES {
+    for &servers in sizes {
         let report = assert_net_parity(
             NET_R,
             cell_seed,
@@ -157,24 +174,29 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
         assert_eq!(report.shutdown.in_flight(), 0);
     }
     println!(
-        "parity: {} objects × {} queries × processes {CLUSTER_SIZES:?} — ok (4 executors)",
+        "parity: {} objects × {} queries × processes {sizes:?} — ok (4 executors)",
         entries.len(),
         checks.len()
     );
 
     let mut rows: Vec<NetRow> = Vec::new();
-    for mix in MIXES {
+    for &mix in mixes {
         let requests = requests_for(mix, &corpus, &log);
-        for &servers in &CLUSTER_SIZES {
-            // Channel mode: the in-process baseline on the same batch.
-            let mut rt = NodeRuntime::start(RuntimeConfig::new(NET_R, servers).seed(cell_seed))
-                .expect("valid r");
+        for &servers in sizes {
+            // Channel mode: the in-process baseline on the same batch,
+            // same placement policy.
+            let mut rt = NodeRuntime::start(
+                RuntimeConfig::new(NET_R, servers)
+                    .seed(cell_seed)
+                    .policy(POLICY),
+            )
+            .expect("valid r");
             rt.bulk_load(entries.iter().map(|(id, k)| (*id, k)))
                 .expect("non-empty sets");
             rt.flush();
             let (channel_qps, _) = best_of(
                 || {
-                    rt.run_batch(&requests, WINDOW)
+                    rt.run_batch(&requests, window)
                         .iter()
                         .map(|b| b.latency.as_secs_f64() * 1e6)
                         .collect()
@@ -185,6 +207,7 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
 
             // Socket mode: one process per shard over loopback.
             let mut cfg = ClusterConfig::new(NET_R, cell_seed, servers, servers);
+            cfg.policy = POLICY;
             cfg.server_bin = Some(bin.clone());
             let cluster = Cluster::launch(cfg).expect("cluster launch");
             let mut client = cluster.client().expect("cluster client");
@@ -195,7 +218,7 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
             let (qps, lat) = best_of(
                 || {
                     client
-                        .run_batch(&requests, WINDOW)
+                        .run_batch(&requests, window)
                         .expect("batch over TCP")
                         .iter()
                         .map(|b| b.latency.as_secs_f64() * 1e6)
@@ -211,7 +234,9 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
                 r: NET_R,
                 corpus_size: objects,
                 mix,
+                policy: POLICY.name(),
                 servers,
+                window,
                 requests: requests.len(),
                 qps,
                 p50_us: pct(0.50),
@@ -227,11 +252,40 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
         }
     }
 
+    // In-run throughput bars: real perf claims only hold in release
+    // builds on hosts with enough cores to actually run the processes
+    // in parallel, so both gates check that first.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    #[cfg(not(debug_assertions))]
+    for row in &rows {
+        if row.mix == "pin" && row.servers == 2 && cores >= 2 {
+            assert!(
+                row.socket_vs_channel >= 0.5,
+                "socket throughput bar: pin mix at 2 processes reached only \
+                 {:.3}× of channel mode (bar: 0.5)",
+                row.socket_vs_channel
+            );
+        }
+        if row.mix == "scan" && row.servers == 4 && cores >= 4 {
+            assert!(
+                row.socket_vs_channel >= 0.8,
+                "socket throughput bar: scan mix at 4 processes reached only \
+                 {:.3}× of channel mode (bar: 0.8)",
+                row.socket_vs_channel
+            );
+        }
+    }
+    let _ = cores;
+
     let mut table = Table::new([
         "r",
         "objects",
         "mix",
+        "policy",
         "processes",
+        "window",
         "requests",
         "qps",
         "p50 µs",
@@ -245,7 +299,9 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
             row.r.to_string(),
             row.corpus_size.to_string(),
             row.mix.to_string(),
+            row.policy.to_string(),
             row.servers.to_string(),
+            row.window.to_string(),
             row.requests.to_string(),
             f(row.qps, 0),
             f(row.p50_us, 1),
@@ -258,7 +314,7 @@ pub fn run(ctx: &SharedContext) -> Vec<NetRow> {
     print!("{}", table.to_markdown());
 
     println!("\n### JSON series (vs cluster size)\n");
-    for mix in MIXES {
+    for &mix in mixes {
         let points: Vec<(f64, f64)> = rows
             .iter()
             .filter(|row| row.mix == mix)
@@ -289,13 +345,16 @@ pub fn write_json(rows: &[NetRow], seed: u64, path: &Path) -> std::io::Result<()
         .iter()
         .map(|r| {
             format!(
-                "{{\"r\":{},\"corpus_size\":{},\"mix\":\"{}\",\"servers\":{},\
+                "{{\"r\":{},\"corpus_size\":{},\"mix\":\"{}\",\"policy\":\"{}\",\
+                 \"servers\":{},\"window\":{},\
                  \"requests\":{},\"qps\":{:.2},\"p50_us\":{:.2},\"p99_us\":{:.2},\
                  \"frames\":{},\"channel_qps\":{:.2},\"socket_vs_channel\":{:.4}}}",
                 r.r,
                 r.corpus_size,
                 r.mix,
+                r.policy,
                 r.servers,
+                r.window,
                 r.requests,
                 r.qps,
                 r.p50_us,
@@ -319,7 +378,9 @@ mod tests {
             r: 8,
             corpus_size: 1_000,
             mix: "pin",
+            policy: "prefix",
             servers: 2,
+            window: 32,
             requests: 512,
             qps: 900.5,
             p50_us: 950.0,
@@ -335,6 +396,8 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read");
         assert!(text.starts_with("{\"seed\":42,\"rows\":[\n"));
         assert!(text.contains("\"servers\":2"));
+        assert!(text.contains("\"policy\":\"prefix\""));
+        assert!(text.contains("\"window\":32"));
         assert!(text.contains("\"channel_qps\":4500.00"));
         assert!(text.contains("\"socket_vs_channel\":0.2000"));
         assert!(text.trim_end().ends_with("]}"));

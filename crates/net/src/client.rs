@@ -36,7 +36,7 @@ use hyperdex_runtime::wire::WireMsg;
 use hyperdex_runtime::{ShardMap, ShardPolicy};
 
 use crate::server::server_of;
-use crate::stream::{encode_unit, StreamDecoder, CLIENT_DEST};
+use crate::stream::{encode_unit, push_unit, StreamDecoder, CLIENT_DEST};
 
 /// Client-side knobs: connection and request deadlines, reconnect
 /// budget.
@@ -51,7 +51,16 @@ pub struct NetConfig {
     pub reconnect_attempts: u32,
     /// Sleep before the second reconnect attempt; doubles per attempt.
     pub reconnect_backoff: Duration,
+    /// Independent searches kept in flight per connection by the
+    /// windowed paths ([`NetClient::run_batch`],
+    /// [`NetClient::superset_search_ft_batch`]). The default reads the
+    /// `HYPERDEX_NET_WINDOW` environment variable (falling back to 32).
+    pub window: usize,
 }
+
+/// Default for [`NetConfig::window`] when `HYPERDEX_NET_WINDOW` is
+/// unset or unparsable.
+pub const DEFAULT_WINDOW: usize = 32;
 
 impl Default for NetConfig {
     fn default() -> NetConfig {
@@ -60,6 +69,11 @@ impl Default for NetConfig {
             request_timeout: Duration::from_secs(10),
             reconnect_attempts: 4,
             reconnect_backoff: Duration::from_millis(25),
+            window: std::env::var("HYPERDEX_NET_WINDOW")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&w| w > 0)
+                .unwrap_or(DEFAULT_WINDOW),
         }
     }
 }
@@ -83,6 +97,10 @@ pub struct NetClient {
     conns: Vec<Option<TcpStream>>,
     events_tx: Sender<Event>,
     events_rx: Receiver<Event>,
+    /// Per server: units queued by the windowed paths, written as one
+    /// coalesced packet by [`NetClient::flush_queued`]. The `u64` is
+    /// the queued frame count (for the conservation ledger).
+    wqueue: Vec<(Vec<u8>, u64)>,
     /// Frames decoded but not yet consumed by a request.
     pending: VecDeque<WireMsg>,
     received: Arc<AtomicU64>,
@@ -159,6 +177,7 @@ impl NetClient {
             conns: (0..addrs.len()).map(|_| None).collect(),
             events_tx,
             events_rx,
+            wqueue: (0..addrs.len()).map(|_| (Vec::new(), 0)).collect(),
             pending: VecDeque::new(),
             received,
             readers: Vec::new(),
@@ -283,6 +302,52 @@ impl NetClient {
             })?;
         }
         self.frames_sent += 1;
+        Ok(())
+    }
+
+    /// Queues one frame for `worker` without touching the socket; the
+    /// windowed paths batch their sends here and ship one coalesced
+    /// packet per server with [`NetClient::flush_queued`].
+    fn queue_frame(&mut self, worker: u32, msg: &WireMsg) {
+        let server = self.owner_server(worker);
+        let (buf, frames) = &mut self.wqueue[server];
+        push_unit(buf, worker, &msg.encode());
+        *frames += 1;
+    }
+
+    /// Writes every queued packet, one `write_all` per server, with
+    /// the same single-reconnect-cycle contract as
+    /// [`NetClient::send_frame`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ConnectionLost`] when a server stays unreachable
+    /// through the reconnect budget.
+    fn flush_queued(&mut self) -> Result<(), Error> {
+        self.poll_events();
+        for server in 0..self.wqueue.len() {
+            if self.wqueue[server].0.is_empty() {
+                continue;
+            }
+            let (buf, frames) = std::mem::take(&mut self.wqueue[server]);
+            if self.conns[server].is_none() {
+                self.reconnect(server)?;
+            }
+            let failed = match self.conns[server].as_mut() {
+                Some(stream) => stream.write_all(&buf).is_err(),
+                None => true,
+            };
+            if failed {
+                self.conns[server] = None;
+                self.reconnect(server)?;
+                let stream = self.conns[server].as_mut().expect("just reconnected");
+                stream.write_all(&buf).map_err(|e| Error::ConnectionLost {
+                    endpoint: self.addrs[server].clone(),
+                    detail: e.to_string(),
+                })?;
+            }
+            self.frames_sent += frames;
+        }
         Ok(())
     }
 
@@ -483,52 +548,88 @@ impl NetClient {
         threshold: usize,
         opts: &FtSearchOptions,
     ) -> Result<FtSearchOutcome, Error> {
+        let mut out =
+            self.superset_search_ft_batch(std::slice::from_ref(keywords), threshold, opts)?;
+        Ok(out.pop().expect("one query in, one outcome out"))
+    }
+
+    /// Windowed fault-tolerant search: keeps up to
+    /// [`NetConfig::window`] independent FT queries in flight, matching
+    /// out-of-order completions by query id. Each search carries its
+    /// own attempt counter and deadline — one search timing out (and
+    /// re-issuing, or degrading to an honest empty outcome once its
+    /// attempts are exhausted) never stalls the rest of the window.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::ZeroThreshold`] / [`Error::ZeroTimeout`] on bad
+    /// arguments, [`Error::ConnectionLost`] when a send finds a server
+    /// unreachable through the reconnect budget. A search whose replies
+    /// never arrive is not an error: it completes degraded
+    /// (`complete: false`, no coverage), exactly like the single-query
+    /// path.
+    pub fn superset_search_ft_batch(
+        &mut self,
+        queries: &[KeywordSet],
+        threshold: usize,
+        opts: &FtSearchOptions,
+    ) -> Result<Vec<FtSearchOutcome>, Error> {
         if threshold == 0 {
             return Err(Error::ZeroThreshold);
         }
         if opts.base_timeout_ms == 0 {
             return Err(Error::ZeroTimeout);
         }
-        let root = self.hasher.vertex_for(keywords).bits();
-        let owner = self.shards.owner_of(root);
+        struct Flight {
+            slot: usize,
+            attempt: u32,
+            deadline: Instant,
+        }
+        let window = self.cfg.window.max(1);
         let attempts = opts.attempts.max(1);
-        for attempt in 1..=attempts {
-            self.next_id += 1;
-            let id = self.next_id;
-            self.send_frame(
-                owner,
-                &WireMsg::FtQuery {
-                    query_id: id,
-                    keywords: keywords.clone(),
-                    threshold: threshold as u64,
-                    strategy: opts.strategy,
-                    max_retries: opts.max_retries,
-                    base_timeout_ms: opts.base_timeout_ms,
-                },
-            )?;
-            let deadline = Instant::now() + Duration::from_millis(opts.attempt_timeout_ms.max(1));
-            loop {
-                let msg = match self.recv_within(deadline, "FT reply", None) {
-                    Ok(msg) => msg,
-                    Err(Error::Timeout { .. }) => break,
-                    Err(other) => return Err(other),
-                };
-                match msg {
-                    WireMsg::FtQueryDone {
-                        query_id,
-                        objects,
-                        subcube,
-                        reached,
-                        retries,
-                        timeouts,
-                        redelegations,
-                        queries_sent,
-                        conts,
-                        result_messages,
-                        skipped,
-                    } if query_id == id => {
+        let attempt_timeout = Duration::from_millis(opts.attempt_timeout_ms.max(1));
+        let mut out: Vec<Option<FtSearchOutcome>> = queries.iter().map(|_| None).collect();
+        let mut flights: HashMap<u64, Flight> = HashMap::new();
+        let mut next = 0usize;
+        let mut done = 0usize;
+        while done < queries.len() {
+            while next < queries.len() && flights.len() < window {
+                let id = self.issue_ft(&queries[next], threshold, opts);
+                flights.insert(
+                    id,
+                    Flight {
+                        slot: next,
+                        attempt: 1,
+                        deadline: Instant::now() + attempt_timeout,
+                    },
+                );
+                next += 1;
+            }
+            self.flush_queued()?;
+            let deadline = flights
+                .values()
+                .map(|f| f.deadline)
+                .min()
+                .expect("incomplete slots are in flight");
+            match self.recv_within(deadline, "FT reply", None) {
+                Ok(WireMsg::FtQueryDone {
+                    query_id,
+                    objects,
+                    subcube,
+                    reached,
+                    retries,
+                    timeouts,
+                    redelegations,
+                    queries_sent,
+                    conts,
+                    result_messages,
+                    skipped,
+                }) => {
+                    // A miss is the stale completion of an abandoned
+                    // attempt — discarded, like the in-process client.
+                    if let Some(flight) = flights.remove(&query_id) {
                         let complete = skipped.is_empty();
-                        return Ok(FtSearchOutcome {
+                        out[flight.slot] = Some(FtSearchOutcome {
                             matches: objects
                                 .into_iter()
                                 .map(|(raw, extra)| RuntimeMatch {
@@ -537,7 +638,7 @@ impl NetClient {
                                 })
                                 .collect(),
                             complete,
-                            attempts: attempt,
+                            attempts: flight.attempt,
                             coverage: Some(CoverageReport {
                                 strategy: opts.strategy,
                                 subcube_vertices: subcube,
@@ -558,19 +659,67 @@ impl NetClient {
                                 elapsed: hyperdex_simnet::time::SimDuration::ZERO,
                             }),
                         });
+                        done += 1;
                     }
-                    // Stale completion of an abandoned attempt.
-                    WireMsg::FtQueryDone { .. } => {}
-                    other => panic!("unexpected frame awaiting FT results: {other:?}"),
                 }
+                Ok(other) => panic!("unexpected frame awaiting FT results: {other:?}"),
+                Err(Error::Timeout { .. }) => {
+                    // Only the expired flights re-issue (fresh id) or
+                    // degrade; the rest of the window keeps waiting.
+                    let now = Instant::now();
+                    let expired: Vec<u64> = flights
+                        .iter()
+                        .filter(|(_, f)| f.deadline <= now)
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for id in expired {
+                        let flight = flights.remove(&id).expect("collected above");
+                        if flight.attempt >= attempts {
+                            out[flight.slot] = Some(FtSearchOutcome {
+                                matches: Vec::new(),
+                                complete: false,
+                                attempts,
+                                coverage: None,
+                            });
+                            done += 1;
+                        } else {
+                            let new_id = self.issue_ft(&queries[flight.slot], threshold, opts);
+                            flights.insert(
+                                new_id,
+                                Flight {
+                                    slot: flight.slot,
+                                    attempt: flight.attempt + 1,
+                                    deadline: Instant::now() + attempt_timeout,
+                                },
+                            );
+                        }
+                    }
+                }
+                Err(other) => return Err(other),
             }
         }
-        Ok(FtSearchOutcome {
-            matches: Vec::new(),
-            complete: false,
-            attempts,
-            coverage: None,
-        })
+        Ok(out.into_iter().map(|r| r.expect("all completed")).collect())
+    }
+
+    /// Queues one FT query toward its root's owner and returns the
+    /// fresh query id.
+    fn issue_ft(&mut self, keywords: &KeywordSet, threshold: usize, opts: &FtSearchOptions) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        let root = self.hasher.vertex_for(keywords).bits();
+        let owner = self.shards.owner_of(root);
+        self.queue_frame(
+            owner,
+            &WireMsg::FtQuery {
+                query_id: id,
+                keywords: keywords.clone(),
+                threshold: threshold as u64,
+                strategy: opts.strategy,
+                max_retries: opts.max_retries,
+                base_timeout_ms: opts.base_timeout_ms,
+            },
+        );
+        id
     }
 
     /// Runs `requests` keeping up to `window` in flight across the
@@ -599,32 +748,33 @@ impl NetClient {
                     Request::Pin(keywords) => {
                         let bits = self.hasher.vertex_for(keywords).bits();
                         let owner = self.shards.owner_of(bits);
-                        self.send_frame(
+                        self.queue_frame(
                             owner,
                             &WireMsg::Pin {
                                 query_id: id,
                                 keywords: keywords.clone(),
                             },
-                        )?;
+                        );
                     }
                     Request::Superset {
                         keywords,
                         threshold,
                     } => {
                         let owner = self.coordinator_for(id);
-                        self.send_frame(
+                        self.queue_frame(
                             owner,
                             &WireMsg::Query {
                                 query_id: id,
                                 keywords: keywords.clone(),
                                 threshold: *threshold as u64,
                             },
-                        )?;
+                        );
                     }
                 }
                 in_flight.insert(id, (next, started));
                 next += 1;
             }
+            self.flush_queued()?;
             let deadline = self.request_deadline();
             let (query_id, objects) = match self.recv_within(deadline, "batch reply", None)? {
                 WireMsg::PinResults { query_id, objects } => (
@@ -675,18 +825,15 @@ impl NetClient {
 /// Decodes client-bound units off one connection into the shared event
 /// channel, reporting the connection's death as a final event.
 fn reader_loop(mut stream: TcpStream, server: usize, tx: Sender<Event>, received: Arc<AtomicU64>) {
-    use std::io::Read;
     let mut dec = StreamDecoder::new();
-    let mut chunk = vec![0u8; 64 * 1024];
     let detail = loop {
-        let n = match stream.read(&mut chunk) {
+        match dec.fill_from(&mut stream) {
             Ok(0) => break "server closed the connection".to_string(),
             Err(e) => break e.to_string(),
-            Ok(n) => n,
-        };
-        dec.push(&chunk[..n]);
+            Ok(_) => {}
+        }
         loop {
-            match dec.next_unit() {
+            match dec.next_unit_ref() {
                 Ok(None) => break,
                 Err(e) => {
                     let _ = tx.send(Event::Lost {
@@ -695,10 +842,10 @@ fn reader_loop(mut stream: TcpStream, server: usize, tx: Sender<Event>, received
                     });
                     return;
                 }
-                Ok(Some(unit)) => {
-                    debug_assert_eq!(unit.dest, CLIENT_DEST, "worker-bound unit at the client");
+                Ok(Some((dest, frame))) => {
+                    debug_assert_eq!(dest, CLIENT_DEST, "worker-bound unit at the client");
                     received.fetch_add(1, Ordering::SeqCst);
-                    match WireMsg::decode_exact(&unit.frame) {
+                    match WireMsg::decode_exact(frame) {
                         Ok(msg) => {
                             if tx.send(Event::Frame(msg)).is_err() {
                                 return;

@@ -20,6 +20,8 @@
 //! every possible split point, which the robustness suite exercises
 //! exhaustively (every `WireMsg` variant, every byte boundary).
 
+use std::io::Read;
+
 use hyperdex_runtime::wire::{self, WireError};
 
 /// `dest` marking a unit for the client rather than a worker.
@@ -42,6 +44,30 @@ pub fn encode_unit(dest: u32, frame: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Logical units in a wire packet (`[dest][frame]` back to back).
+/// Packets are built from well-formed units, so a parse failure is a
+/// bug; the count stops there (debug builds assert).
+pub fn count_units(packet: &[u8]) -> u64 {
+    let header = DEST_LEN + wire::PREFIX_LEN;
+    let mut rest = packet;
+    let mut n = 0;
+    while !rest.is_empty() {
+        if rest.len() < header {
+            debug_assert!(false, "torn unit header in count_units");
+            break;
+        }
+        let body_len = u32::from_le_bytes(rest[DEST_LEN..header].try_into().expect("4 bytes"));
+        let unit_len = header + body_len as usize;
+        if body_len > wire::MAX_BODY_LEN || rest.len() < unit_len {
+            debug_assert!(false, "malformed unit in count_units");
+            break;
+        }
+        n += 1;
+        rest = &rest[unit_len..];
+    }
+    n
+}
+
 /// One decoded unit: where it goes and the complete `WireMsg` frame
 /// (length prefix included, ready for `WireMsg::decode_exact`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,19 +78,34 @@ pub struct Unit {
     pub frame: Vec<u8>,
 }
 
+/// Bytes one [`StreamDecoder::fill_from`] call asks the kernel for
+/// when no pending unit header demands more.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Incremental unit parser over an arbitrary byte stream.
 ///
-/// Feed read fragments with [`StreamDecoder::push`], then drain
-/// complete units with [`StreamDecoder::next_unit`]. Bytes that do not
-/// yet form a complete unit stay buffered; a header that can never be
-/// valid (oversized length) surfaces as an error instead of a stall or
-/// a panic.
+/// Feed read fragments with [`StreamDecoder::push`] (or let the
+/// decoder read straight into its own buffer with
+/// [`StreamDecoder::fill_from`]), then drain complete units with
+/// [`StreamDecoder::next_unit`] / [`StreamDecoder::next_unit_ref`].
+/// Bytes that do not yet form a complete unit stay buffered; a header
+/// that can never be valid (oversized length) surfaces as an error
+/// instead of a stall or a panic.
+///
+/// When a buffered header announces a unit longer than what has
+/// arrived, the decoder pre-reserves exactly the announced unit length
+/// (`reserve_exact`, capped by the wire's [`wire::MAX_BODY_LEN`]), so
+/// a large batch frame trickling in over many reads reallocates at
+/// most once instead of growing incrementally.
 #[derive(Debug, Default)]
 pub struct StreamDecoder {
+    /// Initialized storage; live bytes are `buf[start..end]`.
     buf: Vec<u8>,
-    /// Consumed prefix of `buf`; compacted lazily so every unit does
-    /// not trigger a memmove of the remainder.
+    /// Consumed prefix of the live region; compacted lazily so every
+    /// unit does not trigger a memmove of the remainder.
     start: usize,
+    /// End of the live region (`buf[end..]` is writable spare room).
+    end: usize,
 }
 
 impl StreamDecoder {
@@ -76,12 +117,43 @@ impl StreamDecoder {
     /// Appends one read fragment (any length, including empty).
     pub fn push(&mut self, bytes: &[u8]) {
         self.compact();
-        self.buf.extend_from_slice(bytes);
+        self.grow_for(bytes.len());
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// Reads once from `r` directly into the decoder's spare room —
+    /// no intermediate chunk buffer, no copy. Returns the byte count
+    /// (`0` means EOF). The read asks for at least [`READ_CHUNK`]
+    /// bytes, or the remainder of a partially-buffered unit when its
+    /// header announces more.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying read error.
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.compact();
+        let want = match self.pending_unit_len() {
+            Some(unit_len) if unit_len > self.buffered() => {
+                (unit_len - self.buffered()).max(READ_CHUNK)
+            }
+            _ => READ_CHUNK,
+        };
+        self.grow_for(want);
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
     }
 
     /// Bytes buffered but not yet consumed as units.
     pub fn buffered(&self) -> usize {
-        self.buf.len() - self.start
+        self.end - self.start
+    }
+
+    /// Bytes of backing storage the decoder holds — what the
+    /// pre-reservation discipline bounds.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
     }
 
     /// Pops the next complete unit, `Ok(None)` when more bytes are
@@ -93,8 +165,23 @@ impl StreamDecoder {
     /// than [`wire::MAX_BODY_LEN`] — the stream is corrupt and cannot
     /// be resynchronized.
     pub fn next_unit(&mut self) -> Result<Option<Unit>, WireError> {
-        let pending = &self.buf[self.start..];
+        Ok(self.next_unit_ref()?.map(|(dest, frame)| Unit {
+            dest,
+            frame: frame.to_vec(),
+        }))
+    }
+
+    /// [`StreamDecoder::next_unit`] without the frame copy: the
+    /// returned slice borrows the decoder's buffer and is valid until
+    /// the next mutating call.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`], exactly like
+    /// [`StreamDecoder::next_unit`].
+    pub fn next_unit_ref(&mut self) -> Result<Option<(u32, &[u8])>, WireError> {
         let header = DEST_LEN + wire::PREFIX_LEN;
+        let pending = &self.buf[self.start..self.end];
         if pending.len() < header {
             return Ok(None);
         }
@@ -107,15 +194,55 @@ impl StreamDecoder {
         if pending.len() < unit_len {
             return Ok(None);
         }
-        let frame = pending[DEST_LEN..unit_len].to_vec();
-        self.start += unit_len;
-        Ok(Some(Unit { dest, frame }))
+        let frame_start = self.start + DEST_LEN;
+        let frame_end = self.start + unit_len;
+        self.start = frame_end;
+        Ok(Some((dest, &self.buf[frame_start..frame_end])))
+    }
+
+    /// The full length of the unit whose header is buffered, when one
+    /// is and its length is plausible.
+    fn pending_unit_len(&self) -> Option<usize> {
+        let header = DEST_LEN + wire::PREFIX_LEN;
+        let pending = &self.buf[self.start..self.end];
+        if pending.len() < header {
+            return None;
+        }
+        let body_len = u32::from_le_bytes(pending[DEST_LEN..header].try_into().expect("4 bytes"));
+        if body_len > wire::MAX_BODY_LEN {
+            // Corrupt header: surfaces as an error from next_unit, so
+            // never reserve for it.
+            return None;
+        }
+        Some(header + body_len as usize)
+    }
+
+    /// Ensures `extra` writable bytes after `end`, pre-reserving the
+    /// full announced unit when a partial one is buffered. Growth is
+    /// `reserve_exact`: the buffer never balloons past what the wire
+    /// format itself justifies.
+    fn grow_for(&mut self, extra: usize) {
+        let mut target = self.end + extra;
+        if let Some(unit_len) = self.pending_unit_len() {
+            target = target.max(self.start + unit_len);
+        }
+        if self.buf.len() < target {
+            self.buf.reserve_exact(target - self.buf.len());
+            self.buf.resize(target, 0);
+        }
     }
 
     /// Reclaims consumed bytes once they dominate the buffer.
     fn compact(&mut self) {
-        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 4096) {
-            self.buf.drain(..self.start);
+        if self.start == 0 {
+            return;
+        }
+        if self.start >= self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start >= 4096 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
             self.start = 0;
         }
     }

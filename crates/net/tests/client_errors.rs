@@ -11,6 +11,7 @@ use std::time::{Duration, Instant};
 use hyperdex_core::{Error, KeywordSet};
 use hyperdex_net::client::{NetClient, NetConfig};
 use hyperdex_net::stream::{encode_unit, StreamDecoder, CLIENT_DEST};
+use hyperdex_runtime::runtime::FtSearchOptions;
 use hyperdex_runtime::wire::WireMsg;
 
 fn quick_cfg() -> NetConfig {
@@ -19,6 +20,25 @@ fn quick_cfg() -> NetConfig {
         request_timeout: Duration::from_millis(150),
         reconnect_attempts: 3,
         reconnect_backoff: Duration::from_millis(10),
+        window: 8,
+    }
+}
+
+/// A canned successful completion for FT query `query_id`, carrying
+/// `objects` as its matches.
+fn ft_done(query_id: u64, objects: Vec<(u64, u32)>) -> WireMsg {
+    WireMsg::FtQueryDone {
+        query_id,
+        objects,
+        subcube: 1,
+        reached: 1,
+        retries: 0,
+        timeouts: 0,
+        redelegations: 0,
+        queries_sent: 1,
+        conts: 1,
+        result_messages: 1,
+        skipped: Vec::new(),
     }
 }
 
@@ -176,4 +196,210 @@ fn mid_session_loss_gives_up_after_backoff_and_names_the_endpoint() {
         elapsed >= Duration::from_millis(30),
         "reconnect returned too fast for its backoff schedule ({elapsed:?})"
     );
+}
+
+/// Reads units off `stream` until `n` FT queries have arrived,
+/// returning `(query_id, keywords)` in arrival order. Non-FT frames
+/// are a protocol bug.
+fn read_ft_queries(
+    stream: &mut TcpStream,
+    dec: &mut StreamDecoder,
+    n: usize,
+) -> Vec<(u64, KeywordSet)> {
+    let mut out = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while out.len() < n {
+        if let Some(unit) = dec.next_unit().expect("well-formed stream") {
+            match WireMsg::decode_exact(&unit.frame).expect("decodable frame") {
+                WireMsg::FtQuery {
+                    query_id, keywords, ..
+                } => out.push((query_id, keywords)),
+                other => panic!("expected an FT query, got {other:?}"),
+            }
+            continue;
+        }
+        let got = stream.read(&mut chunk).expect("request bytes");
+        assert!(got > 0, "client hung up before sending {n} queries");
+        dec.push(&chunk[..got]);
+    }
+    out
+}
+
+#[test]
+fn windowed_ft_batch_matches_out_of_order_completions_by_id() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let (done_tx, done_rx) = channel::<()>();
+    // All three queries arrive in one window; replies come back in
+    // reverse order, each tagged with its query id as the object.
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        assert_eq!(read_hello(&mut stream), CLIENT_DEST);
+        let mut dec = StreamDecoder::new();
+        let queries = read_ft_queries(&mut stream, &mut dec, 3);
+        for (id, _) in queries.iter().rev() {
+            stream
+                .write_all(&encode_unit(
+                    CLIENT_DEST,
+                    &ft_done(*id, vec![(*id, 0)]).encode(),
+                ))
+                .expect("reply");
+        }
+        // Hold the socket open until the client has read everything;
+        // waiting for EOF instead would deadlock — the client's reader
+        // thread keeps its socket clone alive past drop(client).
+        done_rx.recv().ok();
+    });
+
+    let mut client = NetClient::connect(&[addr], 8, 42, 1, quick_cfg()).expect("connect");
+    let queries: Vec<KeywordSet> = ["alpha one", "beta two", "gamma three"]
+        .iter()
+        .map(|q| KeywordSet::parse(q).unwrap())
+        .collect();
+    let outcomes = client
+        .superset_search_ft_batch(&queries, 16, &FtSearchOptions::default())
+        .expect("batch completes");
+    assert_eq!(outcomes.len(), 3);
+    // Ids were issued in request order (1, 2, 3); despite reversed
+    // replies each outcome holds its own search's result.
+    for (slot, outcome) in outcomes.iter().enumerate() {
+        assert!(outcome.complete, "slot {slot} complete");
+        assert_eq!(outcome.attempts, 1, "slot {slot} first try");
+        assert_eq!(outcome.matches.len(), 1);
+        assert_eq!(outcome.matches[0].object.raw(), slot as u64 + 1);
+    }
+    done_tx.send(()).ok();
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn one_search_timing_out_does_not_stall_the_rest_of_the_window() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let doomed = KeywordSet::parse("doomed query").unwrap();
+    let (done_tx, done_rx) = channel::<()>();
+    // Answers everything except the doomed query; its re-issues pile
+    // up unread in the socket buffer and are never acknowledged.
+    let server = std::thread::spawn({
+        let doomed = doomed.clone();
+        move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            assert_eq!(read_hello(&mut stream), CLIENT_DEST);
+            let mut dec = StreamDecoder::new();
+            let mut answered = 0;
+            while answered < 2 {
+                for (id, keywords) in read_ft_queries(&mut stream, &mut dec, 1) {
+                    if keywords == doomed {
+                        continue;
+                    }
+                    stream
+                        .write_all(&encode_unit(
+                            CLIENT_DEST,
+                            &ft_done(id, vec![(id, 0)]).encode(),
+                        ))
+                        .expect("reply");
+                    answered += 1;
+                }
+            }
+            // Keep the connection open (so re-issues don't trip the
+            // reconnect path) until the client has degraded the doomed
+            // search and finished its batch.
+            done_rx.recv().ok();
+        }
+    });
+
+    let mut client = NetClient::connect(&[addr], 8, 42, 1, quick_cfg()).expect("connect");
+    let queries = vec![
+        KeywordSet::parse("healthy one").unwrap(),
+        doomed,
+        KeywordSet::parse("healthy two").unwrap(),
+    ];
+    let opts = FtSearchOptions {
+        attempts: 2,
+        attempt_timeout_ms: 150,
+        ..FtSearchOptions::default()
+    };
+    let outcomes = client
+        .superset_search_ft_batch(&queries, 16, &opts)
+        .expect("batch completes despite the black hole");
+    assert!(
+        outcomes[0].complete && outcomes[2].complete,
+        "healthy searches succeed"
+    );
+    assert_eq!(outcomes[0].matches.len(), 1);
+    assert_eq!(outcomes[2].matches.len(), 1);
+    // The doomed search degrades honestly after its attempt budget.
+    assert!(!outcomes[1].complete);
+    assert_eq!(outcomes[1].attempts, 2);
+    assert!(outcomes[1].matches.is_empty());
+    assert!(outcomes[1].coverage.is_none(), "nobody ever answered");
+    done_tx.send(()).ok();
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn reconnect_mid_window_reissues_on_the_fresh_connection() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let (done_tx, done_rx) = channel::<()>();
+    // First connection: answer two of three queries, then drop the
+    // socket. The client must reconnect and re-issue the third.
+    let server = std::thread::spawn(move || {
+        let (mut first, _) = listener.accept().unwrap();
+        assert_eq!(read_hello(&mut first), CLIENT_DEST);
+        let mut dec = StreamDecoder::new();
+        let queries = read_ft_queries(&mut first, &mut dec, 3);
+        for (id, _) in &queries[..2] {
+            first
+                .write_all(&encode_unit(
+                    CLIENT_DEST,
+                    &ft_done(*id, vec![(*id, 0)]).encode(),
+                ))
+                .expect("reply");
+        }
+        // Let the replies land before the hangup.
+        std::thread::sleep(Duration::from_millis(50));
+        drop(first);
+
+        let (mut second, _) = listener.accept().unwrap();
+        assert_eq!(read_hello(&mut second), CLIENT_DEST);
+        let mut dec = StreamDecoder::new();
+        let reissued = read_ft_queries(&mut second, &mut dec, 1);
+        let (id, keywords) = &reissued[0];
+        assert_eq!(*keywords, queries[2].1, "the unanswered search re-issues");
+        second
+            .write_all(&encode_unit(
+                CLIENT_DEST,
+                &ft_done(*id, vec![(*id, 0)]).encode(),
+            ))
+            .expect("reply");
+        // Hold the fresh socket open until the client is done.
+        done_rx.recv().ok();
+    });
+
+    let mut client = NetClient::connect(&[addr], 8, 42, 1, quick_cfg()).expect("connect");
+    let queries: Vec<KeywordSet> = ["first fine", "second fine", "third dropped"]
+        .iter()
+        .map(|q| KeywordSet::parse(q).unwrap())
+        .collect();
+    let opts = FtSearchOptions {
+        attempts: 3,
+        attempt_timeout_ms: 300,
+        ..FtSearchOptions::default()
+    };
+    let outcomes = client
+        .superset_search_ft_batch(&queries, 16, &opts)
+        .expect("window survives the reconnect");
+    assert!(outcomes.iter().all(|o| o.complete), "all three complete");
+    assert_eq!(outcomes[0].attempts, 1);
+    assert_eq!(outcomes[1].attempts, 1);
+    assert_eq!(
+        outcomes[2].attempts, 2,
+        "the dropped search consumed a re-issue"
+    );
+    done_tx.send(()).ok();
+    drop(client);
+    server.join().unwrap();
 }

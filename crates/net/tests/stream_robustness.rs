@@ -203,3 +203,110 @@ fn garbage_headers_error_or_wait_but_never_panic() {
         }
     }
 }
+
+#[test]
+fn coalesced_multi_unit_packets_survive_every_split_point() {
+    // One wire packet holding every variant back to back — exactly
+    // what the accumulation buffer ships — split at every byte
+    // boundary across two pushes.
+    let msgs = all_variants();
+    let mut packet = Vec::new();
+    for (dest, msg) in msgs.iter().enumerate() {
+        push_unit(&mut packet, dest as u32, &msg.encode());
+    }
+    for split in 0..=packet.len() {
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for half in [&packet[..split], &packet[split..]] {
+            dec.push(half);
+            while let Some(unit) = dec.next_unit().expect("well-formed packet") {
+                assert_eq!(unit.dest, got.len() as u32, "dest order at split {split}");
+                got.push(WireMsg::decode_exact(&unit.frame).expect("decodable"));
+            }
+        }
+        assert_eq!(got, msgs, "unit set diverged at split {split}");
+        assert_eq!(dec.buffered(), 0, "leftover bytes at split {split}");
+    }
+}
+
+#[test]
+fn pre_reservation_sizes_to_the_announced_unit_not_beyond() {
+    // A torn unit whose header announces more than has arrived: the
+    // decoder pre-reserves exactly the announced unit (so the body
+    // trickling in never triggers incremental reallocation) and not a
+    // byte-ballooning multiple of it.
+    let big = WireMsg::PinResults {
+        query_id: 1,
+        objects: (0..20_000u64).collect(),
+    };
+    let frame = big.encode();
+    let unit = encode_unit(CLIENT_DEST, &frame);
+    let mut dec = StreamDecoder::new();
+    // Header plus one body byte: enough to announce the full length.
+    // The pre-reservation fires on the next write into the buffer.
+    dec.push(&unit[..9]);
+    assert!(dec.next_unit().expect("no error").is_none());
+    let mut chunks = unit[9..].chunks(4096);
+    dec.push(chunks.next().expect("body bytes"));
+    let reserved = dec.capacity();
+    assert!(
+        reserved >= unit.len(),
+        "decoder did not pre-reserve the announced unit ({reserved} < {})",
+        unit.len()
+    );
+    assert!(
+        reserved <= unit.len() * 2,
+        "pre-reservation over-allocated: {reserved} bytes for a {}-byte unit",
+        unit.len()
+    );
+    // Trickle the rest in; capacity must not grow past the
+    // pre-reservation (that would mean incremental reallocs).
+    for chunk in chunks {
+        dec.push(chunk);
+        assert_eq!(dec.capacity(), reserved, "decoder reallocated mid-unit");
+    }
+    let got = dec.next_unit().expect("well-formed").expect("complete");
+    assert_eq!(got.frame, frame);
+}
+
+#[test]
+fn oversized_header_does_not_trigger_pre_reservation() {
+    // A corrupt header announcing an absurd body must surface as a
+    // typed error without the decoder reserving memory for it.
+    let mut bad = 0u32.to_le_bytes().to_vec();
+    bad.extend_from_slice(&u32::MAX.to_le_bytes());
+    let mut dec = StreamDecoder::new();
+    dec.push(&bad);
+    assert!(
+        dec.capacity() < 1024 * 1024,
+        "decoder reserved {} bytes for a corrupt header",
+        dec.capacity()
+    );
+    assert!(matches!(dec.next_unit(), Err(WireError::Oversized { .. })));
+}
+
+#[test]
+fn fill_from_reads_straight_into_the_decoder() {
+    // The batched read path: a reader-style loop over an in-memory
+    // stream must yield the same units as push(), including across
+    // unit boundaries that land mid-read.
+    let msgs = all_variants();
+    let mut stream = Vec::new();
+    for msg in &msgs {
+        push_unit(&mut stream, CLIENT_DEST, &msg.encode());
+    }
+    let mut cursor = std::io::Cursor::new(stream);
+    let mut dec = StreamDecoder::new();
+    let mut got = Vec::new();
+    loop {
+        let n = dec.fill_from(&mut cursor).expect("in-memory read");
+        if n == 0 {
+            break;
+        }
+        while let Some(unit) = dec.next_unit().expect("well-formed stream") {
+            got.push(WireMsg::decode_exact(&unit.frame).expect("decodable"));
+        }
+    }
+    assert_eq!(got, msgs);
+    assert_eq!(dec.buffered(), 0);
+}

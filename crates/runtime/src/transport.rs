@@ -56,21 +56,58 @@ pub trait Transport: Send {
     /// Tries to ship every frame queued for `dest`, coalescing
     /// adjacent frames into one fabric operation where the transport
     /// supports it. Must never block.
+    ///
+    /// A transport may *accept* frames without putting them on the
+    /// fabric yet (accumulating toward a batch); such frames count in
+    /// [`Transport::pending`] until a later flush or
+    /// [`Transport::drain`] ships them.
     fn flush(&mut self, dest: usize, queue: &mut VecDeque<Vec<u8>>) -> FlushStatus;
+
+    /// Logical frames `flush` accepted but is still buffering inside
+    /// the transport (accumulated toward a batch, not yet handed to
+    /// the fabric). Zero for transports that ship eagerly.
+    fn pending(&self) -> u64 {
+        0
+    }
+
+    /// Window close: pushes every accumulated frame toward the fabric.
+    /// `Full` means some remain buffered (the fabric pushed back —
+    /// retry later); `Closed` counts frames discarded toward a dead
+    /// destination. Must never block.
+    fn drain(&mut self) -> FlushStatus {
+        FlushStatus::Done
+    }
+
+    /// Moves spent frame buffers (consumed and emptied by `flush`)
+    /// into `pool` until it holds `cap` buffers, so the caller's
+    /// encode path can reuse them instead of allocating.
+    fn reclaim(&mut self, pool: &mut Vec<Vec<u8>>, cap: usize) {
+        let _ = (pool, cap);
+    }
 }
+
+/// Spent frame buffers a transport retains for reuse before
+/// [`Transport::reclaim`] hands them back to the worker's pool.
+pub const SPENT_POOL_CAP: usize = 32;
 
 /// The in-process fabric: one bounded [`SyncSender`] per endpoint,
 /// `None` at the owning worker's slot (frames to self never travel).
 #[derive(Debug)]
 pub struct ChannelTransport {
     links: Vec<Option<SyncSender<Vec<u8>>>>,
+    /// Emptied frame buffers salvaged by the pooled coalesce, handed
+    /// back to the worker via [`Transport::reclaim`].
+    spent: Vec<Vec<u8>>,
 }
 
 impl ChannelTransport {
     /// Wraps the per-endpoint senders. `links[i] == None` marks the
     /// slot of the worker holding this transport.
     pub fn new(links: Vec<Option<SyncSender<Vec<u8>>>>) -> ChannelTransport {
-        ChannelTransport { links }
+        ChannelTransport {
+            links,
+            spent: Vec::new(),
+        }
     }
 }
 
@@ -92,7 +129,7 @@ impl Transport for ChannelTransport {
             };
         };
         while !queue.is_empty() {
-            let packet = coalesce(queue);
+            let packet = coalesce_pooled(queue, &mut self.spent);
             match tx.try_send(packet) {
                 Ok(()) => {}
                 Err(TrySendError::Full(packet)) => {
@@ -114,6 +151,13 @@ impl Transport for ChannelTransport {
         }
         FlushStatus::Done
     }
+
+    fn reclaim(&mut self, pool: &mut Vec<Vec<u8>>, cap: usize) {
+        while pool.len() < cap {
+            let Some(buf) = self.spent.pop() else { return };
+            pool.push(buf);
+        }
+    }
 }
 
 /// Pops the whole queue into one packet (frames concatenated, each
@@ -127,6 +171,28 @@ pub fn coalesce(queue: &mut VecDeque<Vec<u8>>) -> Vec<u8> {
     let mut packet = Vec::with_capacity(total);
     for frame in queue.drain(..) {
         packet.extend_from_slice(&frame);
+    }
+    packet
+}
+
+/// [`coalesce`] with buffer recycling: the packet buffer comes from
+/// `pool` when one is available, and the emptied frame buffers go back
+/// into `pool` (up to [`SPENT_POOL_CAP`]) instead of being dropped —
+/// the steady-state coalesce path allocates nothing.
+pub fn coalesce_pooled(queue: &mut VecDeque<Vec<u8>>, pool: &mut Vec<Vec<u8>>) -> Vec<u8> {
+    if queue.len() == 1 {
+        return queue.pop_front().expect("checked non-empty");
+    }
+    let total: usize = queue.iter().map(Vec::len).sum();
+    let mut packet = pool.pop().unwrap_or_default();
+    packet.clear();
+    packet.reserve(total);
+    for mut frame in queue.drain(..) {
+        packet.extend_from_slice(&frame);
+        if pool.len() < SPENT_POOL_CAP {
+            frame.clear();
+            pool.push(frame);
+        }
     }
     packet
 }

@@ -283,15 +283,26 @@ impl Worker {
             self.fire_expired_timers();
             self.run_local_work();
             self.flush_outboxes();
+            self.transport.reclaim(&mut self.frame_pool, FRAME_POOL_CAP);
             if shutting_down && self.outboxes_empty() && self.local_work.is_empty() {
-                break;
+                // Window close on the way out: a batching transport may
+                // still hold accepted-but-unshipped frames.
+                if self.transport.pending() > 0 {
+                    self.drain_transport();
+                }
+                if self.transport.pending() == 0 {
+                    break;
+                }
             }
             // Pick the cheapest wait that can't stall anything: drain
             // the inbox without waiting while local work is queued
             // (the fast path must not starve peers), poll only while
             // parked frames need re-flushing, sleep until the earliest
             // FT deadline when one is armed, and block outright when
-            // idle (zero wakeups, zero CPU).
+            // idle (zero wakeups, zero CPU). Any wait is a window
+            // close: frames a batching transport accumulated cannot
+            // grow their batch further, so they drain to the fabric
+            // first.
             let recv = if !self.local_work.is_empty() {
                 match inbox.try_recv() {
                     Ok(packet) => Ok(packet),
@@ -302,15 +313,32 @@ impl Worker {
                     }
                 }
             } else if !self.outboxes_empty() || shutting_down {
+                self.drain_transport();
                 inbox.recv_timeout(Duration::from_millis(1))
-            } else if let Some(deadline) = self.next_timer_deadline() {
-                let wait = deadline.saturating_duration_since(Instant::now());
-                if wait.is_zero() {
-                    continue;
-                }
-                inbox.recv_timeout(wait)
             } else {
-                inbox.recv().map_err(|_| RecvTimeoutError::Disconnected)
+                match inbox.try_recv() {
+                    // More inbound work is immediately available: keep
+                    // the window open so outbound frames keep batching.
+                    Ok(packet) => Ok(packet),
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        Err(RecvTimeoutError::Disconnected)
+                    }
+                    Err(std::sync::mpsc::TryRecvError::Empty) => {
+                        self.drain_transport();
+                        if self.transport.pending() > 0 {
+                            // Fabric pushed back on the drain: poll.
+                            inbox.recv_timeout(Duration::from_millis(1))
+                        } else if let Some(deadline) = self.next_timer_deadline() {
+                            let wait = deadline.saturating_duration_since(Instant::now());
+                            if wait.is_zero() {
+                                continue;
+                            }
+                            inbox.recv_timeout(wait)
+                        } else {
+                            inbox.recv().map_err(|_| RecvTimeoutError::Disconnected)
+                        }
+                    }
+                }
             };
             let packet = match recv {
                 Ok(packet) => packet,
@@ -380,8 +408,9 @@ impl Worker {
     }
 
     /// Crash-stop: everything in memory is lost. Frames parked in
-    /// outboxes or the delay stash were promised to the network but
-    /// will never leave — count them dropped so conservation closes.
+    /// outboxes, the delay stash, or a batching transport's
+    /// accumulation buffer were promised to the network but will never
+    /// leave — count them dropped so conservation closes.
     fn crash(mut self, inbox: Receiver<Vec<u8>>) -> WorkerExit {
         let lost: u64 = self
             .outbox
@@ -390,7 +419,7 @@ impl Worker {
             .flatten()
             .map(|f| count_frames(f))
             .sum();
-        self.stats.frames_dropped += lost;
+        self.stats.frames_dropped += lost + self.transport.pending();
         WorkerExit {
             cause: ExitCause::Crashed,
             stats: self.stats,
@@ -1093,5 +1122,16 @@ impl Worker {
 
     fn outboxes_empty(&self) -> bool {
         self.outbox.iter().all(VecDeque::is_empty)
+    }
+
+    /// Window close: asks a batching transport to push its accumulated
+    /// frames to the fabric, folding the outcome into the same
+    /// counters a flush uses.
+    fn drain_transport(&mut self) {
+        match self.transport.drain() {
+            FlushStatus::Done => {}
+            FlushStatus::Full => self.stats.backpressure_hits += 1,
+            FlushStatus::Closed { frames_dropped } => self.stats.frames_dropped += frames_dropped,
+        }
     }
 }
