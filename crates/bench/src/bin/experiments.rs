@@ -5,15 +5,21 @@
 //!
 //! EXPERIMENT: table1 fig5 fig6 fig7 fig8 fig9 eq1 ablation xcheck
 //!             availability churn prune throughput runtime faults net
-//!             all (default: all)
+//!             scale   all (default: all)
 //!
-//! `churn`, `prune`, `throughput`, `runtime`, `faults`, and `net`
-//! additionally write their rows to `BENCH_churn.json` /
+//! `churn`, `prune`, `throughput`, `runtime`, `faults`, `net`, and
+//! `scale` additionally write their rows to `BENCH_churn.json` /
 //! `BENCH_prune.json` / `BENCH_throughput.json` / `BENCH_runtime.json`
-//! / `BENCH_faults.json` / `BENCH_net.json` in the current directory,
-//! each stamped with the effective seed. `net` launches real
-//! `hyperdex-server` processes — build them first with
+//! / `BENCH_faults.json` / `BENCH_net.json` / `BENCH_scale.json` in
+//! the current directory, each stamped with the effective seed. `net`
+//! launches real `hyperdex-server` processes — build them first with
 //! `cargo build -p hyperdex-net`.
+//!
+//! Experiments with environment knobs list them under `--list` and in
+//! the run-summary table; `HYPERDEX_STORE=table|slab` additionally
+//! switches the posting-store backend of every executor-backed
+//! experiment (the `scale` harness ignores it and always measures
+//! both backends).
 //! A final table maps each experiment run to the artifact it produced.
 //! ```
 
@@ -21,44 +27,56 @@ use std::process::ExitCode;
 
 use hyperdex_bench::experiments::{
     ablation, availability, churn, eq1, faults, fig5, fig6, fig7, fig8, fig9, net, prune, runtime,
-    table1, throughput, xcheck,
+    scale as scale_exp, table1, throughput, xcheck,
 };
 use hyperdex_bench::report::Table;
 use hyperdex_bench::{Scale, SharedContext};
 
 const USAGE: &str = "usage: experiments \
                      [table1|fig5|...|eq1|ablation|xcheck|availability|churn|prune|throughput\
-                     |runtime|faults|net|all ...] [--scale full|small] [--seed N] [--list]";
+                     |runtime|faults|net|scale|all ...] [--scale full|small] [--seed N] [--list]";
 
-/// Every experiment name with a one-line description, in run order.
-const EXPERIMENTS: [(&str, &str); 16] = [
-    ("table1", "load distribution across index nodes"),
-    ("fig5", "keyword-set size distribution"),
-    ("fig6", "query popularity distribution"),
-    ("fig7", "index storage per node"),
-    ("fig8", "nodes contacted vs threshold (top-down)"),
-    ("fig9", "nodes contacted vs threshold (bottom-up)"),
-    ("eq1", "analytic node-count formula cross-check"),
-    ("ablation", "design-knob ablation"),
-    ("xcheck", "engine vs message-protocol parity"),
-    ("availability", "recall under static node failures"),
-    ("churn", "recall and repair under live membership churn"),
-    ("prune", "occupancy-guided SBT pruning savings"),
+/// Every experiment: name, one-line description, and the environment
+/// knobs it reads (empty when none beyond the global
+/// `HYPERDEX_STORE`), in run order.
+const EXPERIMENTS: [(&str, &str, &str); 17] = [
+    ("table1", "load distribution across index nodes", ""),
+    ("fig5", "keyword-set size distribution", ""),
+    ("fig6", "query popularity distribution", ""),
+    ("fig7", "index storage per node", ""),
+    ("fig8", "nodes contacted vs threshold (top-down)", ""),
+    ("fig9", "nodes contacted vs threshold (bottom-up)", ""),
+    ("eq1", "analytic node-count formula cross-check", ""),
+    ("ablation", "design-knob ablation", ""),
+    ("xcheck", "engine vs message-protocol parity", ""),
+    ("availability", "recall under static node failures", ""),
+    ("churn", "recall and repair under live membership churn", ""),
+    ("prune", "occupancy-guided SBT pruning savings", ""),
     (
         "throughput",
         "insert/pin/superset rates, mask prefilter on/off",
+        "",
     ),
     (
         "runtime",
         "threaded shared-nothing qps/latency vs worker count",
+        "HYPERDEX_STORE",
     ),
     (
         "faults",
         "recall/latency under frame loss and worker crashes",
+        "HYPERDEX_STORE",
     ),
     (
         "net",
         "socket-mode qps/latency vs the in-process channel fabric",
+        "HYPERDEX_NET_SMOKE, HYPERDEX_NET_WINDOW, HYPERDEX_STORE",
+    ),
+    (
+        "scale",
+        "million-object mixed traffic: table vs slab store, SLOs, bytes/object",
+        "HYPERDEX_SCALE_OBJECTS, HYPERDEX_SCALE_SMOKE, HYPERDEX_SCALE_R, \
+         HYPERDEX_SCALE_PIN_P99_US, HYPERDEX_SCALE_SUP_P99_US",
     ),
 ];
 
@@ -86,9 +104,16 @@ fn main() -> ExitCode {
                 }
             },
             "--list" => {
-                for (name, what) in EXPERIMENTS {
+                for (name, what, knobs) in EXPERIMENTS {
                     println!("{name:<14} {what}");
+                    if !knobs.is_empty() {
+                        println!("{:<14} knobs: {knobs}", "");
+                    }
                 }
+                println!(
+                    "\nHYPERDEX_STORE=table|slab switches the posting backend of every \
+                     executor-backed experiment; `scale` always measures both."
+                );
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
@@ -99,7 +124,7 @@ fn main() -> ExitCode {
         }
     }
     if chosen.is_empty() || chosen.iter().any(|c| c == "all") {
-        chosen = EXPERIMENTS.map(|(name, _)| name.to_string()).to_vec();
+        chosen = EXPERIMENTS.map(|(name, _, _)| name.to_string()).to_vec();
     }
 
     let scale_name = match scale {
@@ -219,6 +244,17 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "scale" => {
+                let rows = scale_exp::run(&ctx);
+                let path = std::path::Path::new("BENCH_scale.json");
+                match scale_exp::write_json(&rows, seed, path) {
+                    Ok(()) => artifact = path.display().to_string(),
+                    Err(e) => {
+                        eprintln!("failed to write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown experiment `{other}`\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -229,11 +265,17 @@ fn main() -> ExitCode {
 
     println!("\n## Run summary\n");
     // The effective seed rides along on every row so a pasted summary
-    // is reproducible without the preamble.
+    // is reproducible without the preamble; the knobs column records
+    // which environment variables could have shaped each row.
     let seed_text = seed.to_string();
-    let mut summary = Table::new(["experiment", "seed", "output"]);
+    let mut summary = Table::new(["experiment", "seed", "knobs", "output"]);
     for (name, artifact) in &ran {
-        summary.row([name.as_str(), seed_text.as_str(), artifact.as_str()]);
+        let knobs = EXPERIMENTS
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map_or("", |(_, _, k)| *k);
+        let knobs = if knobs.is_empty() { "—" } else { knobs };
+        summary.row([name.as_str(), seed_text.as_str(), knobs, artifact.as_str()]);
     }
     print!("{}", summary.to_markdown());
     println!("\ndone.");

@@ -16,6 +16,7 @@ pub mod fig9;
 pub mod net;
 pub mod prune;
 pub mod runtime;
+pub mod scale;
 pub mod table1;
 pub mod throughput;
 pub mod xcheck;

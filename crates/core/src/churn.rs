@@ -79,14 +79,9 @@ use hyperdex_simnet::net::{EndpointId, NetEvent, TimerId};
 use hyperdex_simnet::time::SimTime;
 
 use crate::error::Error;
-use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::sim_protocol::{KwMsg, ProtocolSim};
-
-/// Largest cube dimension churn supports: ownership reconciliation
-/// sweeps all `2^r` vertices per stabilization round, so the dense cap
-/// stays far below the sparse search layers' limit.
-pub const DENSE_R_CAP: u8 = 16;
+use crate::store::PostingStore;
 
 /// High-bit namespace separating churn timer tokens from the search
 /// layer's vertex-bits tokens (which are `< 2^16`).
@@ -241,7 +236,7 @@ struct Handoff {
     /// Batches received in order at the destination.
     received: usize,
     /// Destination-side accumulation, installed on the final batch.
-    staged: IndexTable,
+    staged: PostingStore,
     /// The final batch was delivered and the table installed; only the
     /// closing ack is outstanding.
     complete: bool,
@@ -268,13 +263,16 @@ pub struct ChurnState {
     hosts: BTreeMap<u64, EndpointId>,
     /// Currently live host ids.
     live: HashSet<u64>,
-    /// Believed owner of each vertex, keyed by vertex bits (absent
-    /// after a crash, until the next stabilization round reassigns it).
-    /// Sparse like the sim's vertex maps — though churn itself caps `r`
-    /// at 16 because ownership reconciliation walks all `2^r` vertices.
+    /// Believed owner of each *tracked* vertex, keyed by vertex bits.
+    /// Sparse: a vertex appears only once something distinguishes it
+    /// from the ideal baseline — it holds postings, is mid-handoff, or
+    /// lost its owner to a crash (absent-but-unavailable until the next
+    /// stabilization round reassigns it). An untracked vertex is
+    /// implicitly owned by its ideal surrogate, so reconciliation cost
+    /// scales with the corpus footprint, not `2^r` — churn runs at any
+    /// dimension the search layers accept.
     view: BTreeMap<u64, u64>,
-    /// Number of logical vertices (`2^r`), cached for the full-cube
-    /// reconciliation sweeps.
+    /// Number of logical vertices (`2^r`), the consistency denominator.
     vertex_count: u64,
     /// Vertices that answer nothing (mid-handoff or crashed-unassigned).
     unavailable: HashSet<u64>,
@@ -309,15 +307,42 @@ impl ChurnState {
         ))
     }
 
+    /// Tracks `bits` in the ownership view (at its ideal surrogate) if
+    /// it is not already tracked — called when an insert materializes a
+    /// table at a previously-empty vertex, preserving the invariant
+    /// that every vertex holding postings appears in the view.
+    pub(crate) fn track_vertex(&mut self, bits: u64) {
+        if !self.view.contains_key(&bits) {
+            if let Some(owner) = self.ideal_owner(bits) {
+                self.view.insert(bits, owner);
+            }
+        }
+    }
+
     /// The host that *should* own `bits` under the current membership.
     fn ideal_owner(&self, bits: u64) -> Option<u64> {
         let s = self.ring.surrogate(self.vertex_key(bits))?;
         self.node_of.get(&s).copied()
     }
 
+    /// Every vertex the churn machinery has an opinion about: believed
+    /// owners, mid-handoff vertices, crash orphans, pending repairs.
+    /// Any vertex outside this set is empty and implicitly owned by its
+    /// ideal surrogate.
+    fn tracked_vertices(&self) -> std::collections::BTreeSet<u64> {
+        let mut tracked: std::collections::BTreeSet<u64> = self.view.keys().copied().collect();
+        tracked.extend(self.unavailable.iter().copied());
+        tracked.extend(self.repair_pending.keys().copied());
+        tracked.extend(self.handoffs.keys().copied());
+        tracked
+    }
+
     /// Vertices whose believed owner differs from the ideal surrogate.
+    /// Untracked vertices follow the surrogate by construction, so only
+    /// the tracked set is consulted.
     fn divergence(&self) -> usize {
-        (0..self.vertex_count)
+        self.tracked_vertices()
+            .into_iter()
             .filter(|&bits| self.view.get(&bits).copied() != self.ideal_owner(bits))
             .count()
     }
@@ -331,14 +356,18 @@ impl ChurnState {
     /// *and* that are currently answering queries — the probability a
     /// uniformly random lookup is served by the true owner.
     pub fn consistency(&self) -> f64 {
-        let good = (0..self.vertex_count)
+        // An untracked vertex is empty and served by its ideal
+        // surrogate, so it always counts as good; only tracked
+        // vertices can be stale or dark.
+        let bad = self
+            .tracked_vertices()
+            .into_iter()
             .filter(|&bits| {
-                !self.unavailable.contains(&bits)
-                    && self.view.contains_key(&bits)
-                    && self.view.get(&bits).copied() == self.ideal_owner(bits)
+                self.unavailable.contains(&bits)
+                    || self.view.get(&bits).copied() != self.ideal_owner(bits)
             })
-            .count();
-        good as f64 / self.vertex_count as f64
+            .count() as u64;
+        (self.vertex_count - bad.min(self.vertex_count)) as f64 / self.vertex_count as f64
     }
 
     /// Whether the system is fully settled: every plan event applied, no
@@ -357,9 +386,16 @@ impl ChurnState {
         !self.unavailable.contains(&bits)
     }
 
-    /// The believed owner (host id) of vertex `bits`.
+    /// The believed owner (host id) of vertex `bits`. Untracked
+    /// vertices are empty and implicitly owned by their ideal
+    /// surrogate; `None` means the vertex lost its owner to a crash
+    /// and has not been reassigned yet.
     pub fn view_owner(&self, bits: u64) -> Option<u64> {
-        self.view.get(&bits).copied()
+        match self.view.get(&bits) {
+            Some(&owner) => Some(owner),
+            None if self.unavailable.contains(&bits) => None,
+            None => self.ideal_owner(bits),
+        }
     }
 
     /// The handoff generation of vertex `bits` (bumped on every
@@ -400,11 +436,10 @@ impl ProtocolSim {
     /// # Errors
     ///
     /// Returns [`Error::InvalidChurnConfig`] if churn is already
-    /// enabled, `cfg` fails validation, or `initial_members` is empty,
-    /// and [`Error::DimensionTooLarge`] if the cube dimension exceeds
-    /// [`DENSE_R_CAP`] — unlike search (sparse, fine at `r = 48`),
-    /// ownership reconciliation sweeps all `2^r` vertices every
-    /// stabilization round, so churn keeps the old dense bound.
+    /// enabled, `cfg` fails validation, or `initial_members` is empty.
+    /// Any dimension the search layers accept works: ownership
+    /// reconciliation walks only the *tracked* vertices (occupied,
+    /// mid-handoff, or crash-orphaned), never all `2^r`.
     pub fn enable_churn(
         &mut self,
         plan: &ChurnPlan,
@@ -414,12 +449,6 @@ impl ProtocolSim {
         if self.churn.is_some() {
             return Err(Error::InvalidChurnConfig {
                 reason: "churn is already enabled on this simulation",
-            });
-        }
-        if self.shape.r() > DENSE_R_CAP {
-            return Err(Error::DimensionTooLarge {
-                r: self.shape.r(),
-                max: DENSE_R_CAP,
             });
         }
         cfg.validate()?;
@@ -455,7 +484,10 @@ impl ProtocolSim {
         for &m in &members {
             add_host(self, &mut st, m);
         }
-        for bits in 0..n {
+        // Track only the occupied vertices; everything else follows
+        // its ideal surrogate implicitly until postings or faults give
+        // churn a reason to care about it.
+        for &bits in self.tables.keys() {
             if let Some(owner) = st.ideal_owner(bits) {
                 st.view.insert(bits, owner);
             }
@@ -720,7 +752,10 @@ fn start_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, src: u64
         return;
     }
     st.stats.handoffs_started += 1;
-    let table = sim.tables.remove(&bits).unwrap_or_default();
+    let table = sim
+        .tables
+        .remove(&bits)
+        .unwrap_or_else(|| PostingStore::new(sim.store));
     let entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)> = table
         .iter()
         .map(|(k, objs)| (Arc::clone(k), objs.collect()))
@@ -745,7 +780,7 @@ fn start_handoff(sim: &mut ProtocolSim, st: &mut ChurnState, bits: u64, src: u64
             batches,
             acked: 0,
             received: 0,
-            staged: IndexTable::new(),
+            staged: PostingStore::new(sim.store),
             complete: false,
             attempts: 0,
             timer: None,
@@ -840,7 +875,9 @@ fn on_handoff_batch(
             h.received += 1;
             let installed = last.then(|| {
                 h.complete = true;
-                (std::mem::take(&mut h.staged), h.dst)
+                let backend = h.staged.backend();
+                let staged = std::mem::replace(&mut h.staged, PostingStore::new(backend));
+                (staged, h.dst)
             });
             Some((count, installed))
         }
@@ -964,14 +1001,18 @@ fn arm_repair(sim: &mut ProtocolSim, st: &mut ChurnState) {
     }
 }
 
-/// One stabilization round: reconcile every vertex's believed owner
-/// with its ideal surrogate — orphans are taken over directly, stale
-/// owners start handoffs. Re-arms itself only while work remains, so a
-/// settled network goes quiescent.
+/// One stabilization round: reconcile every *tracked* vertex's
+/// believed owner with its ideal surrogate — orphans are taken over
+/// directly, stale owners start handoffs. Untracked vertices are empty
+/// and implicitly ideal, so the sweep costs the corpus footprint, not
+/// `2^r`. Re-arms itself only while work remains, so a settled network
+/// goes quiescent.
 fn on_stabilize(sim: &mut ProtocolSim, st: &mut ChurnState) {
     st.stab_armed = false;
     st.stats.stabilization_rounds += 1;
-    for bits in 0..st.vertex_count {
+    let mut tracked = st.tracked_vertices();
+    tracked.extend(sim.tables.keys().copied());
+    for bits in tracked {
         if st.handoffs.contains_key(&bits) {
             continue; // transfer already in flight
         }
@@ -1077,7 +1118,10 @@ fn on_repair_push(
     entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)>,
 ) {
     let mut added = 0u64;
-    let table = sim.tables.entry(bits).or_default();
+    let table = sim
+        .tables
+        .entry(bits)
+        .or_insert_with(|| PostingStore::new(sim.store));
     for (k, objs) in entries {
         for o in objs {
             if table.insert_arc(Arc::clone(&k), o) {
@@ -1105,7 +1149,7 @@ fn push_summary_refresh(sim: &mut ProtocolSim, st: &ChurnState, bits: u64) {
     if st.repair_pending.contains_key(&bits) {
         return;
     }
-    let count = sim.tables.get(&bits).map_or(0, IndexTable::object_count) as u64;
+    let count = sim.tables.get(&bits).map_or(0, PostingStore::object_count) as u64;
     sim.summary.refresh_leaf(bits, count);
     let r = sim.shape.r();
     let from = sim.endpoint_of(bits);
@@ -1187,30 +1231,44 @@ mod tests {
     }
 
     #[test]
-    fn dense_cap_is_a_typed_error_with_an_exact_boundary() {
-        // r = DENSE_R_CAP is the last dimension churn accepts…
-        let mut at_cap = ProtocolSim::new(DENSE_R_CAP, 0, LatencyModel::constant(1)).unwrap();
-        at_cap
-            .enable_churn(
-                &ChurnPlan::default(),
-                StabilizationConfig::default(),
-                &[1, 2],
+    fn dimensions_past_the_old_dense_cap_churn_cleanly() {
+        // Churn used to reject r > 16 (`DENSE_R_CAP`) because every
+        // stabilization round swept all 2^r vertices. The sparse
+        // tracked-set port lifts that: a 2^32-vertex cube enables
+        // churn, survives a crash, repairs from the secondary cube,
+        // and converges — sweeping only the handful of occupied
+        // vertices.
+        let mut sim = ProtocolSim::new(32, 7, LatencyModel::constant(1)).unwrap();
+        for &(id, kws) in CORPUS {
+            sim.insert(ObjectId::from_raw(id), set(kws)).unwrap();
+        }
+        let mut plan = ChurnPlan::default();
+        plan.crash_at(SimTime::from_ticks(10), 20);
+        sim.enable_churn(&plan, StabilizationConfig::default(), &[10, 20, 30, 40])
+            .unwrap();
+        sim.run_churn_to_quiescence();
+        let st = sim.churn().unwrap();
+        assert!(st.converged());
+        assert!((st.consistency() - 1.0).abs() < f64::EPSILON);
+        // Inserts made after churn was enabled join the tracked view
+        // too (the invariant the sparse sweep depends on).
+        sim.insert(ObjectId::from_raw(99), set("z z2 z3")).unwrap();
+        let bits = sim.hasher.vertex_for(&set("z z2 z3")).bits();
+        assert!(sim.churn().unwrap().view.contains_key(&bits));
+        // Nothing was lost to the crash. The sweep must prune by
+        // occupancy: unpruned superset search would walk the query's
+        // 2^31-vertex induced subcube.
+        let out = sim
+            .search_fault_tolerant(
+                &set("a"),
+                usize::MAX - 1,
+                FtConfig::new(RecoveryStrategy::ReplicatedFailover).prune(true),
             )
             .unwrap();
-        // …and one past it reports the cap in a typed error, not a
-        // generic config string.
-        let mut past_cap = ProtocolSim::new(DENSE_R_CAP + 1, 0, LatencyModel::constant(1)).unwrap();
-        assert_eq!(
-            past_cap.enable_churn(
-                &ChurnPlan::default(),
-                StabilizationConfig::default(),
-                &[1, 2],
-            ),
-            Err(Error::DimensionTooLarge {
-                r: DENSE_R_CAP + 1,
-                max: DENSE_R_CAP,
-            })
-        );
+        let mut ids: Vec<u64> = out.results.iter().map(|r| r.object.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids, vec![1, 2, 3, 4, 6, 8]);
     }
 
     #[test]
@@ -1297,8 +1355,13 @@ mod tests {
         let before: Vec<u64> = (0..16)
             .map(|b| sim.churn().unwrap().generation(b))
             .collect();
+        // Only *occupied* vertices stream handoffs (an empty vertex
+        // flips to its new surrogate implicitly, serving the same
+        // nothing — no cached result to invalidate, no gen bump).
         let owned: Vec<u64> = (0..16)
-            .filter(|&b| sim.churn().unwrap().view_owner(b) == Some(1))
+            .filter(|&b| {
+                sim.churn().unwrap().view_owner(b) == Some(1) && sim.tables.contains_key(&b)
+            })
             .collect();
         assert!(!owned.is_empty(), "host 1 owns nothing; adjust seed");
         sim.run_churn_to_quiescence();
@@ -1470,7 +1533,7 @@ mod tests {
         sim.run_churn_to_quiescence();
 
         let bits = sim.query_root(&set("a b")).bits();
-        let count = sim.tables.get(&bits).map_or(0, IndexTable::object_count) as u64;
+        let count = sim.tables.get(&bits).map_or(0, PostingStore::object_count) as u64;
         assert!(count > 0, "object 2 should occupy this vertex");
         let before = sim.summary.clone();
 

@@ -20,17 +20,18 @@ use hyperdex_hypercube::{Shape, Vertex};
 use crate::cache::FifoCache;
 use crate::error::Error;
 use crate::hashing::KeywordHasher;
-use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::search::{
     superset, PinOutcome, RankedObject, SearchStats, SupersetOutcome, SupersetQuery,
 };
+use crate::store::{PostingStore, StoreBackend, StoreFootprint};
 use crate::summary::OccupancySummary;
 
-/// One logical index node: its table plus an optional result cache.
-#[derive(Debug, Clone, Default)]
+/// One logical index node: its posting store plus an optional result
+/// cache.
+#[derive(Debug, Clone)]
 pub(crate) struct IndexNode {
-    pub(crate) table: IndexTable,
+    pub(crate) store: PostingStore,
     pub(crate) cache: Option<FifoCache>,
 }
 
@@ -55,6 +56,8 @@ pub struct HypercubeIndex {
     nodes: HashMap<u64, IndexNode>,
     object_count: usize,
     cache_capacity: usize,
+    // Posting layout for every materialized vertex (DESIGN.md §17).
+    backend: StoreBackend,
     // Occupancy digests over prefix regions, kept exact on every
     // insert/remove so searches can prune provably-empty SBT subtrees.
     summary: OccupancySummary,
@@ -64,20 +67,46 @@ pub struct HypercubeIndex {
 
 impl HypercubeIndex {
     /// Creates an index over an `r`-dimensional hypercube with hash
-    /// seed `seed` and caches disabled.
+    /// seed `seed`, caches disabled, and the posting backend read from
+    /// `HYPERDEX_STORE` (default `table`).
     ///
     /// # Errors
     ///
     /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 63`.
     pub fn new(r: u8, seed: u64) -> Result<Self, Error> {
+        Self::with_store(r, seed, StoreBackend::from_env())
+    }
+
+    /// [`HypercubeIndex::new`] with an explicit posting backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 63`.
+    pub fn with_store(r: u8, seed: u64, backend: StoreBackend) -> Result<Self, Error> {
         Ok(HypercubeIndex {
             hasher: KeywordHasher::new(r, seed)?,
             nodes: HashMap::new(),
             object_count: 0,
             cache_capacity: 0,
+            backend,
             summary: OccupancySummary::new(r),
             scratch: SearchScratch::default(),
         })
+    }
+
+    /// The posting backend every materialized vertex uses.
+    pub fn store_backend(&self) -> StoreBackend {
+        self.backend
+    }
+
+    /// Aggregate memory footprint of every materialized posting store
+    /// (see [`StoreFootprint`]).
+    pub fn store_footprint(&self) -> StoreFootprint {
+        let mut total = StoreFootprint::zero();
+        for node in self.nodes.values() {
+            total.add(&node.store.footprint());
+        }
+        total
     }
 
     /// Enables a per-node FIFO cache of `capacity` object entries
@@ -133,7 +162,7 @@ impl HypercubeIndex {
         }
         let vertex = self.vertex_for(&keywords);
         let node = self.node_mut(vertex);
-        if node.table.insert(keywords, object) {
+        if node.store.insert(keywords, object) {
             self.object_count += 1;
             self.summary.record_insert(vertex.bits());
         }
@@ -157,7 +186,7 @@ impl HypercubeIndex {
         }
         let vertex = self.vertex_for(&keywords);
         let node = self.node_mut(vertex);
-        if node.table.insert_arc(keywords, object) {
+        if node.store.insert_arc(keywords, object) {
             self.object_count += 1;
             self.summary.record_insert(vertex.bits());
         }
@@ -172,7 +201,7 @@ impl HypercubeIndex {
         let Some(node) = self.nodes.get_mut(&vertex.bits()) else {
             return false;
         };
-        let removed = node.table.remove(keywords, object);
+        let removed = node.store.remove(keywords, object);
         if removed {
             self.object_count -= 1;
             self.summary.record_remove(vertex.bits());
@@ -187,7 +216,7 @@ impl HypercubeIndex {
         let results: Vec<ObjectId> = self
             .nodes
             .get(&vertex.bits())
-            .map(|n| n.table.objects_with(keywords).collect())
+            .map(|n| n.store.objects_with(keywords).collect())
             .unwrap_or_default();
         let stats = SearchStats {
             nodes_contacted: 1,
@@ -222,7 +251,7 @@ impl HypercubeIndex {
                     .contains(root)
             })
             .map(|(_, node)| {
-                node.table
+                node.store
                     .superset_entries(keywords)
                     .map(|(_, objs)| objs.count())
                     .sum::<usize>()
@@ -236,11 +265,11 @@ impl HypercubeIndex {
         let shape = self.shape();
         self.nodes
             .iter()
-            .filter(|(_, n)| !n.table.is_empty())
+            .filter(|(_, n)| !n.store.is_empty())
             .map(|(bits, n)| {
                 (
                     Vertex::from_bits(shape, *bits).expect("valid"),
-                    n.table.object_count(),
+                    n.store.object_count(),
                 )
             })
             .collect()
@@ -261,7 +290,7 @@ impl HypercubeIndex {
         match self.nodes.remove(&vertex.bits()) {
             None => 0,
             Some(node) => {
-                let lost = node.table.object_count();
+                let lost = node.store.object_count();
                 self.object_count -= lost;
                 self.summary.refresh_leaf(vertex.bits(), 0);
                 lost
@@ -277,19 +306,20 @@ impl HypercubeIndex {
 
     // ---- crate-internal accessors used by the search engine ----
 
-    /// The table at `vertex`, if materialized.
-    pub(crate) fn table_at(&self, vertex: Vertex) -> Option<&IndexTable> {
-        self.nodes.get(&vertex.bits()).map(|n| &n.table)
+    /// The posting store at `vertex`, if materialized.
+    pub(crate) fn store_at(&self, vertex: Vertex) -> Option<&PostingStore> {
+        self.nodes.get(&vertex.bits()).map(|n| &n.store)
     }
 
     /// Mutable node at `vertex`, materializing it (with a cache if
     /// configured).
     pub(crate) fn node_mut(&mut self, vertex: Vertex) -> &mut IndexNode {
         let capacity = self.cache_capacity;
+        let backend = self.backend;
         self.nodes
             .entry(vertex.bits())
             .or_insert_with(|| IndexNode {
-                table: IndexTable::new(),
+                store: PostingStore::new(backend),
                 cache: (capacity > 0).then(|| FifoCache::new(capacity)),
             })
     }

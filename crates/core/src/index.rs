@@ -16,7 +16,7 @@
 //! [`KeywordSet::is_superset`] — results are byte-identical to the
 //! unfiltered scan.
 
-use std::collections::{btree_map, BTreeMap, BTreeSet};
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use hyperdex_dht::ObjectId;
@@ -117,17 +117,14 @@ impl IndexTable {
     /// Short-circuits on the table-wide signature: if the union of all
     /// entry signatures cannot cover the query's, no entry can equal
     /// it and the `BTreeMap` lookup is skipped entirely.
-    pub fn objects_with<'a>(
-        &'a self,
-        keywords: &KeywordSet,
-    ) -> impl Iterator<Item = ObjectId> + 'a {
+    pub fn objects_with<'a>(&'a self, keywords: &KeywordSet) -> TableObjects<'a> {
         let qsig = keywords.signature();
         let hit = if qsig & self.union_sig == qsig {
             self.entries.get(keywords)
         } else {
             None
         };
-        hit.into_iter().flat_map(|p| p.objects.iter().copied())
+        objects_iter(hit)
     }
 
     /// All entries `⟨K', O⟩` with `K' ⊇ query` — the per-node scan of
@@ -136,10 +133,7 @@ impl IndexTable {
     ///
     /// Keyword sets come back as `&Arc<KeywordSet>` so callers building
     /// result lists can reference them at pointer cost.
-    pub fn superset_entries<'a>(
-        &'a self,
-        query: &'a KeywordSet,
-    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
+    pub fn superset_entries<'a>(&'a self, query: &'a KeywordSet) -> SupersetEntries<'a> {
         self.superset_entries_sig(query, query.signature())
     }
 
@@ -155,26 +149,22 @@ impl IndexTable {
         &'a self,
         query: &'a KeywordSet,
         qsig: u64,
-    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
+    ) -> SupersetEntries<'a> {
         // Whole-table short-circuit: if even the union of all entry
         // signatures misses a query bit, nothing inside can match.
-        let live = qsig & self.union_sig == qsig;
-        self.entries
-            .iter()
-            .take(if live { usize::MAX } else { 0 })
-            .filter(move |(_, p)| p.sig & qsig == qsig)
-            .filter(move |(k, _)| k.is_superset(query))
-            .map(|(k, p)| (k, p.objects.iter().copied()))
+        SupersetEntries {
+            inner: self.entries.iter(),
+            query: Some(query),
+            qsig,
+            live: qsig & self.union_sig == qsig,
+        }
     }
 
     /// The baseline scan with no signature prefilter — every entry pays
     /// the full `is_superset` string comparison. Kept as the parity
     /// reference for the mask-prefiltered path (the `throughput`
     /// experiment asserts identical results).
-    pub fn superset_entries_unfiltered<'a>(
-        &'a self,
-        query: &'a KeywordSet,
-    ) -> impl Iterator<Item = (&'a Arc<KeywordSet>, impl Iterator<Item = ObjectId> + 'a)> + 'a {
+    pub fn superset_entries_unfiltered<'a>(&'a self, query: &'a KeywordSet) -> SupersetEntries<'a> {
         self.superset_entries_sig(query, 0)
     }
 
@@ -202,12 +192,65 @@ impl IndexTable {
 
     /// Iterates over all `(keyword set, objects)` entries in sorted
     /// keyword-set order.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (&Arc<KeywordSet>, impl Iterator<Item = ObjectId> + '_)> + '_ {
-        self.entries
-            .iter()
-            .map(|(k, p)| (k, p.objects.iter().copied()))
+    pub fn iter(&self) -> SupersetEntries<'_> {
+        SupersetEntries {
+            inner: self.entries.iter(),
+            query: None,
+            qsig: 0,
+            live: true,
+        }
+    }
+}
+
+/// Posting iterator of one table entry: the `BTreeSet` walk, plus an
+/// `Option` layer so a missed lookup yields an empty iterator of the
+/// same type. Named (not `impl Iterator`) so the backend-dispatching
+/// [`crate::store::PostingStore`] can embed it in an enum.
+pub type TableObjects<'a> =
+    std::iter::Flatten<std::option::IntoIter<std::iter::Copied<btree_set::Iter<'a, ObjectId>>>>;
+
+/// The posting iterator of an optional entry (empty when `None`).
+fn objects_iter(postings: Option<&Postings>) -> TableObjects<'_> {
+    postings
+        .map(|p| p.objects.iter().copied())
+        .into_iter()
+        .flatten()
+}
+
+/// Iterator over table entries in sorted keyword-set order, optionally
+/// restricted to supersets of a query (signature prefilter first,
+/// string comparison second) — the named iterator type behind
+/// [`IndexTable::superset_entries`] and [`IndexTable::iter`].
+#[derive(Debug, Clone)]
+pub struct SupersetEntries<'a> {
+    inner: btree_map::Iter<'a, Arc<KeywordSet>, Postings>,
+    /// `Some` = yield only entries whose set ⊇ query.
+    query: Option<&'a KeywordSet>,
+    /// Query signature; 0 passes every entry through the prefilter.
+    qsig: u64,
+    /// Whole-table short-circuit verdict, decided at construction.
+    live: bool,
+}
+
+impl<'a> Iterator for SupersetEntries<'a> {
+    type Item = (&'a Arc<KeywordSet>, TableObjects<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if !self.live {
+            return None;
+        }
+        loop {
+            let (k, p) = self.inner.next()?;
+            if p.sig & self.qsig != self.qsig {
+                continue;
+            }
+            if let Some(query) = self.query {
+                if !k.is_superset(query) {
+                    continue;
+                }
+            }
+            return Some((k, objects_iter(Some(p))));
+        }
     }
 }
 

@@ -44,6 +44,10 @@
 //! * [`summary`] — occupancy digests over prefix regions of the cube,
 //!   letting every search variant prune provably-empty SBT subtrees
 //!   while staying recall-safe (DESIGN.md §10).
+//! * [`store`] — pluggable per-vertex posting storage: the `BTreeMap`
+//!   tables of [`index`] or the struct-of-arrays slab layout with
+//!   delta-encoded postings, switched by `HYPERDEX_STORE`
+//!   (DESIGN.md §17).
 //! * [`decompose`] — decomposed (multi-hypercube) indexes (§3.4).
 //! * [`analysis`] — Equation (1) and dimensioning guidance.
 //! * [`baseline`] — distributed inverted index and direct-DHT baselines
@@ -92,6 +96,7 @@ pub mod replication;
 pub mod search;
 pub mod service;
 pub mod sim_protocol;
+pub mod store;
 pub mod summary;
 
 pub use churn::{ChurnStats, StabilizationConfig};
@@ -111,4 +116,5 @@ pub use search::{
 };
 pub use service::KeywordSearchService;
 pub use sim_protocol::{CoverageReport, FtConfig, ProtocolSim};
+pub use store::{PostingStore, SlabStore, StoreBackend, StoreFootprint};
 pub use summary::{OccupancySummary, SubtreeDigest};

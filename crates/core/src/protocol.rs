@@ -24,11 +24,14 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 use std::sync::Arc;
 
-use hyperdex_hypercube::{Shape, Vertex};
+use hyperdex_dht::ObjectId;
+use hyperdex_hypercube::{Sbt, Shape, Vertex};
 
 use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::search::RankedObject;
+use crate::store::PostingStore;
+use crate::summary::OccupancySummary;
 
 /// What the coordinator wants executed next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -270,12 +273,35 @@ pub fn scan_table(
     keywords: &KeywordSet,
     remaining: usize,
 ) -> Vec<RankedObject> {
-    let Some(table) = table else {
-        return Vec::new();
-    };
+    match table {
+        Some(table) => scan_entries(table.superset_entries(keywords), keywords.len(), remaining),
+        None => Vec::new(),
+    }
+}
+
+/// [`scan_table`] over a backend-switched [`PostingStore`] — identical
+/// results on either backend.
+pub fn scan_store(
+    store: Option<&PostingStore>,
+    keywords: &KeywordSet,
+    remaining: usize,
+) -> Vec<RankedObject> {
+    match store {
+        Some(store) => scan_entries(store.superset_entries(keywords), keywords.len(), remaining),
+        None => Vec::new(),
+    }
+}
+
+/// Folds one entry stream (already superset-filtered, in keyword-set
+/// order) into at most `remaining` ranked matches.
+fn scan_entries<'a, E, O>(entries: E, query_len: usize, remaining: usize) -> Vec<RankedObject>
+where
+    E: Iterator<Item = (&'a Arc<KeywordSet>, O)>,
+    O: Iterator<Item = ObjectId>,
+{
     let mut found = Vec::new();
-    for (keyword_set, objects) in table.superset_entries(keywords) {
-        let extra = (keyword_set.len() - keywords.len()) as u32;
+    for (keyword_set, objects) in entries {
+        let extra = (keyword_set.len() - query_len) as u32;
         for object in objects {
             if found.len() >= remaining {
                 return found;
@@ -288,6 +314,188 @@ pub fn scan_table(
         }
     }
     found
+}
+
+/// Streaming per-level frontier over the SBT induced by a query root —
+/// the incremental replacement for materializing every level of the
+/// traversal up front.
+///
+/// Yields one `Vec<Vertex>` per tree depth, in the exact within-level
+/// order the materialized paths used:
+///
+/// * **Full** levels enumerate [`Sbt::level`] (subset order) lazily,
+///   one depth at a time — nothing deeper than the current level is
+///   ever touched, so a search that exits at depth 2 of an `r = 20`
+///   cube no longer allocates the million-vertex tail.
+/// * **Pruned** levels run the wave expansion of the occupancy summary
+///   (protocol child order, summary-disproven subtrees skipped),
+///   holding only the current wave.
+///
+/// Early exits may leave the iterator mid-tree; call
+/// [`FrontierLevels::drain`] to finish the expansion when exact
+/// pruned-subtree accounting is wanted (the summary lookups still run,
+/// but no vertex is scanned — identical counts to the materialized
+/// implementation at a fraction of the allocation).
+#[derive(Debug)]
+pub enum FrontierLevels<'a> {
+    /// Unpruned: direct per-depth enumeration of the induced SBT.
+    Full {
+        /// The induced spanning binomial tree.
+        sbt: Sbt,
+        /// Next depth to yield.
+        depth: u32,
+        /// `+1` (top-down) or `-1` (bottom-up).
+        descending: bool,
+        /// Whether the final depth was yielded.
+        done: bool,
+    },
+    /// Pruned: breadth-first wave expansion under the summary.
+    Pruned(PrunedWave<'a>),
+}
+
+/// The live wave of the pruned frontier expansion.
+#[derive(Debug)]
+pub struct PrunedWave<'a> {
+    summary: &'a OccupancySummary,
+    /// `One(F_h(K))` — positions every match must cover.
+    required: u64,
+    /// Current level: each node with its arrival dimension, so its
+    /// children enumerate exactly as [`Sbt::children`] would.
+    wave: Vec<(Vertex, Option<u8>)>,
+    /// Reused child-dimension buffer.
+    dims: Vec<u8>,
+    /// Subtrees pruned so far.
+    pruned: u64,
+    done: bool,
+}
+
+impl<'a> FrontierLevels<'a> {
+    /// Top-down full levels of the SBT induced by `root`.
+    pub fn full(root: Vertex) -> Self {
+        FrontierLevels::Full {
+            sbt: Sbt::induced(root),
+            depth: 0,
+            descending: false,
+            done: false,
+        }
+    }
+
+    /// Bottom-up full levels (deepest first). Possible without
+    /// materialization because any [`Sbt::level`] is directly
+    /// enumerable from the root bits.
+    pub fn full_bottom_up(root: Vertex) -> Self {
+        let sbt = Sbt::induced(root);
+        FrontierLevels::Full {
+            sbt,
+            depth: sbt.height(),
+            descending: true,
+            done: false,
+        }
+    }
+
+    /// Top-down levels with summary-disproven subtrees pruned — the
+    /// streaming form of [`crate::summary::pruned_levels`].
+    pub fn pruned(summary: &'a OccupancySummary, root: Vertex) -> Self {
+        FrontierLevels::Pruned(PrunedWave {
+            summary,
+            required: root.bits(),
+            wave: vec![(root, None)],
+            dims: Vec::new(),
+            pruned: 0,
+            done: false,
+        })
+    }
+
+    /// Subtrees pruned by the expansion so far (0 on the full paths).
+    pub fn pruned_subtrees(&self) -> u64 {
+        match self {
+            FrontierLevels::Full { .. } => 0,
+            FrontierLevels::Pruned(w) => w.pruned,
+        }
+    }
+
+    /// Whether every level has been yielded (i.e. the last yield was
+    /// the final one) — distinguishes "stopped early" from "exhausted"
+    /// without knowing the level count up front.
+    pub fn is_done(&self) -> bool {
+        match self {
+            FrontierLevels::Full { done, .. } => *done,
+            FrontierLevels::Pruned(w) => w.done,
+        }
+    }
+
+    /// Runs the remaining expansion without yielding, so
+    /// [`FrontierLevels::pruned_subtrees`] reports the whole-tree count
+    /// after an early exit.
+    pub fn drain(&mut self) {
+        for _ in self.by_ref() {}
+    }
+}
+
+impl Iterator for FrontierLevels<'_> {
+    type Item = Vec<Vertex>;
+
+    fn next(&mut self) -> Option<Vec<Vertex>> {
+        match self {
+            FrontierLevels::Full {
+                sbt,
+                depth,
+                descending,
+                done,
+            } => {
+                if *done {
+                    return None;
+                }
+                let level: Vec<Vertex> = sbt.level(*depth).collect();
+                if *descending {
+                    if *depth == 0 {
+                        *done = true;
+                    } else {
+                        *depth -= 1;
+                    }
+                } else if *depth == sbt.height() {
+                    *done = true;
+                } else {
+                    *depth += 1;
+                }
+                Some(level)
+            }
+            FrontierLevels::Pruned(w) => w.advance(),
+        }
+    }
+}
+
+impl PrunedWave<'_> {
+    /// Yields the current wave and expands the next one.
+    fn advance(&mut self) -> Option<Vec<Vertex>> {
+        if self.done {
+            return None;
+        }
+        let mut next = Vec::new();
+        let mut dims = std::mem::take(&mut self.dims);
+        for &(w, via) in &self.wave {
+            dims.clear();
+            match via {
+                None => dims.extend(w.zero_positions().rev()),
+                Some(d) => dims.extend((0..d).rev().filter(|&i| !w.bit(i))),
+            }
+            for &dim in &dims {
+                let child = w.flip(dim);
+                if self.summary.can_prune(child.bits(), dim, self.required) {
+                    self.pruned += 1;
+                } else {
+                    next.push((child, Some(dim)));
+                }
+            }
+        }
+        self.dims = dims;
+        let level = self.wave.iter().map(|&(v, _)| v).collect();
+        if next.is_empty() {
+            self.done = true;
+        }
+        self.wave = next;
+        Some(level)
+    }
 }
 
 /// What a substrate must expose for the generic driver
@@ -308,7 +516,7 @@ impl VertexStore for crate::cluster::HypercubeIndex {
 
     fn scan_vertex(&self, bits: u64, keywords: &KeywordSet, remaining: usize) -> Vec<RankedObject> {
         let vertex = Vertex::from_bits(self.shape(), bits).expect("driver stays inside the cube");
-        scan_table(self.table_at(vertex), keywords, remaining)
+        scan_store(self.store_at(vertex), keywords, remaining)
     }
 }
 

@@ -25,6 +25,7 @@ use hyperdex_hypercube::Vertex;
 use crate::cluster::{HypercubeIndex, SearchScratch};
 use crate::error::Error;
 use crate::keyword::KeywordSet;
+use crate::protocol::FrontierLevels;
 use crate::search::{
     ExecutionMode, RankedObject, SearchStats, SupersetOutcome, SupersetQuery, TraversalOrder,
 };
@@ -201,21 +202,71 @@ fn sequential_top_down(
     }
 }
 
-/// The per-depth node lists the level traversals visit: the full SBT
-/// levels, or the summary-pruned levels when the query opts in.
-fn collect_levels(
-    index: &HypercubeIndex,
+/// The per-depth frontier the level traversals visit, streamed in
+/// visit order: full SBT levels (lazily enumerable at any depth, either
+/// direction), or the summary-pruned waves when the query opts in.
+///
+/// Only the pruned bottom-up combination still materializes the whole
+/// tree — the wave expansion is inherently top-down, and deepest-first
+/// visiting needs its last wave first. Every other path holds one
+/// level at a time.
+fn level_stream<'a>(
+    index: &'a HypercubeIndex,
     query: &SupersetQuery,
     root: Vertex,
+    bottom_up: bool,
     stats: &mut SearchStats,
-) -> Vec<Vec<Vertex>> {
-    if query.prune {
-        let (levels, pruned) = pruned_levels(index.summary(), root);
-        stats.pruned_subtrees += pruned;
-        levels
-    } else {
-        let sbt = hyperdex_hypercube::Sbt::induced(root);
-        (0..=sbt.height()).map(|d| sbt.level(d).collect()).collect()
+) -> LevelStream<'a> {
+    match (query.prune, bottom_up) {
+        (false, false) => LevelStream::Stream(FrontierLevels::full(root)),
+        (false, true) => LevelStream::Stream(FrontierLevels::full_bottom_up(root)),
+        (true, false) => LevelStream::Stream(FrontierLevels::pruned(index.summary(), root)),
+        (true, true) => {
+            let (mut levels, pruned) = pruned_levels(index.summary(), root);
+            stats.pruned_subtrees += pruned;
+            levels.reverse();
+            LevelStream::Materialized(levels.into_iter())
+        }
+    }
+}
+
+/// Iterator over per-depth vertex lists in visit order.
+enum LevelStream<'a> {
+    /// One level in memory at a time.
+    Stream(FrontierLevels<'a>),
+    /// Pruned bottom-up: pre-expanded, deepest first.
+    Materialized(std::vec::IntoIter<Vec<Vertex>>),
+}
+
+impl Iterator for LevelStream<'_> {
+    type Item = Vec<Vertex>;
+
+    fn next(&mut self) -> Option<Vec<Vertex>> {
+        match self {
+            LevelStream::Stream(f) => f.next(),
+            LevelStream::Materialized(it) => it.next(),
+        }
+    }
+}
+
+impl LevelStream<'_> {
+    /// Whether the last yielded level was the final one (always true
+    /// for an exhausted materialized stream).
+    fn is_done(&self) -> bool {
+        match self {
+            LevelStream::Stream(f) => f.is_done(),
+            LevelStream::Materialized(it) => it.as_slice().is_empty(),
+        }
+    }
+
+    /// Finishes a pruned expansion after an early exit and folds the
+    /// whole-tree pruned count into `stats` — identical accounting to
+    /// the materialized implementation.
+    fn finish(self, stats: &mut SearchStats) {
+        if let LevelStream::Stream(mut f) = self {
+            f.drain();
+            stats.pruned_subtrees += f.pruned_subtrees();
+        }
     }
 }
 
@@ -231,16 +282,11 @@ fn by_levels(
     bottom_up: bool,
     scratch: &mut SearchScratch,
 ) -> SupersetOutcome {
-    let levels = collect_levels(index, query, root, &mut stats);
+    let mut levels = level_stream(index, query, root, bottom_up, &mut stats);
     let mut results = Vec::new();
     let mut stopped_early = false;
-    let depth_order: Vec<usize> = if bottom_up {
-        (0..levels.len()).rev().collect()
-    } else {
-        (0..levels.len()).collect()
-    };
-    'outer: for d in depth_order {
-        for &w in &levels[d] {
+    'outer: for level in levels.by_ref() {
+        for w in level {
             // The root was already charged for receiving the query.
             if w != root {
                 stats.query_messages += 1;
@@ -257,6 +303,7 @@ fn by_levels(
             }
         }
     }
+    levels.finish(&mut stats);
     SupersetOutcome {
         results,
         stats,
@@ -276,20 +323,16 @@ fn level_parallel(
     bottom_up: bool,
     scratch: &mut SearchScratch,
 ) -> SupersetOutcome {
-    let levels = collect_levels(index, query, root, &mut stats);
+    let mut levels = level_stream(index, query, root, bottom_up, &mut stats);
     let mut results = Vec::new();
     let mut stopped_early = false;
-    let depth_order: Vec<usize> = if bottom_up {
-        (0..levels.len()).rev().collect()
-    } else {
-        (0..levels.len()).collect()
-    };
-    let last_depth = *depth_order.last().expect("at least one level");
-    for d in depth_order {
+    // Explicit `next` (not a `for`) so `levels.is_done()` stays
+    // callable inside the body for the exhausted verdict.
+    while let Some(level) = levels.next() {
         stats.rounds += 1;
         // All level-d nodes are queried simultaneously; results within a
         // round may overshoot the threshold and are truncated afterwards.
-        for &w in &levels[d] {
+        for &w in &level {
             if w != root {
                 stats.query_messages += 1;
                 stats.nodes_contacted += 1;
@@ -300,11 +343,12 @@ fn level_parallel(
             // Exhausted only when every level was visited AND nothing
             // was truncated (a truncated set must not be cached as
             // complete).
-            stopped_early = d != last_depth || results.len() > query.threshold;
+            stopped_early = !levels.is_done() || results.len() > query.threshold;
             results.truncate(query.threshold);
             break;
         }
     }
+    levels.finish(&mut stats);
     SupersetOutcome {
         results,
         stats,
@@ -325,13 +369,13 @@ fn scan_node(
     stats: &mut SearchStats,
     scratch: &mut SearchScratch,
 ) {
-    let Some(table) = index.table_at(vertex) else {
+    let Some(store) = index.store_at(vertex) else {
         return; // logically contacted, but holds nothing
     };
-    stats.entries_scanned += table.keyword_set_count() as u64;
+    stats.entries_scanned += store.keyword_set_count() as u64;
     let found = &mut scratch.found;
     found.clear();
-    for (keyword_set, objects) in table.superset_entries_sig(&query.keywords, qsig) {
+    for (keyword_set, objects) in store.superset_entries_sig(&query.keywords, qsig) {
         let extra = (keyword_set.len() - query.keywords.len()) as u32;
         for object in objects {
             found.push(RankedObject {
@@ -359,11 +403,11 @@ pub(crate) fn scan_vertex(
     vertex: Vertex,
     keywords: &KeywordSet,
 ) -> Vec<RankedObject> {
-    let Some(table) = index.table_at(vertex) else {
+    let Some(store) = index.store_at(vertex) else {
         return Vec::new();
     };
     let mut found = Vec::new();
-    for (keyword_set, objects) in table.superset_entries(keywords) {
+    for (keyword_set, objects) in store.superset_entries(keywords) {
         let extra = (keyword_set.len() - keywords.len()) as u32;
         for object in objects {
             found.push(RankedObject {

@@ -35,6 +35,7 @@ pub struct ServiceBuilder {
     seed: u64,
     replication: usize,
     cache_capacity: usize,
+    store: Option<crate::store::StoreBackend>,
 }
 
 impl Default for ServiceBuilder {
@@ -45,6 +46,7 @@ impl Default for ServiceBuilder {
             seed: 0,
             replication: 0,
             cache_capacity: 0,
+            store: None,
         }
     }
 }
@@ -81,6 +83,13 @@ impl ServiceBuilder {
         self
     }
 
+    /// Posting-storage backend for the index layer (default: the
+    /// `HYPERDEX_STORE` environment selection; DESIGN.md §17).
+    pub fn store(mut self, store: crate::store::StoreBackend) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// Builds the service.
     ///
     /// # Errors
@@ -91,7 +100,10 @@ impl ServiceBuilder {
     ///
     /// Panics if `nodes == 0`.
     pub fn build(self) -> Result<KeywordSearchService, Error> {
-        let mut index = HypercubeIndex::new(self.r, self.seed)?;
+        let store = self
+            .store
+            .unwrap_or_else(crate::store::StoreBackend::from_env);
+        let mut index = HypercubeIndex::with_store(self.r, self.seed, store)?;
         if self.cache_capacity > 0 {
             index.set_cache_capacity(self.cache_capacity);
         }

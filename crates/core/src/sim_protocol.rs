@@ -33,15 +33,15 @@ use hyperdex_simnet::net::{EndpointId, NetEvent, Network, TimerId};
 use hyperdex_simnet::time::SimDuration;
 
 use hyperdex_dht::ObjectId;
-use hyperdex_hypercube::{Sbt, Shape, Vertex};
+use hyperdex_hypercube::{Shape, Vertex};
 
 use crate::error::Error;
 use crate::hashing::KeywordHasher;
-use crate::index::IndexTable;
 use crate::keyword::KeywordSet;
 use crate::protocol::{extend_child_contacts, extend_root_frontier};
 use crate::protocol::{FtCmd, FtCoordinator, FtPolicy, Step, SupersetCoordinator};
 use crate::search::RankedObject;
+use crate::store::{PostingStore, StoreBackend};
 use crate::summary::{pruned_levels, OccupancySummary};
 
 /// Protocol messages (§3.3's `T_QUERY`, `T_CONT`, `T_STOP`, plus the
@@ -312,11 +312,14 @@ pub struct ProtocolSim {
     /// Primary index tables, keyed by vertex bits. Sparse and
     /// deterministic: only occupied vertices cost memory, and
     /// iteration order is ascending bits (churn repair depends on it).
-    pub(crate) tables: BTreeMap<u64, IndexTable>,
+    pub(crate) tables: BTreeMap<u64, PostingStore>,
+    /// Posting-storage backend every lazily-created table uses
+    /// (`HYPERDEX_STORE`; DESIGN.md §17).
+    pub(crate) store: StoreBackend,
     /// Secondary-cube hasher (different seed, same dimension).
     pub(crate) hasher2: KeywordHasher,
     /// Secondary index tables, co-hosted on the same endpoints.
-    pub(crate) tables2: BTreeMap<u64, IndexTable>,
+    pub(crate) tables2: BTreeMap<u64, PostingStore>,
     /// Endpoint of vertex `bits`, materialized lazily on first
     /// contact — a cube at `r = 48` costs endpoints only for the
     /// vertices a workload actually touches.
@@ -355,6 +358,21 @@ impl ProtocolSim {
     ///
     /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 63`.
     pub fn new(r: u8, seed: u64, latency: LatencyModel) -> Result<Self, Error> {
+        Self::with_store(r, seed, latency, StoreBackend::from_env())
+    }
+
+    /// [`ProtocolSim::new`] with an explicit posting-store backend
+    /// instead of the `HYPERDEX_STORE` environment default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Dimension`] unless `1 ≤ r ≤ 63`.
+    pub fn with_store(
+        r: u8,
+        seed: u64,
+        latency: LatencyModel,
+        store: StoreBackend,
+    ) -> Result<Self, Error> {
         let hasher = KeywordHasher::new(r, seed)?;
         let shape = hasher.shape();
         let hasher2 = KeywordHasher::new(r, seed ^ crate::replication::SECONDARY_SEED_OFFSET)?;
@@ -365,6 +383,7 @@ impl ProtocolSim {
             shape,
             hasher,
             tables: BTreeMap::new(),
+            store,
             hasher2,
             tables2: BTreeMap::new(),
             eps: BTreeMap::new(),
@@ -415,10 +434,11 @@ impl ProtocolSim {
         let keywords = self.interner.intern(keywords);
         let vertex = self.hasher.vertex_for(&keywords);
         let vertex2 = self.hasher2.vertex_for(&keywords);
+        let backend = self.store;
         if self
             .tables
             .entry(vertex.bits())
-            .or_default()
+            .or_insert_with(|| PostingStore::new(backend))
             .insert_arc(Arc::clone(&keywords), object)
         {
             self.summary.record_insert(vertex.bits());
@@ -426,10 +446,15 @@ impl ProtocolSim {
         if self
             .tables2
             .entry(vertex2.bits())
-            .or_default()
+            .or_insert_with(|| PostingStore::new(backend))
             .insert_arc(keywords, object)
         {
             self.summary2.record_insert(vertex2.bits());
+        }
+        // Churn's sparse ownership sweep only visits tracked vertices,
+        // so a vertex gaining its first postings must join the view.
+        if let Some(st) = self.churn.as_deref_mut() {
+            st.track_vertex(vertex.bits());
         }
         Ok(())
     }
@@ -654,25 +679,42 @@ impl ProtocolSim {
         // same set) share one allocation.
         let shared_kw = self.interner.intern(keywords.clone());
         // With pruning on, whole levels shrink to the vertices whose
-        // subtree the occupancy summary cannot disprove.
-        let (levels, pruned_count) = if self.prune {
-            pruned_levels(&self.summary, root_vertex)
+        // subtree the occupancy summary cannot disprove; the pruned
+        // expansion is materialized up front (the wave needs
+        // `&self.summary`, which the message loop below cannot hold
+        // across `&mut self`). The unpruned path streams one level at
+        // a time from [`crate::protocol::FrontierLevels`] — an early
+        // threshold exit never enumerates the deeper levels at all.
+        let mut pruned_count = 0;
+        let mut materialized = if self.prune {
+            let (levels, pruned) = pruned_levels(&self.summary, root_vertex);
+            pruned_count = pruned;
+            Some(levels.into_iter())
         } else {
-            let sbt = Sbt::induced(root_vertex);
-            let full: Vec<Vec<Vertex>> =
-                (0..=sbt.height()).map(|d| sbt.level(d).collect()).collect();
-            (full, 0)
+            None
+        };
+        let mut streamed = if self.prune {
+            None
+        } else {
+            Some(crate::protocol::FrontierLevels::full(root_vertex))
         };
 
         let mut results = Vec::new();
         let mut contacted = 0u64;
         let mut last_at = start;
         let mut satisfied = 0usize;
+        let mut depth = 0usize;
 
-        'levels: for (depth, level) in levels.iter().enumerate() {
+        'levels: loop {
+            let level = match (&mut materialized, &mut streamed) {
+                (Some(levels), _) => levels.next(),
+                (None, Some(frontier)) => frontier.next(),
+                (None, None) => unreachable!("one level source is always set"),
+            };
+            let Some(level) = level else { break 'levels };
             // The root addresses every level-d node directly (any node
             // is reachable through the underlying DHT).
-            for w in level {
+            for w in &level {
                 let from = if depth == 0 { self.requester } else { root_ep };
                 let to = self.endpoint_of(w.bits());
                 self.net.send(
@@ -719,6 +761,7 @@ impl ProtocolSim {
             if satisfied >= threshold {
                 break 'levels;
             }
+            depth += 1;
         }
 
         results.truncate(threshold);
@@ -1127,8 +1170,8 @@ impl ProtocolSim {
             &self.tables
         };
         // Unmaterialized vertex: logically contacted, holds nothing
-        // (`scan_table` treats `None` exactly that way).
-        crate::protocol::scan_table(tables.get(&vertex.bits()), keywords, remaining)
+        // (`scan_store` treats `None` exactly that way).
+        crate::protocol::scan_store(tables.get(&vertex.bits()), keywords, remaining)
     }
 
     /// Scans a vertex's table, sends matches to the requester, and

@@ -1,0 +1,175 @@
+//! Varint delta codec for posting lists.
+//!
+//! A posting list is a strictly ascending sequence of [`ObjectId`]s.
+//! The slab store keeps it as LEB128 varints in a shared byte arena:
+//! the first value is the raw id, every later value is the (always
+//! ≥ 1) delta to its predecessor. Ascending ids produced by bulk loads
+//! encode to 1–2 bytes per object instead of the 8-byte word (plus
+//! tree-node overhead) the `BTreeSet` backend pays.
+//!
+//! Because `ObjectId`'s derived `Ord` is the order of its raw `u64`,
+//! decoding yields exactly the ascending sequence a
+//! `BTreeSet<ObjectId>` iteration would — the byte-identical-parity
+//! contract of [`crate::store`] rests on this.
+
+use hyperdex_dht::ObjectId;
+
+/// Appends `v` to `buf` as an LEB128 varint (7 payload bits per byte,
+/// high bit = continuation). Returns the number of bytes written.
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) -> usize {
+    let mut written = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        written += 1;
+        if v == 0 {
+            buf.push(byte);
+            return written;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one varint off the front of `bytes`, advancing the slice.
+///
+/// The arena only ever hands out ranges it encoded itself, so a
+/// truncated varint is a store bug; debug builds catch it on the
+/// slice index.
+pub(crate) fn read_varint(bytes: &mut &[u8]) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = bytes[0];
+        *bytes = &bytes[1..];
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes the ascending ids `ids` into `buf`, returning the encoded
+/// byte length.
+pub(crate) fn encode_list(buf: &mut Vec<u8>, ids: &[u64]) -> usize {
+    let mut written = 0;
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        let delta = if i == 0 { id } else { id - prev };
+        written += push_varint(buf, delta);
+        prev = id;
+    }
+    written
+}
+
+/// Decodes `count` delta-encoded ids from `bytes` into `out`
+/// (ascending raw values, appended).
+pub(crate) fn decode_into(mut bytes: &[u8], count: u32, out: &mut Vec<u64>) {
+    let mut prev = 0u64;
+    for i in 0..count {
+        let delta = read_varint(&mut bytes);
+        let id = if i == 0 { delta } else { prev + delta };
+        out.push(id);
+        prev = id;
+    }
+}
+
+/// Streaming decoder over one encoded posting list — the slab-backend
+/// counterpart of the `BTreeSet` posting iterator. Yields `ObjectId`s
+/// in ascending order without materializing the list.
+#[derive(Debug, Clone)]
+pub struct DeltaIter<'a> {
+    bytes: &'a [u8],
+    prev: u64,
+    remaining: u32,
+    first: bool,
+}
+
+impl<'a> DeltaIter<'a> {
+    /// A decoder over `count` ids encoded in `bytes`.
+    pub(crate) fn new(bytes: &'a [u8], count: u32) -> Self {
+        DeltaIter {
+            bytes,
+            prev: 0,
+            remaining: count,
+            first: true,
+        }
+    }
+
+    /// An exhausted decoder (missing entry / short-circuited lookup).
+    pub(crate) fn empty() -> Self {
+        DeltaIter::new(&[], 0)
+    }
+}
+
+impl Iterator for DeltaIter<'_> {
+    type Item = ObjectId;
+
+    fn next(&mut self) -> Option<ObjectId> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let delta = read_varint(&mut self.bytes);
+        let id = if self.first {
+            self.first = false;
+            delta
+        } else {
+            self.prev + delta
+        };
+        self.prev = id;
+        Some(ObjectId::from_raw(id))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DeltaIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trips_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u64::MAX - 1, u64::MAX] {
+            let mut buf = Vec::new();
+            let n = push_varint(&mut buf, v);
+            assert_eq!(n, buf.len());
+            let mut slice = buf.as_slice();
+            assert_eq!(read_varint(&mut slice), v);
+            assert!(slice.is_empty(), "decoder consumed exactly one varint");
+        }
+    }
+
+    #[test]
+    fn list_round_trips_and_stays_ascending() {
+        let ids = [3u64, 4, 100, 10_000, 1 << 40];
+        let mut buf = Vec::new();
+        let len = encode_list(&mut buf, &ids);
+        assert_eq!(len, buf.len());
+        let mut out = Vec::new();
+        decode_into(&buf, ids.len() as u32, &mut out);
+        assert_eq!(out, ids);
+        let decoded: Vec<u64> = DeltaIter::new(&buf, ids.len() as u32)
+            .map(ObjectId::raw)
+            .collect();
+        assert_eq!(decoded, ids);
+    }
+
+    #[test]
+    fn dense_ascending_ids_cost_one_byte_each_after_the_first() {
+        let ids: Vec<u64> = (1000..1100).collect();
+        let mut buf = Vec::new();
+        encode_list(&mut buf, &ids);
+        assert_eq!(buf.len(), 2 + 99, "2-byte head + 1-byte deltas");
+    }
+
+    #[test]
+    fn empty_iter_yields_nothing() {
+        assert_eq!(DeltaIter::empty().count(), 0);
+    }
+}

@@ -188,39 +188,15 @@ impl OccupancySummary {
 /// (level 0 is `[root]`; the root is never pruned) and the number of
 /// subtrees pruned. Shared by the logical level traversals and the
 /// simulated level-parallel search so both prune identically.
+///
+/// This is the materialized spelling of
+/// [`crate::protocol::FrontierLevels::pruned`] — callers that can
+/// consume levels one wave at a time (the search paths do) should
+/// stream instead.
 pub fn pruned_levels(summary: &OccupancySummary, root: Vertex) -> (Vec<Vec<Vertex>>, u64) {
-    let required = root.bits();
-    let mut pruned = 0u64;
-    // Track each node's arrival dimension so its children enumerate
-    // exactly as `Sbt::children` would: free dims below the arrival dim,
-    // descending (all free dims for the root).
-    let mut levels: Vec<Vec<(Vertex, Option<u8>)>> = vec![vec![(root, None)]];
-    loop {
-        let mut next = Vec::new();
-        for &(w, via) in levels.last().expect("levels never empty") {
-            let dims: Vec<u8> = match via {
-                None => w.zero_positions().rev().collect(),
-                Some(d) => (0..d).rev().filter(|&i| !w.bit(i)).collect(),
-            };
-            for i in dims {
-                let child = w.flip(i);
-                if summary.can_prune(child.bits(), i, required) {
-                    pruned += 1;
-                } else {
-                    next.push((child, Some(i)));
-                }
-            }
-        }
-        if next.is_empty() {
-            break;
-        }
-        levels.push(next);
-    }
-    let levels = levels
-        .into_iter()
-        .map(|level| level.into_iter().map(|(v, _)| v).collect())
-        .collect();
-    (levels, pruned)
+    let mut frontier = crate::protocol::FrontierLevels::pruned(summary, root);
+    let levels: Vec<Vec<Vertex>> = frontier.by_ref().collect();
+    (levels, frontier.pruned_subtrees())
 }
 
 #[cfg(test)]

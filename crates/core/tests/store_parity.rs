@@ -1,0 +1,166 @@
+//! Property-based parity oracle for the posting-store backends.
+//!
+//! [`SlabStore`] (struct-of-arrays slab, delta-encoded postings) must
+//! answer every read *byte-identically* to [`IndexTable`] (the
+//! `BTreeMap` reference implementation) — the `HYPERDEX_STORE` switch
+//! is only allowed to change layout, never results. These properties
+//! drive both backends through random interleavings of inserts,
+//! removes, and churn-style handoffs (drain one store, rebuild
+//! another), comparing entry order, object order, counts, and
+//! signatures after every batch.
+
+use std::sync::Arc;
+
+use hyperdex_core::{IndexTable, KeywordSet, ObjectId, SlabStore};
+use proptest::prelude::*;
+
+/// A small closed keyword universe so random sets collide often —
+/// shared posting lists and signature collisions are the interesting
+/// cases.
+fn keyword_set() -> impl Strategy<Value = KeywordSet> {
+    prop::collection::vec(0u8..12, 1..=4).prop_map(|words| {
+        KeywordSet::from_strs(words.iter().map(|w| format!("w{w}"))).expect("non-empty words")
+    })
+}
+
+/// One random mutation against both stores.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(KeywordSet, u64),
+    Remove(KeywordSet, u64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // 3:1 insert:remove mix (the vendored proptest stub has no
+    // `prop_oneof!`, so the weight rides along as a plain draw).
+    (keyword_set(), 0u64..64, 0u8..4).prop_map(|(k, o, tag)| {
+        if tag == 0 {
+            Op::Remove(k, o)
+        } else {
+            Op::Insert(k, o)
+        }
+    })
+}
+
+fn apply(table: &mut IndexTable, slab: &mut SlabStore, op: &Op) {
+    match op {
+        Op::Insert(k, o) => {
+            let shared = Arc::new(k.clone());
+            let a = table.insert_arc(Arc::clone(&shared), ObjectId::from_raw(*o));
+            let b = slab.insert_arc(shared, ObjectId::from_raw(*o));
+            assert_eq!(a, b, "insert fresh/duplicate disagreement");
+        }
+        Op::Remove(k, o) => {
+            let a = table.remove(k, ObjectId::from_raw(*o));
+            let b = slab.remove(k, ObjectId::from_raw(*o));
+            assert_eq!(a, b, "remove hit/miss disagreement");
+        }
+    }
+}
+
+/// Full-state comparison: identical entry sequence (keyword-set order)
+/// with identical object sequences, plus matching counts and
+/// signatures.
+fn assert_parity(table: &IndexTable, slab: &SlabStore, queries: &[KeywordSet]) {
+    assert_eq!(table.keyword_set_count(), slab.keyword_set_count());
+    assert_eq!(table.object_count(), slab.object_count());
+    assert_eq!(table.is_empty(), slab.is_empty());
+    assert_eq!(table.union_signature(), slab.union_signature());
+
+    let t: Vec<(&Arc<KeywordSet>, Vec<ObjectId>)> =
+        table.iter().map(|(k, o)| (k, o.collect())).collect();
+    let s: Vec<(&Arc<KeywordSet>, Vec<ObjectId>)> =
+        slab.iter().map(|(k, o)| (k, o.collect())).collect();
+    assert_eq!(t, s, "full iteration diverged");
+
+    for q in queries {
+        let t_objs: Vec<ObjectId> = table.objects_with(q).collect();
+        let s_objs: Vec<ObjectId> = slab.objects_with(q).collect();
+        assert_eq!(t_objs, s_objs, "objects_with({q:?}) diverged");
+
+        let t_sup: Vec<(&Arc<KeywordSet>, Vec<ObjectId>)> = table
+            .superset_entries(q)
+            .map(|(k, o)| (k, o.collect()))
+            .collect();
+        let s_sup: Vec<(&Arc<KeywordSet>, Vec<ObjectId>)> = slab
+            .superset_entries(q)
+            .map(|(k, o)| (k, o.collect()))
+            .collect();
+        assert_eq!(t_sup, s_sup, "superset_entries({q:?}) diverged");
+    }
+}
+
+proptest! {
+    /// Random insert/remove interleavings leave the two backends
+    /// byte-identical under every read the protocol performs.
+    #[test]
+    fn slab_matches_table_under_mutation(
+        ops in prop::collection::vec(op(), 1..80),
+        queries in prop::collection::vec(keyword_set(), 1..6),
+    ) {
+        let mut table = IndexTable::new();
+        let mut slab = SlabStore::new();
+        for (i, op) in ops.iter().enumerate() {
+            apply(&mut table, &mut slab, op);
+            // Checking at every step keeps shrunk counterexamples
+            // small; modulo keeps the quadratic cost in check.
+            if i % 7 == 0 {
+                assert_parity(&table, &slab, &queries);
+            }
+        }
+        assert_parity(&table, &slab, &queries);
+    }
+
+    /// A churn-style handoff — drain every entry out of one store,
+    /// stream it into a fresh one in batches — lands byte-identically
+    /// on both backends, including when source and destination use
+    /// *different* backends.
+    #[test]
+    fn handoff_preserves_parity_across_backends(
+        ops in prop::collection::vec(op(), 1..60),
+        batch in 1usize..8,
+        queries in prop::collection::vec(keyword_set(), 1..4),
+    ) {
+        let mut table = IndexTable::new();
+        let mut slab = SlabStore::new();
+        for op in &ops {
+            apply(&mut table, &mut slab, op);
+        }
+        // Serialize the slab the way churn serializes a table for
+        // handoff: (keyword set, objects) entries in iteration order.
+        let entries: Vec<(Arc<KeywordSet>, Vec<ObjectId>)> = slab
+            .iter()
+            .map(|(k, o)| (Arc::clone(k), o.collect()))
+            .collect();
+        let mut rebuilt_table = IndexTable::new();
+        let mut rebuilt_slab = SlabStore::new();
+        for chunk in entries.chunks(batch) {
+            for (k, objs) in chunk {
+                for &o in objs {
+                    rebuilt_table.insert_arc(Arc::clone(k), o);
+                    rebuilt_slab.insert_arc(Arc::clone(k), o);
+                }
+            }
+        }
+        // The rebuilt stores match each other *and* the originals.
+        assert_parity(&rebuilt_table, &rebuilt_slab, &queries);
+        assert_parity(&table, &rebuilt_slab, &queries);
+        assert_parity(&rebuilt_table, &slab, &queries);
+    }
+
+    /// Compaction (tombstone reclamation + arena rewrite) is
+    /// observationally invisible.
+    #[test]
+    fn compaction_is_invisible(
+        ops in prop::collection::vec(op(), 1..80),
+        queries in prop::collection::vec(keyword_set(), 1..4),
+    ) {
+        let mut table = IndexTable::new();
+        let mut slab = SlabStore::new();
+        for op in &ops {
+            apply(&mut table, &mut slab, op);
+        }
+        slab.compact();
+        assert_parity(&table, &slab, &queries);
+    }
+}

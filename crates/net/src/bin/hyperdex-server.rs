@@ -5,7 +5,7 @@
 //! ```text
 //! hyperdex-server --index 0 --servers 2 --listen 127.0.0.1:0 \
 //!     --r 12 --seed 42 --workers 4 --capacity 64 \
-//!     [--policy hash|prefix] [--crash W@N]
+//!     [--policy hash|prefix] [--store table|slab] [--crash W@N]
 //! ```
 //!
 //! The process binds, prints `LISTENING <addr>`, reads one
@@ -18,6 +18,7 @@ use std::io::{self, BufRead, Write};
 use std::net::TcpListener;
 use std::process::ExitCode;
 
+use hyperdex_core::StoreBackend;
 use hyperdex_net::server::{self, ServerConfig};
 use hyperdex_runtime::fault::CrashPoint;
 use hyperdex_runtime::ShardPolicy;
@@ -27,7 +28,7 @@ fn usage(detail: &str) -> ExitCode {
     eprintln!(
         "usage: hyperdex-server --index I --servers N --listen ADDR \
          --r R --seed S --workers W --capacity C \
-         [--policy hash|prefix] [--crash W@N]"
+         [--policy hash|prefix] [--store table|slab] [--crash W@N]"
     );
     ExitCode::FAILURE
 }
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
     let mut workers: Option<u32> = None;
     let mut capacity: usize = 64;
     let mut policy = ShardPolicy::default();
+    let mut store = StoreBackend::from_env();
     let mut crash: Option<CrashPoint> = None;
 
     let mut args = std::env::args().skip(1);
@@ -71,6 +73,13 @@ fn main() -> ExitCode {
             "--policy" => match ShardPolicy::parse(&value) {
                 Some(p) => {
                     policy = p;
+                    true
+                }
+                None => false,
+            },
+            "--store" => match StoreBackend::parse(&value) {
+                Some(b) => {
+                    store = b;
                     true
                 }
                 None => false,
@@ -124,6 +133,7 @@ fn main() -> ExitCode {
         total_workers: workers,
         capacity,
         policy,
+        store,
         crash,
     };
     match server::run(cfg, listener, &peer_addrs) {

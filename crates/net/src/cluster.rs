@@ -23,7 +23,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::path::PathBuf;
 use std::process::{Child, ChildStdout, Command, Stdio};
 
-use hyperdex_core::Error;
+use hyperdex_core::{Error, StoreBackend};
 use hyperdex_runtime::fault::CrashPoint;
 use hyperdex_runtime::{ShardPolicy, ShutdownReport, SupervisorStats, WorkerStats};
 
@@ -48,6 +48,8 @@ pub struct ClusterConfig {
     /// Vertex → worker placement, shared by every server and the
     /// client.
     pub policy: ShardPolicy,
+    /// Posting-storage backend every server process runs with.
+    pub store: StoreBackend,
     /// Optional scheduled crash, exercised end-to-end over TCP.
     pub crash: Option<CrashPoint>,
     /// Explicit path to the `hyperdex-server` binary; resolved via
@@ -67,6 +69,7 @@ impl ClusterConfig {
             servers,
             capacity: 64,
             policy: ShardPolicy::default(),
+            store: StoreBackend::from_env(),
             crash: None,
             server_bin: None,
             net: NetConfig::default(),
@@ -167,6 +170,8 @@ impl Cluster {
                 .arg(cfg.capacity.to_string())
                 .arg("--policy")
                 .arg(cfg.policy.name())
+                .arg("--store")
+                .arg(cfg.store.name())
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::inherit());

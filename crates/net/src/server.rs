@@ -51,7 +51,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use hyperdex_core::KeywordHasher;
+use hyperdex_core::{KeywordHasher, StoreBackend};
 use hyperdex_hypercube::Shape;
 use hyperdex_runtime::fault::{CrashPoint, FaultInjector, FaultPlan};
 use hyperdex_runtime::transport::{
@@ -86,6 +86,9 @@ pub struct ServerConfig {
     /// Vertex → worker placement. Every server and the client must
     /// agree, like `r` and `seed`.
     pub policy: ShardPolicy,
+    /// Posting-storage backend for every local shard table
+    /// (server-local: result parity is byte-identical either way).
+    pub store: StoreBackend,
     /// Optional scheduled crash of one local worker.
     pub crash: Option<CrashPoint>,
 }
@@ -425,6 +428,7 @@ impl NetSpawner {
             shape: self.shape,
             hasher: self.hasher,
             shards: self.shards,
+            store: self.cfg.store,
             injector,
             repairing,
         };

@@ -78,7 +78,9 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use hyperdex_core::{CoverageReport, Error, KeywordHasher, KeywordSet, ObjectId, RecoveryStrategy};
+use hyperdex_core::{
+    CoverageReport, Error, KeywordHasher, KeywordSet, ObjectId, RecoveryStrategy, StoreBackend,
+};
 use hyperdex_hypercube::Shape;
 
 use crate::fault::{FaultInjector, FaultPlan};
@@ -107,6 +109,9 @@ pub struct RuntimeConfig {
     /// (locality-preserving); [`ShardPolicy::Hash`] is the legacy
     /// scatter, kept selectable so benches report both.
     pub policy: ShardPolicy,
+    /// Posting-storage backend for every shard table. Defaults to the
+    /// `HYPERDEX_STORE` environment selection (DESIGN.md §17).
+    pub store: StoreBackend,
 }
 
 impl RuntimeConfig {
@@ -119,6 +124,7 @@ impl RuntimeConfig {
             workers,
             channel_capacity: 256,
             policy: ShardPolicy::default(),
+            store: StoreBackend::from_env(),
         }
     }
 
@@ -131,6 +137,12 @@ impl RuntimeConfig {
     /// Overrides the per-inbox channel bound.
     pub fn channel_capacity(mut self, frames: usize) -> RuntimeConfig {
         self.channel_capacity = frames.max(1);
+        self
+    }
+
+    /// Overrides the posting-storage backend.
+    pub fn store(mut self, store: StoreBackend) -> RuntimeConfig {
+        self.store = store;
         self
     }
 
@@ -372,6 +384,7 @@ impl NodeRuntime {
             shape,
             hasher,
             shards,
+            store: cfg.store,
             worker_tx: worker_tx.clone(),
             client_tx,
             event_tx: event_tx.clone(),
@@ -836,6 +849,7 @@ struct Spawner {
     shape: Shape,
     hasher: KeywordHasher,
     shards: ShardMap,
+    store: StoreBackend,
     worker_tx: Vec<SyncSender<Vec<u8>>>,
     client_tx: SyncSender<Vec<u8>>,
     event_tx: Sender<SupervisorEvent>,
@@ -863,6 +877,7 @@ impl Spawner {
             shape: self.shape,
             hasher: self.hasher,
             shards: self.shards,
+            store: self.store,
             injector,
             repairing,
         };

@@ -21,10 +21,10 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use hyperdex_core::protocol::{scan_table, SupersetCoordinator};
+use hyperdex_core::protocol::{scan_store, SupersetCoordinator};
 use hyperdex_core::{
-    FtCmd, FtCoordinator, FtPolicy, IndexTable, KeywordHasher, KeywordInterner, KeywordSet,
-    ObjectId,
+    FtCmd, FtCoordinator, FtPolicy, KeywordHasher, KeywordInterner, KeywordSet, ObjectId,
+    PostingStore, StoreBackend,
 };
 use hyperdex_hypercube::{Shape, Vertex};
 
@@ -136,6 +136,9 @@ pub struct WorkerContext {
     pub hasher: KeywordHasher,
     /// The global vertex → worker map.
     pub shards: ShardMap,
+    /// Posting-storage backend for every shard table this worker owns
+    /// (`HYPERDEX_STORE`; DESIGN.md §17).
+    pub store: StoreBackend,
     /// Seeded fault injector, when the deployment schedules faults.
     pub injector: Option<FaultInjector>,
     /// `true` when respawning after a crash: query frames park until
@@ -158,6 +161,7 @@ pub fn run_worker(
         hasher: ctx.hasher,
         shards: ctx.shards,
         tables: HashMap::new(),
+        store: ctx.store,
         interner: KeywordInterner::new(),
         transport,
         outbox: (0..endpoints).map(|_| VecDeque::new()).collect(),
@@ -245,7 +249,9 @@ struct Worker {
     shape: Shape,
     hasher: KeywordHasher,
     shards: ShardMap,
-    tables: HashMap<u64, IndexTable>,
+    tables: HashMap<u64, PostingStore>,
+    /// Backend every lazily-created shard table uses.
+    store: StoreBackend,
     interner: KeywordInterner,
     transport: Box<dyn Transport>,
     outbox: Vec<VecDeque<Vec<u8>>>,
@@ -448,10 +454,11 @@ impl Worker {
                 let kw = self.interner.intern(keywords);
                 let bits = self.hasher.vertex_for(&kw).bits();
                 debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted insert");
+                let store = self.store;
                 if self
                     .tables
                     .entry(bits)
-                    .or_default()
+                    .or_insert_with(|| PostingStore::new(store))
                     .insert_arc(kw, ObjectId::from_raw(object))
                 {
                     self.stats.inserts += 1;
@@ -459,7 +466,11 @@ impl Worker {
             }
             WireMsg::Handoff { bits, entries } => {
                 debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted handoff");
-                let table = self.tables.entry(bits).or_default();
+                let store = self.store;
+                let table = self
+                    .tables
+                    .entry(bits)
+                    .or_insert_with(|| PostingStore::new(store));
                 for (set, objects) in entries {
                     let kw = self.interner.intern(set);
                     for raw in objects {
@@ -541,7 +552,7 @@ impl Worker {
             } => {
                 debug_assert_eq!(self.shards.owner_of(bits), self.index, "misrouted T_QUERY");
                 self.stats.scans += 1;
-                let found = scan_table(self.tables.get(&bits), &keywords, remaining as usize);
+                let found = scan_store(self.tables.get(&bits), &keywords, remaining as usize);
                 let vertex =
                     Vertex::from_bits(self.shape, bits).expect("coordinators stay in the cube");
                 // Lemma 3.2: children derive from bits + arrival dim.
@@ -596,7 +607,7 @@ impl Worker {
                         "misrouted batch entry"
                     );
                     self.stats.scans += 1;
-                    let found = scan_table(self.tables.get(&bits), &keywords, remaining as usize);
+                    let found = scan_store(self.tables.get(&bits), &keywords, remaining as usize);
                     let vertex =
                         Vertex::from_bits(self.shape, bits).expect("coordinators stay in the cube");
                     let children = SupersetCoordinator::children_of(vertex, Some(via_dim));
@@ -878,7 +889,7 @@ impl Worker {
                 continue;
             };
             self.stats.scans += 1;
-            let found = scan_table(
+            let found = scan_store(
                 self.tables.get(&bits),
                 state.coord.keywords(),
                 state.coord.remaining(),
@@ -921,7 +932,7 @@ impl Worker {
                     if owner == self.index {
                         self.stats.scans += 1;
                         let kw = Arc::clone(state.core.keywords());
-                        let found = scan_table(self.tables.get(&bits), &kw, state.core.remaining());
+                        let found = scan_store(self.tables.get(&bits), &kw, state.core.remaining());
                         let vertex =
                             Vertex::from_bits(self.shape, bits).expect("coordinator stays in cube");
                         let added = state.record(
